@@ -1,0 +1,522 @@
+(* scnoise: command-line front end for the switched-capacitor noise
+   library.
+
+     scnoise list
+     scnoise info    -c bandpass
+     scnoise psd     -c lowpass --fmin 100 --fmax 16e3 -n 40
+     scnoise psd     -c switched-rc --engine bruteforce --compare
+     scnoise variance -c integrator
+     scnoise contrib -c bandpass -f 8e3
+*)
+
+module Pwl = Scnoise_circuit.Pwl
+module Psd = Scnoise_core.Psd
+module Covariance = Scnoise_core.Covariance
+module Contrib = Scnoise_core.Contrib
+module Esd = Scnoise_noise.Esd_transient
+module Mc = Scnoise_noise.Monte_carlo
+module Table = Scnoise_util.Table
+module Grid = Scnoise_util.Grid
+module Db = Scnoise_util.Db
+module Cx = Scnoise_linalg.Cx
+module SRC = Scnoise_circuits.Switched_rc
+module LP = Scnoise_circuits.Sc_lowpass
+module BP = Scnoise_circuits.Sc_bandpass
+module INT = Scnoise_circuits.Sc_integrator
+module LAD = Scnoise_circuits.Sc_ladder
+module DS = Scnoise_circuits.Sc_delta_sigma
+module A_src = Scnoise_analytic.Switched_rc
+
+open Cmdliner
+
+type picked = {
+  label : string;
+  sys : Pwl.t;
+  output : Scnoise_linalg.Vec.t;
+  closed_form : (float -> float) option;
+}
+
+let circuits_doc =
+  "switched-rc | lowpass | lowpass-single-stage | bandpass | integrator | \
+   ladder | delta-sigma"
+
+let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
+  match name with
+  | "switched-rc" ->
+      let b = SRC.build (SRC.with_ratio ~duty ~t_over_rc ()) in
+      let p = b.SRC.params in
+      let a =
+        A_src.make ~r:p.SRC.r ~c:p.SRC.c ~period:p.SRC.period ~duty:p.SRC.duty
+          ()
+      in
+      Ok
+        {
+          label = Printf.sprintf "switched-rc (T/RC=%g, d=%g)" t_over_rc duty;
+          sys = b.SRC.sys;
+          output = b.SRC.output;
+          closed_form = Some (A_src.psd a);
+        }
+  | "lowpass" ->
+      let b = LP.build LP.default in
+      Ok
+        {
+          label = "sc_lowpass (integrator op-amp)";
+          sys = b.LP.sys;
+          output = b.LP.output;
+          closed_form = None;
+        }
+  | "lowpass-single-stage" ->
+      let b = LP.build LP.single_stage_variant in
+      Ok
+        {
+          label = "sc_lowpass (single-stage op-amp)";
+          sys = b.LP.sys;
+          output = b.LP.output;
+          closed_form = None;
+        }
+  | "bandpass" -> (
+      match BP.design ~clock_hz:128e3 ~f0 ~q () with
+      | params ->
+          let b = BP.build params in
+          Ok
+            {
+              label = Printf.sprintf "sc_bandpass (f0=%g, Q=%g)" f0 q;
+              sys = b.BP.sys;
+              output = b.BP.output;
+              closed_form = None;
+            }
+      | exception Invalid_argument msg -> Error msg)
+  | "integrator" ->
+      let b = INT.build INT.default in
+      Ok
+        {
+          label = "sc_integrator (damped)";
+          sys = b.INT.sys;
+          output = b.INT.output;
+          closed_form = None;
+        }
+  | "delta-sigma" ->
+      let b = DS.build DS.default in
+      Ok
+        {
+          label = "sc_delta_sigma (2nd-order, linearised quantiser)";
+          sys = b.DS.sys;
+          output = b.DS.output;
+          closed_form = None;
+        }
+  | "ladder" -> (
+      match LAD.build (LAD.with_stages stages) with
+      | b ->
+          Ok
+            {
+              label = Printf.sprintf "sc_ladder (%d stages)" stages;
+              sys = b.LAD.sys;
+              output = b.LAD.output;
+              closed_form = None;
+            }
+      | exception Invalid_argument msg -> Error msg)
+  | other ->
+      Error (Printf.sprintf "unknown circuit %S (choose: %s)" other circuits_doc)
+
+(* ---- common options ---- *)
+
+let circuit_arg =
+  let doc = "Bundled circuit to analyse: " ^ circuits_doc ^ "." in
+  Arg.(value & opt string "switched-rc" & info [ "c"; "circuit" ] ~doc)
+
+let duty_arg =
+  let doc = "Switch duty cycle (switched-rc)." in
+  Arg.(value & opt float 0.5 & info [ "duty" ] ~doc)
+
+let ratio_arg =
+  let doc = "Clock period over RC time constant (switched-rc)." in
+  Arg.(value & opt float 5.0 & info [ "t-over-rc" ] ~doc)
+
+let f0_arg =
+  let doc = "Centre frequency in Hz (bandpass)." in
+  Arg.(value & opt float 8e3 & info [ "f0" ] ~doc)
+
+let q_arg =
+  let doc = "Quality factor (bandpass, <= 2.5)." in
+  Arg.(value & opt float 2.0 & info [ "q" ] ~doc)
+
+let spp_arg =
+  let doc = "Integration samples per clock phase." in
+  Arg.(value & opt int 96 & info [ "spp"; "samples-per-phase" ] ~doc)
+
+let stages_arg =
+  let doc = "Number of stages (ladder)." in
+  Arg.(value & opt int 4 & info [ "stages" ] ~doc)
+
+let with_circuit f name duty t_over_rc f0 q stages =
+  match pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages with
+  | Error msg ->
+      Printf.eprintf "scnoise: %s\n" msg;
+      1
+  | Ok picked -> f picked
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create [ "name"; "description" ] in
+    Table.add_row t
+      [ "switched-rc"; "periodically switched RC (closed form available)" ];
+    Table.add_row t
+      [ "lowpass"; "SC low-pass filter, Toth values, integrator op-amp" ];
+    Table.add_row t
+      [ "lowpass-single-stage"; "same filter with a single-stage op-amp" ];
+    Table.add_row t [ "bandpass"; "two-integrator-loop SC band-pass biquad" ];
+    Table.add_row t [ "integrator"; "parasitic-insensitive damped integrator" ];
+    Table.add_row t
+      [ "ladder"; "switched RC ladder (--stages N, scaling workload)" ];
+    Table.add_row t
+      [ "delta-sigma"; "2nd-order delta-sigma loop filter (linearised)" ];
+    Table.print t;
+    0
+  in
+  let doc = "List the bundled evaluation circuits." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run picked =
+    Printf.printf "%s\n" picked.label;
+    Printf.printf "states: %d\n" picked.sys.Pwl.nstates;
+    Array.iteri
+      (fun i n -> Printf.printf "  x%d = %s\n" i n)
+      picked.sys.Pwl.state_names;
+    Printf.printf "clock period: %g s, %d phase(s)\n" picked.sys.Pwl.period
+      (Pwl.n_phases picked.sys);
+    Array.iteri
+      (fun i (ph : Pwl.phase) ->
+        Printf.printf "  phase %d: tau = %g s, %d noise source(s)\n" i
+          ph.Pwl.tau
+          (Array.length ph.Pwl.noise_labels))
+      picked.sys.Pwl.phases;
+    Printf.printf "stable: %b; Floquet multipliers:\n"
+      (Pwl.is_stable picked.sys);
+    Array.iter
+      (fun (m : Cx.t) ->
+        Printf.printf "  %+.6g %+.6gi  (|mu| = %.6g)\n" m.Cx.re m.Cx.im
+          (Cx.modulus m))
+      (Pwl.floquet_multipliers picked.sys);
+    0
+  in
+  let doc = "Show the compiled model: states, phases, stability." in
+  Cmd.v
+    (Cmd.info "info" ~doc)
+    Term.(
+      const (with_circuit run)
+      $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+
+(* ---- psd ---- *)
+
+let psd_cmd =
+  let run engine fmin fmax points log compare spp seed csv plot picked =
+    if not (Pwl.is_stable picked.sys) then begin
+      Printf.eprintf "scnoise: circuit is not stable; no steady-state noise\n";
+      2
+    end
+    else begin
+      let freqs =
+        if log then Grid.logspace (max fmin 1e-3) fmax points
+        else Grid.linspace fmin fmax points
+      in
+      Printf.printf "# %s, engine = %s\n" picked.label engine;
+      let values =
+        match engine with
+        | "mft" ->
+            let eng =
+              Psd.prepare ~samples_per_phase:spp picked.sys
+                ~output:picked.output
+            in
+            Ok (Psd.sweep eng freqs)
+        | "bruteforce" ->
+            Ok
+              (Esd.sweep ~samples_per_phase:spp ~tol_db:0.05 picked.sys
+                 ~output:picked.output freqs)
+        | "montecarlo" ->
+            let est =
+              Mc.estimate ~seed:(Int64.of_int seed) ~samples_per_phase:spp
+                ~paths:8 ~segments_per_path:8 picked.sys ~output:picked.output
+                ~freqs
+            in
+            Ok est.Mc.psd
+        | other -> Error (Printf.sprintf "unknown engine %S" other)
+      in
+      match values with
+      | Error msg ->
+          Printf.eprintf "scnoise: %s\n" msg;
+          1
+      | Ok values ->
+          let headers =
+            [ "f_Hz"; "psd_V2_per_Hz"; "psd_dB" ]
+            @ (if picked.closed_form <> None then [ "closed_form_dB" ] else [])
+          in
+          let t = Table.create headers in
+          Array.iteri
+            (fun i f ->
+              let base = [ values.(i); Db.of_power values.(i) ] in
+              let extra =
+                match picked.closed_form with
+                | Some cf -> [ Db.of_power (cf f) ]
+                | None -> []
+              in
+              Table.add_float_row t ~precision:5
+                (Printf.sprintf "%.5g" f)
+                (base @ extra))
+            freqs;
+          Table.print t;
+          (match csv with
+          | Some path ->
+              Table.save_csv t path;
+              Printf.printf "# wrote %s\n" path
+          | None -> ());
+          if plot then begin
+            let dbs = Array.map Db.of_power values in
+            Scnoise_util.Ascii_plot.print ~x_log:log ~x_label:"f_Hz"
+              ~y_label:"psd_dB" freqs dbs
+          end;
+          ignore compare;
+          0
+    end
+  in
+  let engine_arg =
+    let doc = "PSD engine: mft (default), bruteforce, or montecarlo." in
+    Arg.(value & opt string "mft" & info [ "e"; "engine" ] ~doc)
+  in
+  let fmin_arg =
+    Arg.(value & opt float 0.0 & info [ "fmin" ] ~doc:"Lowest frequency, Hz.")
+  in
+  let fmax_arg =
+    Arg.(
+      value & opt float 16e3 & info [ "fmax" ] ~doc:"Highest frequency, Hz.")
+  in
+  let points_arg =
+    Arg.(value & opt int 33 & info [ "n"; "points" ] ~doc:"Number of points.")
+  in
+  let log_arg =
+    Arg.(value & flag & info [ "log" ] ~doc:"Logarithmic frequency grid.")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:"(kept for compatibility; closed form is always shown when \
+                available)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Monte-Carlo seed.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~doc:"Also write the sweep to a CSV file." ~docv:"FILE")
+  in
+  let plot_arg =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Draw an ASCII plot of the sweep.")
+  in
+  let doc = "Compute the output noise power spectral density." in
+  Cmd.v
+    (Cmd.info "psd" ~doc)
+    Term.(
+      const
+        (fun engine fmin fmax points log compare spp seed csv plot name duty r
+             f0 q stages ->
+          with_circuit
+            (run engine fmin fmax points log compare spp seed csv plot)
+            name duty r f0 q stages)
+      $ engine_arg $ fmin_arg $ fmax_arg $ points_arg $ log_arg $ compare_arg
+      $ spp_arg $ seed_arg $ csv_arg $ plot_arg $ circuit_arg $ duty_arg
+      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+
+(* ---- variance ---- *)
+
+let variance_cmd =
+  let run spp picked =
+    if not (Pwl.is_stable picked.sys) then begin
+      Printf.eprintf "scnoise: circuit is not stable\n";
+      2
+    end
+    else begin
+      let cov = Covariance.sample ~samples_per_phase:spp picked.sys in
+      let vb = Covariance.variance_at_boundary cov picked.output in
+      let va = Covariance.average_variance cov picked.output in
+      Printf.printf "%s\n" picked.label;
+      Printf.printf "variance at period boundary: %.6g V^2 (%.4g uV rms)\n" vb
+        (1e6 *. sqrt vb);
+      Printf.printf "time-averaged variance:      %.6g V^2 (%.4g uV rms)\n" va
+        (1e6 *. sqrt va);
+      Printf.printf "periodicity closure error:   %.3g\n"
+        (Covariance.closure_error cov);
+      0
+    end
+  in
+  let doc = "Steady-state output noise variance." in
+  Cmd.v
+    (Cmd.info "variance" ~doc)
+    Term.(
+      const (fun spp name duty r f0 q stages ->
+          with_circuit (run spp) name duty r f0 q stages)
+      $ spp_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
+
+(* ---- contrib ---- *)
+
+let contrib_cmd =
+  let run f spp picked =
+    if not (Pwl.is_stable picked.sys) then begin
+      Printf.eprintf "scnoise: circuit is not stable\n";
+      2
+    end
+    else begin
+      Printf.printf "%s, f = %g Hz\n" picked.label f;
+      let parts =
+        Contrib.per_source_psd ~samples_per_phase:spp picked.sys
+          ~output:picked.output ~f
+      in
+      let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 parts in
+      let t = Table.create [ "source"; "psd_V2_per_Hz"; "share_%" ] in
+      List.iter
+        (fun (label, s) ->
+          Table.add_float_row t ~precision:4 label
+            [ s; (if total > 0.0 then 100.0 *. s /. total else 0.0) ])
+        (List.sort (fun (_, a) (_, b) -> compare b a) parts);
+      Table.print t;
+      Printf.printf "total: %.5g V^2/Hz (%.2f dB)\n" total (Db.of_power total);
+      0
+    end
+  in
+  let f_arg =
+    Arg.(
+      value & opt float 1e3 & info [ "f"; "freq" ] ~doc:"Analysis frequency, Hz.")
+  in
+  let doc = "Per-source decomposition of the output noise PSD." in
+  Cmd.v
+    (Cmd.info "contrib" ~doc)
+    Term.(
+      const (fun f spp name duty r f0 q stages ->
+          with_circuit (run f spp) name duty r f0 q stages)
+      $ f_arg $ spp_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
+
+(* ---- transfer ---- *)
+
+let transfer_cmd =
+  let run fmin fmax points spp k_range picked =
+    if Array.length picked.sys.Pwl.inputs = 0 then begin
+      Printf.eprintf "scnoise: circuit has no signal inputs\n";
+      2
+    end
+    else begin
+      let module Transfer = Scnoise_core.Transfer in
+      let tr =
+        Transfer.prepare ~samples_per_phase:spp picked.sys
+          ~output:picked.output
+      in
+      Printf.printf "# %s, baseband LPTV transfer function H0(f)\n"
+        picked.label;
+      let freqs = Grid.linspace fmin fmax points in
+      let headers =
+        [ "f_Hz"; "mag"; "mag_dB"; "phase_deg" ]
+        @ List.concat_map
+            (fun k -> [ Printf.sprintf "|H%+d|" k ])
+            (List.init k_range (fun i -> i + 1))
+      in
+      let t = Table.create headers in
+      Array.iter
+        (fun f ->
+          let h = Transfer.harmonics tr ~input:0 ~f ~k_range in
+          let h0 = h.(k_range) in
+          let side =
+            List.init k_range (fun i -> Cx.modulus h.(k_range + i + 1))
+          in
+          Table.add_float_row t ~precision:4
+            (Printf.sprintf "%.5g" f)
+            ([
+               Cx.modulus h0;
+               Db.of_amplitude (Cx.modulus h0);
+               Cx.arg h0 *. 180.0 /. Float.pi;
+             ]
+            @ side))
+        freqs;
+      Table.print t;
+      0
+    end
+  in
+  let fmin_arg =
+    Arg.(value & opt float 1.0 & info [ "fmin" ] ~doc:"Lowest frequency, Hz.")
+  in
+  let fmax_arg =
+    Arg.(value & opt float 2e3 & info [ "fmax" ] ~doc:"Highest frequency, Hz.")
+  in
+  let points_arg =
+    Arg.(value & opt int 21 & info [ "n"; "points" ] ~doc:"Number of points.")
+  in
+  let krange_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "k" ] ~doc:"Also print magnitudes of the first $(docv) \
+                           frequency-translation harmonics.")
+  in
+  let doc = "Baseband (and harmonic) LPTV signal transfer function." in
+  Cmd.v
+    (Cmd.info "transfer" ~doc)
+    Term.(
+      const (fun fmin fmax points spp k name duty r f0 q stages ->
+          with_circuit (run fmin fmax points spp k) name duty r f0 q stages)
+      $ fmin_arg $ fmax_arg $ points_arg $ spp_arg $ krange_arg $ circuit_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run spp fmin fmax picked =
+    let module Report = Scnoise_core.Report in
+    let band = if fmax > fmin && fmax > 0.0 then Some (fmin, fmax) else None in
+    let r =
+      Report.analyze ~samples_per_phase:spp ?band ~title:picked.label
+        picked.sys ~output:picked.output
+    in
+    Report.print r;
+    if r.Report.stable then 0 else 2
+  in
+  let fmin_arg =
+    Arg.(value & opt float 0.0 & info [ "band-min" ] ~doc:"Band lower edge, Hz.")
+  in
+  let fmax_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "band-max" ] ~doc:"Band upper edge, Hz (0 disables band noise).")
+  in
+  let doc = "Full noise characterisation report (variance, spectrum, sources)." in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(
+      const (fun spp fmin fmax name duty r f0 q stages ->
+          with_circuit (run spp fmin fmax) name duty r f0 q stages)
+      $ spp_arg $ fmin_arg $ fmax_arg $ circuit_arg $ duty_arg $ ratio_arg
+      $ f0_arg $ q_arg $ stages_arg)
+
+(* ---- main ---- *)
+
+let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let doc =
+    "Noise spectral density of switched-capacitor circuits via the \
+     mixed-frequency-time technique"
+  in
+  let info = Cmd.info "scnoise" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            list_cmd; info_cmd; psd_cmd; variance_cmd; contrib_cmd;
+            transfer_cmd; report_cmd;
+          ]))

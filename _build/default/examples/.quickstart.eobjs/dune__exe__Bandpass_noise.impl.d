@@ -1,0 +1,1 @@
+examples/bandpass_noise.ml: Array Float Printf Scnoise_circuit Scnoise_circuits Scnoise_core Scnoise_linalg Scnoise_util Sys

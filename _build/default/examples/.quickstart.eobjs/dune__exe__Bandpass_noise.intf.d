@@ -1,0 +1,1 @@
+examples/bandpass_noise.mli:

@@ -1,0 +1,1 @@
+examples/duty_cycle_study.ml: Array List Printf Scnoise_analytic Scnoise_circuits Scnoise_core Scnoise_util

@@ -1,0 +1,1 @@
+examples/duty_cycle_study.mli:

@@ -1,0 +1,1 @@
+examples/flicker_corner.ml: Array Float List Printf Scnoise_circuit Scnoise_core Scnoise_util String

@@ -1,0 +1,1 @@
+examples/flicker_corner.mli:

@@ -1,0 +1,1 @@
+examples/lowpass_noise.ml: Array List Printf Scnoise_circuits Scnoise_core Scnoise_noise Scnoise_util

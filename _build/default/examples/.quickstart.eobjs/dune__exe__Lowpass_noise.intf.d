@@ -1,0 +1,1 @@
+examples/lowpass_noise.mli:

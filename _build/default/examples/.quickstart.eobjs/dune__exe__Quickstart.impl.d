@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Scnoise_circuit Scnoise_core Scnoise_util

@@ -1,0 +1,1 @@
+examples/signal_transfer.mli:

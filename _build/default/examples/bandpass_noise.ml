@@ -1,0 +1,44 @@
+(* Design a switched-capacitor band-pass biquad and map its output noise
+   spectrum around the resonance.
+
+   Run with:  dune exec examples/bandpass_noise.exe [f0_hz] [q]
+   (defaults: 8000 Hz, Q = 2; clock fixed at 128 kHz) *)
+
+module BP = Scnoise_circuits.Sc_bandpass
+module Pwl = Scnoise_circuit.Pwl
+module Psd = Scnoise_core.Psd
+module Eig = Scnoise_linalg.Eig
+module Table = Scnoise_util.Table
+module Grid = Scnoise_util.Grid
+
+let () =
+  let f0 =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 8e3
+  in
+  let q =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 2.0
+  in
+  let params = BP.design ~clock_hz:128e3 ~f0 ~q () in
+  let b = BP.build params in
+  Printf.printf
+    "band-pass biquad: f0 = %.0f Hz, Q = %.2f, clock = %.0f Hz\n" f0 q
+    params.BP.clock_hz;
+  Printf.printf "caps: Ci = %.3g F, Cc = %.3g F, Cd = %.3g F\n" params.BP.ci1
+    params.BP.cc12 params.BP.cd;
+  let radius = Eig.spectral_radius (Pwl.monodromy b.BP.sys) in
+  Printf.printf "Floquet radius %.4f -> noise resonance width ~ %.0f Hz\n"
+    radius
+    (-.log radius /. Float.pi *. params.BP.clock_hz);
+  let eng = Psd.prepare ~samples_per_phase:96 b.BP.sys ~output:b.BP.output in
+  let freqs = Grid.logspace (f0 /. 16.0) (4.0 *. f0) 41 in
+  let t = Table.create [ "f_Hz"; "psd_dB" ] in
+  Array.iter
+    (fun f ->
+      Table.add_float_row t ~precision:4
+        (Printf.sprintf "%.0f" f)
+        [ Psd.psd_db eng ~f ])
+    freqs;
+  Table.print t;
+  Printf.printf "average output noise: %.4g V^2 rms = %.3g uV\n"
+    (Psd.average_variance eng)
+    (1e6 *. sqrt (Psd.average_variance eng))

@@ -1,0 +1,1 @@
+lib/analytic/ideal_sc.ml: Float Lti Scnoise_linalg Scnoise_util

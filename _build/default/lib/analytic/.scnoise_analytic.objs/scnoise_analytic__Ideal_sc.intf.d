@@ -1,0 +1,1 @@
+lib/analytic/ideal_sc.mli:

@@ -1,0 +1,1 @@
+lib/analytic/lti.mli:

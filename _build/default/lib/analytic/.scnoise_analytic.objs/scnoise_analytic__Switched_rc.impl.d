@@ -1,0 +1,1 @@
+lib/analytic/switched_rc.ml: Float Lti Scnoise_linalg Scnoise_util

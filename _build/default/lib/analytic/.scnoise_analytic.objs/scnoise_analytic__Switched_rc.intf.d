@@ -1,0 +1,1 @@
+lib/analytic/switched_rc.mli:

@@ -1,0 +1,27 @@
+module Const = Scnoise_util.Const
+module Cx = Scnoise_linalg.Cx
+
+let kt_over_c ?temperature c =
+  if c <= 0.0 then invalid_arg "Ideal_sc.kt_over_c: c <= 0";
+  Const.kt ?temperature () /. c
+
+let sample_hold_psd ~var ~period f =
+  if var < 0.0 || period <= 0.0 then
+    invalid_arg "Ideal_sc.sample_hold_psd: bad parameters";
+  let x = Float.pi *. f *. period in
+  let s = Lti.sinc x in
+  var *. period *. s *. s
+
+let first_order_dt_psd ~var ~period ~pole f =
+  if abs_float pole >= 1.0 then
+    invalid_arg "Ideal_sc.first_order_dt_psd: |pole| >= 1";
+  let hold = sample_hold_psd ~var ~period f in
+  let z = Cx.cis (-2.0 *. Float.pi *. f *. period) in
+  let denom = Cx.( -: ) Cx.one (Cx.scale pole z) in
+  let m = Cx.modulus denom in
+  hold /. (m *. m)
+
+let total_noise_first_order ~var ~pole =
+  if abs_float pole >= 1.0 then
+    invalid_arg "Ideal_sc.total_noise_first_order: |pole| >= 1";
+  var /. (1.0 -. (pole *. pole))

@@ -1,0 +1,25 @@
+(** Ideal switched-capacitor ("full and fast" charge transfer) noise
+    references.
+
+    Under instantaneous charge transfer every sampling event deposits an
+    independent [kT/C] charge-noise sample; a sampled-and-held sequence
+    of variance [var] refreshed every [period] has the classic
+    [var * T * sinc^2(pi f T)] spectrum.  These formulas anchor the
+    "sampled-data like" limits of the numerically computed spectra. *)
+
+val kt_over_c : ?temperature:float -> float -> float
+(** [kt_over_c c] is the sampled noise variance [kT/C] (V^2). *)
+
+val sample_hold_psd : var:float -> period:float -> float -> float
+(** [sample_hold_psd ~var ~period f]: double-sided PSD of an i.i.d.
+    zero-order-held sequence with per-sample variance [var]. *)
+
+val first_order_dt_psd :
+  var:float -> period:float -> pole:float -> float -> float
+(** PSD of a zero-order-held first-order discrete-time recursion
+    [y(n+1) = pole * y(n) + e(n)] driven by i.i.d. samples of variance
+    [var]; requires [|pole| < 1].  [S(f) = var T sinc^2(pi f T) /
+    |1 - pole e^{-j 2 pi f T}|^2]. *)
+
+val total_noise_first_order : var:float -> pole:float -> float
+(** Variance of the recursion above, [var / (1 - pole^2)]. *)

@@ -1,0 +1,18 @@
+module Const = Scnoise_util.Const
+
+let rc_lowpass_psd ~r ~c ?temperature f =
+  if r <= 0.0 || c <= 0.0 then invalid_arg "Lti.rc_lowpass_psd: r, c > 0 required";
+  let kt = Const.kt ?temperature () in
+  let w_rc = 2.0 *. Float.pi *. f *. r *. c in
+  2.0 *. kt *. r /. (1.0 +. (w_rc *. w_rc))
+
+let rc_total_noise ~c ?temperature () =
+  if c <= 0.0 then invalid_arg "Lti.rc_total_noise: c > 0 required";
+  Const.kt ?temperature () /. c
+
+let lorentzian ~s0 ~pole_hz f =
+  if pole_hz <= 0.0 then invalid_arg "Lti.lorentzian: pole_hz > 0 required";
+  let x = f /. pole_hz in
+  s0 /. (1.0 +. (x *. x))
+
+let sinc x = if abs_float x < 1e-8 then 1.0 -. (x *. x /. 6.0) else sin x /. x

@@ -1,0 +1,15 @@
+(** Closed-form noise references for simple LTI circuits. *)
+
+val rc_lowpass_psd : r:float -> c:float -> ?temperature:float -> float -> float
+(** [rc_lowpass_psd ~r ~c f] is the double-sided output-noise PSD
+    (V^2/Hz) of an RC low-pass driven by the resistor's thermal noise:
+    [2kTR / (1 + (2 pi f R C)^2)]. *)
+
+val rc_total_noise : c:float -> ?temperature:float -> unit -> float
+(** Total integrated output noise [kT/C] (V^2), independent of R. *)
+
+val lorentzian : s0:float -> pole_hz:float -> float -> float
+(** [lorentzian ~s0 ~pole_hz f] is [s0 / (1 + (f/pole_hz)^2)]. *)
+
+val sinc : float -> float
+(** [sinc x] is [sin(x)/x] with the removable singularity filled in. *)

@@ -1,0 +1,82 @@
+module Cx = Scnoise_linalg.Cx
+module Const = Scnoise_util.Const
+
+type t = {
+  r : float;
+  c : float;
+  period : float;
+  duty : float;
+  temperature : float;
+}
+
+let make ?(temperature = Const.room_temperature) ~r ~c ~period ~duty () =
+  if r <= 0.0 then invalid_arg "Switched_rc.make: r <= 0";
+  if c <= 0.0 then invalid_arg "Switched_rc.make: c <= 0";
+  if period <= 0.0 then invalid_arg "Switched_rc.make: period <= 0";
+  if duty <= 0.0 || duty >= 1.0 then
+    invalid_arg "Switched_rc.make: need 0 < duty < 1";
+  if temperature <= 0.0 then invalid_arg "Switched_rc.make: temperature <= 0";
+  { r; c; period; duty; temperature }
+
+let variance t = Const.boltzmann *. t.temperature /. t.c
+
+(* (1 - e^{-z t}) / z, numerically stable near z = 0. *)
+let em1_over z tt =
+  if Cx.modulus z *. tt < 1e-8 then
+    let zt = Cx.scale tt z in
+    Cx.scale tt
+      (Cx.( -: ) Cx.one
+         (Cx.( -: ) (Cx.scale 0.5 zt) (Cx.scale (1.0 /. 6.0) (Cx.( *: ) zt zt))))
+  else Cx.( /: ) (Cx.( -: ) Cx.one (Cx.exp (Cx.scale (-.tt) z))) z
+
+(* The cross-spectral envelope P obeys
+     dP/dt = -(a + jw) P + K   while the switch conducts (a = 1/RC),
+     dP/dt = -jw P + K         while it is open,
+   with K = kT/C.  Solve the two-interval periodic BVP in closed form and
+   average 2 Re P over the period. *)
+let psd t f =
+  let omega = 2.0 *. Float.pi *. f in
+  let k = variance t in
+  let a = 1.0 /. (t.r *. t.c) in
+  let t1 = t.duty *. t.period in
+  let t2 = (1.0 -. t.duty) *. t.period in
+  let beta = Cx.make a omega in
+  let gamma = Cx.make 0.0 omega in
+  let e1 = Cx.exp (Cx.scale (-.t1) beta) in
+  let e2 = Cx.exp (Cx.scale (-.t2) gamma) in
+  let f1 = em1_over beta t1 in
+  (* (1-e1)/beta *)
+  let f2 = em1_over gamma t2 in
+  let kc = Cx.re k in
+  (* periodicity: P0 = e2 (e1 P0 + K f1) + K f2 *)
+  let numer = Cx.( +: ) (Cx.( *: ) e2 (Cx.( *: ) kc f1)) (Cx.( *: ) kc f2) in
+  let denom = Cx.( -: ) Cx.one (Cx.( *: ) e2 e1) in
+  let p0 = Cx.( /: ) numer denom in
+  let p1 = Cx.( +: ) (Cx.( *: ) e1 p0) (Cx.( *: ) kc f1) in
+  (* integral over the conducting interval:
+     ∫ P dt = (P0 - K/beta) (1-e1)/beta + K t1 / beta *)
+  let int1 =
+    let k_over = Cx.( /: ) kc beta in
+    Cx.( +: )
+      (Cx.( *: ) (Cx.( -: ) p0 k_over) f1)
+      (Cx.scale t1 k_over)
+  in
+  (* same for the open interval, numerically stable at w -> 0 *)
+  let int2 =
+    if Cx.modulus gamma *. t2 < 1e-8 then
+      (* P ≈ P1 + K t - ... : ∫ ≈ P1 t2 + K t2²/2 *)
+      Cx.( +: ) (Cx.scale t2 p1) (Cx.re (k *. t2 *. t2 /. 2.0))
+    else begin
+      let k_over = Cx.( /: ) kc gamma in
+      Cx.( +: )
+        (Cx.( *: ) (Cx.( -: ) p1 k_over) f2)
+        (Cx.scale t2 k_over)
+    end
+  in
+  let total = Cx.( +: ) int1 int2 in
+  2.0 *. total.Cx.re /. t.period
+
+let psd_db t f = Scnoise_util.Db.of_power (psd t f)
+
+let lti_limit t f =
+  Lti.rc_lowpass_psd ~r:t.r ~c:t.c ~temperature:t.temperature f

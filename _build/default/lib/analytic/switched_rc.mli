@@ -1,0 +1,37 @@
+(** Exact output-noise PSD of the periodically switched RC circuit.
+
+    The circuit of Rice's classic analysis (and Fig. 2 of the source
+    papers): a noisy resistor [R] is connected through an ideal switch to
+    a capacitor [C] to ground; the switch conducts for the first
+    [duty * period] of every clock period.  In steady state the
+    capacitor-voltage variance is the constant [kT/C]; the PSD follows in
+    closed form by solving the piecewise-exponential periodic
+    boundary-value problem of the cross-spectral envelope — analytically
+    equivalent to Rice's spectrum, and used as the machine-checkable
+    reference for the numerical engines. *)
+
+type t = {
+  r : float;  (** switch (resistor) value, ohms *)
+  c : float;  (** capacitance, farads *)
+  period : float;  (** clock period, s *)
+  duty : float;  (** fraction of the period the switch conducts *)
+  temperature : float;  (** kelvin *)
+}
+
+val make :
+  ?temperature:float -> r:float -> c:float -> period:float -> duty:float ->
+  unit -> t
+(** Validates all parameters ([0 < duty < 1] etc.). *)
+
+val variance : t -> float
+(** Steady-state output variance, [kT/C]. *)
+
+val psd : t -> float -> float
+(** [psd t f] is the exact double-sided output PSD (V^2/Hz) at
+    frequency [f] Hz. *)
+
+val psd_db : t -> float -> float
+
+val lti_limit : t -> float -> float
+(** PSD of the always-closed ([duty -> 1]) limit,
+    [2kTR / (1 + (w R C)^2)] — a consistency anchor. *)

@@ -1,0 +1,1 @@
+lib/circuit/compile.ml: Array Clock Float Hashtbl List Logs Netlist Printf Pwl Scnoise_linalg Scnoise_util

@@ -1,0 +1,1 @@
+lib/circuit/compile.mli: Clock Netlist Pwl

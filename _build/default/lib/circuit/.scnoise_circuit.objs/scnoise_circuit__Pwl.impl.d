@@ -1,0 +1,1 @@
+lib/circuit/pwl.ml: Array Float List Scnoise_linalg

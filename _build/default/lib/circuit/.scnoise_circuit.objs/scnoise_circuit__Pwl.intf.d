@@ -1,0 +1,1 @@
+lib/circuit/pwl.mli: Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/circuit/simulate.ml: Array Pwl Scnoise_linalg Scnoise_ode

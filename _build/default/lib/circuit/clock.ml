@@ -1,0 +1,50 @@
+type t = { period : float; durations : float array; starts : float array }
+
+let make durations =
+  if durations = [] then invalid_arg "Clock.make: no phases";
+  List.iter
+    (fun d -> if d <= 0.0 then invalid_arg "Clock.make: non-positive duration")
+    durations;
+  let durations = Array.of_list durations in
+  let n = Array.length durations in
+  let starts = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    starts.(i) <- starts.(i - 1) +. durations.(i - 1)
+  done;
+  let period = starts.(n - 1) +. durations.(n - 1) in
+  { period; durations; starts }
+
+let duty ~period ~duty =
+  if period <= 0.0 then invalid_arg "Clock.duty: period <= 0";
+  if duty <= 0.0 || duty >= 1.0 then invalid_arg "Clock.duty: need 0 < duty < 1";
+  make [ duty *. period; (1.0 -. duty) *. period ]
+
+let two_phase ?(gap_fraction = 0.01) ~period () =
+  if period <= 0.0 then invalid_arg "Clock.two_phase: period <= 0";
+  if gap_fraction <= 0.0 || gap_fraction >= 0.5 then
+    invalid_arg "Clock.two_phase: need 0 < gap_fraction < 0.5";
+  let gap = gap_fraction *. period in
+  let half = (period -. (2.0 *. gap)) /. 2.0 in
+  make [ half; gap; half; gap ]
+
+let period t = t.period
+
+let n_phases t = Array.length t.durations
+
+let durations t = Array.copy t.durations
+
+let phase_start t i =
+  if i < 0 || i >= Array.length t.starts then
+    invalid_arg "Clock.phase_start: bad phase index";
+  t.starts.(i)
+
+let phase_at t time =
+  let tm = Float.rem time t.period in
+  let tm = if tm < 0.0 then tm +. t.period else tm in
+  let n = Array.length t.durations in
+  let rec find i =
+    if i = n - 1 then (i, tm -. t.starts.(i))
+    else if tm < t.starts.(i + 1) then (i, tm -. t.starts.(i))
+    else find (i + 1)
+  in
+  find 0

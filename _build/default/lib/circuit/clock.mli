@@ -1,0 +1,36 @@
+(** Periodic multi-phase clock schedules.
+
+    A clock divides its period into an ordered list of phases; switches
+    in a {!Netlist} declare the phase indices during which they conduct.
+    Phase indices run from 0 in schedule order. *)
+
+type t
+
+val make : float list -> t
+(** [make durations] builds a schedule from positive phase durations; the
+    period is their sum.  Raises [Invalid_argument] on an empty list or a
+    non-positive duration. *)
+
+val duty : period:float -> duty:float -> t
+(** Two phases [d*T] (index 0, e.g. "switch closed") and [(1-d)*T]
+    (index 1).  Requires [0 < duty < 1]. *)
+
+val two_phase : ?gap_fraction:float -> period:float -> unit -> t
+(** Non-overlapping two-phase clock: [phi1, gap, phi2, gap] with phase
+    indices 0..3; each gap takes [gap_fraction] of the period (default
+    0.01), the remainder is split evenly between [phi1] (index 0) and
+    [phi2] (index 2). *)
+
+val period : t -> float
+
+val n_phases : t -> int
+
+val durations : t -> float array
+
+val phase_start : t -> int -> float
+(** Start time (within one period) of a phase. *)
+
+val phase_at : t -> float -> int * float
+(** [phase_at t time] is the phase index active at [time] (any real
+    time; reduced modulo the period) together with the offset into that
+    phase. *)

@@ -1,0 +1,581 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Lu = Scnoise_linalg.Lu
+module Const = Scnoise_util.Const
+
+exception Error of string
+
+let src = Logs.Src.create "scnoise.compile" ~doc:"circuit compiler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type node_class = Ground | Dynamic of int | Resistive of int | Driven of int
+
+(* A noise source as stamped before resistive-node elimination:
+   [inj] is the current injection over all non-ground nodes, [xinj] the
+   direct contribution to op-amp state rows. *)
+type noise_src = { label : string; inj : Vec.t; xinj : Vec.t }
+
+(* local copies of inlined-record payloads (they cannot escape their
+   constructors) *)
+type opamp_int = {
+  oi_name : string;
+  oi_plus : int;
+  oi_minus : int;
+  oi_out : int;
+  oi_ugf : float;
+  oi_vn_psd : float;
+}
+
+type vsrc = { vs_name : string; vs_node : int; vs_wave : float -> float }
+
+type isrc = { is_name : string; is_n1 : int; is_n2 : int; is_wave : float -> float }
+
+(* one first-order shaping section of a 1/f source *)
+type flicker_section = {
+  fk_label : string;
+  fk_n1 : int;
+  fk_n2 : int;
+  fk_omega : float; (* pole, rad/s *)
+  fk_sigma : float; (* dW intensity of the section state *)
+}
+
+let compile ?(temperature = Const.room_temperature) ?(g_leak = 1e-12) nl clock
+    =
+  let elements = Netlist.elements nl in
+  let n_all = Netlist.n_nodes nl in
+  let n_phase = Clock.n_phases clock in
+  if Netlist.max_phase_index nl >= n_phase then
+    raise
+      (Error
+         (Printf.sprintf
+            "switch references phase %d but the clock has only %d phases"
+            (Netlist.max_phase_index nl) n_phase));
+  (* --- element scans --- *)
+  let integrator_opamps =
+    List.filter_map
+      (function
+        | Netlist.Opamp_integrator { name; plus; minus; out; ugf; input_noise_psd }
+          ->
+            Some
+              {
+                oi_name = name;
+                oi_plus = plus;
+                oi_minus = minus;
+                oi_out = out;
+                oi_ugf = ugf;
+                oi_vn_psd = input_noise_psd;
+              }
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Switch _
+        | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Noise_isource _
+        | Netlist.Flicker_isource _ | Netlist.Opamp_single_stage _ ->
+            None)
+      elements
+  in
+  let nx = List.length integrator_opamps in
+  let vsources =
+    List.filter_map
+      (function
+        | Netlist.Vsource { name; n; waveform } ->
+            Some { vs_name = name; vs_node = n; vs_wave = waveform }
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Switch _
+        | Netlist.Isource _ | Netlist.Noise_isource _
+        | Netlist.Flicker_isource _ | Netlist.Opamp_integrator _
+        | Netlist.Opamp_single_stage _ ->
+            None)
+      elements
+  in
+  let isources =
+    List.filter_map
+      (function
+        | Netlist.Isource { name; n1; n2; waveform } ->
+            Some { is_name = name; is_n1 = n1; is_n2 = n2; is_wave = waveform }
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Switch _
+        | Netlist.Vsource _ | Netlist.Noise_isource _
+        | Netlist.Flicker_isource _ | Netlist.Opamp_integrator _
+        | Netlist.Opamp_single_stage _ ->
+            None)
+      elements
+  in
+  (* expand 1/f sources into log-spaced Lorentzian shaping sections:
+     sum_k sigma_k^2 w_k / (w_k^2 + w^2) ~ psd_1hz / f when
+     sigma_k^2 = 4 ln(r) psd_1hz w_k with per-section pole ratio r *)
+  let flicker_sections =
+    List.concat_map
+      (function
+        | Netlist.Flicker_isource
+            { name; n1; n2; psd_1hz; fmin; fmax; sections_per_decade } ->
+            let decades = log10 (fmax /. fmin) in
+            let m =
+              max 2
+                (1 + int_of_float (ceil (decades *. float_of_int sections_per_decade)))
+            in
+            let ratio = (fmax /. fmin) ** (1.0 /. float_of_int (m - 1)) in
+            let c = 4.0 *. log ratio *. psd_1hz in
+            List.init m (fun k ->
+                let fk = fmin *. (ratio ** float_of_int k) in
+                let omega = 2.0 *. Float.pi *. fk in
+                {
+                  fk_label = Printf.sprintf "%s.%d" name k;
+                  fk_n1 = n1;
+                  fk_n2 = n2;
+                  fk_omega = omega;
+                  fk_sigma = sqrt (c *. omega);
+                })
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Switch _
+        | Netlist.Vsource _ | Netlist.Isource _ | Netlist.Noise_isource _
+        | Netlist.Opamp_integrator _ | Netlist.Opamp_single_stage _ ->
+            [])
+      elements
+  in
+  let nf = List.length flicker_sections in
+  let nv = List.length vsources and ni = List.length isources in
+  let n_inputs = nv + ni in
+  (* driven nodes: vsource nodes then integrator op-amp outputs *)
+  let driven_nodes =
+    List.map (fun v -> v.vs_node) vsources
+    @ List.map (fun o -> o.oi_out) integrator_opamps
+  in
+  let ns = List.length driven_nodes in
+  let driven_index = Hashtbl.create 8 in
+  List.iteri (fun j n -> Hashtbl.replace driven_index n j) driven_nodes;
+  (* capacitive adjacency *)
+  let has_cap = Array.make (n_all + 1) false in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { n1; n2; _ } ->
+          if n1 > 0 then has_cap.(n1) <- true;
+          if n2 > 0 then has_cap.(n2) <- true
+      | Netlist.Opamp_single_stage { out; _ } -> has_cap.(out) <- true
+      | Netlist.Resistor _ | Netlist.Switch _ | Netlist.Vsource _
+      | Netlist.Isource _ | Netlist.Noise_isource _ | Netlist.Flicker_isource _
+      | Netlist.Opamp_integrator _ ->
+          ())
+    elements;
+  (* classify *)
+  let classify = Array.make (n_all + 1) Ground in
+  let nd = ref 0 and nr = ref 0 in
+  for n = 1 to n_all do
+    if Hashtbl.mem driven_index n then
+      classify.(n) <- Driven (Hashtbl.find driven_index n)
+    else if has_cap.(n) then begin
+      classify.(n) <- Dynamic !nd;
+      incr nd
+    end
+    else begin
+      classify.(n) <- Resistive !nr;
+      incr nr
+    end
+  done;
+  let nd = !nd and nr = !nr in
+  let nz_c = nd + nx in
+  let nz = nz_c + nf in
+  if nz_c = 0 then
+    raise (Error "circuit has no state (no capacitors, no op-amps)");
+  (* index maps for assembling slices of the full node matrices *)
+  let d_nodes = Array.make nd 0 and r_nodes = Array.make nr 0 in
+  for n = 1 to n_all do
+    match classify.(n) with
+    | Dynamic i -> d_nodes.(i) <- n
+    | Resistive i -> r_nodes.(i) <- n
+    | Ground | Driven _ -> ()
+  done;
+  (* S_x : driven-node voltage = x of op-amp k ; S_u : = input u *)
+  let s_x = Mat.create ns nx and s_u = Mat.create ns n_inputs in
+  List.iteri (fun j _ -> Mat.set s_u j j 1.0) vsources;
+  List.iteri
+    (fun k o ->
+      let j = Hashtbl.find driven_index o.oi_out in
+      Mat.set s_x j k 1.0)
+    integrator_opamps;
+  (* --- capacitance Laplacian (phase independent) --- *)
+  let c_full = Mat.create n_all n_all in
+  let stamp_lap m n1 n2 v =
+    if n1 > 0 then Mat.update m (n1 - 1) (n1 - 1) (fun x -> x +. v);
+    if n2 > 0 then Mat.update m (n2 - 1) (n2 - 1) (fun x -> x +. v);
+    if n1 > 0 && n2 > 0 then begin
+      Mat.update m (n1 - 1) (n2 - 1) (fun x -> x -. v);
+      Mat.update m (n2 - 1) (n1 - 1) (fun x -> x -. v)
+    end
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Capacitor { n1; n2; c; _ } -> stamp_lap c_full n1 n2 c
+      | Netlist.Opamp_single_stage { out; cout; _ } ->
+          stamp_lap c_full out 0 cout
+      | Netlist.Resistor _ | Netlist.Switch _ | Netlist.Vsource _
+      | Netlist.Isource _ | Netlist.Noise_isource _ | Netlist.Flicker_isource _
+      | Netlist.Opamp_integrator _ ->
+          ())
+    elements;
+  let rows_of nodes = List.map (fun n -> n - 1) (Array.to_list nodes) in
+  let d_rows = rows_of d_nodes and r_rows = rows_of r_nodes in
+  let s_rows = List.map (fun n -> n - 1) driven_nodes in
+  let c_dd = Mat.submatrix c_full ~rows:d_rows ~cols:d_rows in
+  let c_ds = Mat.submatrix c_full ~rows:d_rows ~cols:s_rows in
+  let c_lu =
+    if nd = 0 then None
+    else begin
+      try Some (Lu.factor c_dd) with Lu.Singular _ ->
+        raise
+          (Error
+             "singular capacitance matrix: a floating capacitor network has \
+              no path to ground or to a driven node; add a (parasitic) \
+              capacitor to ground")
+    end
+  in
+  let c_solve m =
+    match c_lu with None -> Mat.create 0 (Mat.cols m) | Some lu -> Lu.solve_mat lu m
+  in
+  (* --- per-phase assembly --- *)
+  let kt2 r = sqrt (2.0 *. Const.boltzmann *. temperature /. r) in
+  let build_phase p tau =
+    let g_full = Mat.create n_all n_all in
+    let stamp_g n1 n2 g = stamp_lap g_full n1 n2 g in
+    let noise = ref [] in
+    let add_noise label inj xinj = noise := { label; inj; xinj } :: !noise in
+    let iinj = Mat.create n_all ni in
+    let isrc_idx = ref 0 in
+    List.iter
+      (fun e ->
+        match e with
+        | Netlist.Resistor { name; n1; n2; r; noisy } ->
+            stamp_g n1 n2 (1.0 /. r);
+            if noisy then begin
+              let inj = Vec.create n_all in
+              let i0 = kt2 r in
+              if n1 > 0 then inj.(n1 - 1) <- inj.(n1 - 1) +. i0;
+              if n2 > 0 then inj.(n2 - 1) <- inj.(n2 - 1) -. i0;
+              add_noise name inj (Vec.create nx)
+            end
+        | Netlist.Switch { name; n1; n2; r_on; noisy; closed_in } ->
+            if List.mem p closed_in then begin
+              stamp_g n1 n2 (1.0 /. r_on);
+              if noisy then begin
+                let inj = Vec.create n_all in
+                let i0 = kt2 r_on in
+                if n1 > 0 then inj.(n1 - 1) <- inj.(n1 - 1) +. i0;
+                if n2 > 0 then inj.(n2 - 1) <- inj.(n2 - 1) -. i0;
+                add_noise name inj (Vec.create nx)
+              end
+            end
+        | Netlist.Noise_isource { name; n1; n2; psd } ->
+            if psd > 0.0 then begin
+              let inj = Vec.create n_all in
+              let i0 = sqrt psd in
+              if n1 > 0 then inj.(n1 - 1) <- inj.(n1 - 1) +. i0;
+              if n2 > 0 then inj.(n2 - 1) <- inj.(n2 - 1) -. i0;
+              add_noise name inj (Vec.create nx)
+            end
+        | Netlist.Isource { n1; n2; _ } ->
+            if n1 > 0 then Mat.update iinj (n1 - 1) !isrc_idx (fun x -> x +. 1.0);
+            if n2 > 0 then Mat.update iinj (n2 - 1) !isrc_idx (fun x -> x -. 1.0);
+            incr isrc_idx
+        | Netlist.Opamp_single_stage
+            { name; plus; minus; out; gm; rout; cout = _; input_noise_psd } ->
+            stamp_g out 0 (1.0 /. rout);
+            (* controlled source gm (v+ - v-) into [out]: move to LHS *)
+            if plus > 0 then
+              Mat.update g_full (out - 1) (plus - 1) (fun x -> x -. gm);
+            if minus > 0 then
+              Mat.update g_full (out - 1) (minus - 1) (fun x -> x +. gm);
+            if input_noise_psd > 0.0 then begin
+              let inj = Vec.create n_all in
+              inj.(out - 1) <- gm *. sqrt input_noise_psd;
+              add_noise (name ^ ".vn") inj (Vec.create nx)
+            end
+        | Netlist.Flicker_isource _ | Netlist.Opamp_integrator _
+        | Netlist.Capacitor _ | Netlist.Vsource _ ->
+            ())
+      elements;
+    (* op-amp input-referred noise of integrator models: direct x rows *)
+    List.iteri
+      (fun k o ->
+        if o.oi_vn_psd > 0.0 then begin
+          let xinj = Vec.create nx in
+          xinj.(k) <- o.oi_ugf *. sqrt o.oi_vn_psd;
+          add_noise (o.oi_name ^ ".vn") (Vec.create n_all) xinj
+        end)
+      integrator_opamps;
+    let noise = List.rev !noise in
+    let m_noise = List.length noise in
+    (* slices *)
+    let g_dd = Mat.submatrix g_full ~rows:d_rows ~cols:d_rows in
+    let g_dr = Mat.submatrix g_full ~rows:d_rows ~cols:r_rows in
+    let g_ds = Mat.submatrix g_full ~rows:d_rows ~cols:s_rows in
+    let g_rd = Mat.submatrix g_full ~rows:r_rows ~cols:d_rows in
+    let g_rr = Mat.submatrix g_full ~rows:r_rows ~cols:r_rows in
+    let g_rs = Mat.submatrix g_full ~rows:r_rows ~cols:s_rows in
+    let pick rows v = Array.of_list (List.map (fun i -> v.(i)) rows) in
+    (* factor G_rr, patching with g_leak when a phase leaves resistive
+       nodes floating *)
+    let g_rr_lu =
+      if nr = 0 then None
+      else begin
+        let patched = Mat.copy g_rr in
+        let need_patch = ref false in
+        for i = 0 to nr - 1 do
+          if abs_float (Mat.get patched i i) < g_leak then begin
+            Mat.update patched i i (fun x -> x +. g_leak);
+            need_patch := true
+          end
+        done;
+        if !need_patch then
+          Log.warn (fun m ->
+              m "phase %d: floating resistive node(s) grounded through %g S" p
+                g_leak);
+        try Some (Lu.factor patched) with Lu.Singular _ ->
+          let fully = Mat.copy g_rr in
+          for i = 0 to nr - 1 do
+            Mat.update fully i i (fun x -> x +. g_leak)
+          done;
+          Log.warn (fun m ->
+              m
+                "phase %d: resistive subnetwork singular; every resistive \
+                 node leaked to ground through %g S" p g_leak);
+          Some (Lu.factor fully)
+      end
+    in
+    let r_solve_mat m =
+      match g_rr_lu with
+      | None -> Mat.create 0 (Mat.cols m)
+      | Some lu -> Lu.solve_mat lu m
+    in
+    let r_solve_vec v =
+      match g_rr_lu with None -> [||] | Some lu -> Lu.solve lu v
+    in
+    let rd = Mat.scale (-1.0) (r_solve_mat g_rd) in
+    let rs = Mat.scale (-1.0) (r_solve_mat g_rs) in
+    let rn = List.map (fun s -> r_solve_vec (pick r_rows s.inj)) noise in
+    let ru =
+      Array.init ni (fun j ->
+          r_solve_vec (pick r_rows (Mat.col iinj j)))
+    in
+    (* op-amp state equations: xdot_k = ugf (v+ - v- ) + direct noise *)
+    let p_d = Mat.create nx nd
+    and p_s = Mat.create nx ns
+    and p_n = Mat.create nx m_noise
+    and p_u = Mat.create nx ni in
+    let resolve_into k sign ugf nnode =
+      match classify.(nnode) with
+      | Ground -> ()
+      | Dynamic i -> Mat.update p_d k i (fun x -> x +. (sign *. ugf))
+      | Driven j -> Mat.update p_s k j (fun x -> x +. (sign *. ugf))
+      | Resistive q ->
+          for i = 0 to nd - 1 do
+            Mat.update p_d k i (fun x -> x +. (sign *. ugf *. Mat.get rd q i))
+          done;
+          for j = 0 to ns - 1 do
+            Mat.update p_s k j (fun x -> x +. (sign *. ugf *. Mat.get rs q j))
+          done;
+          List.iteri
+            (fun c col ->
+              Mat.update p_n k c (fun x -> x +. (sign *. ugf *. col.(q))))
+            rn;
+          Array.iteri
+            (fun c col ->
+              Mat.update p_u k c (fun x -> x +. (sign *. ugf *. col.(q))))
+            ru
+    in
+    List.iteri
+      (fun k o ->
+        resolve_into k 1.0 o.oi_ugf o.oi_plus;
+        resolve_into k (-1.0) o.oi_ugf o.oi_minus)
+      integrator_opamps;
+    (* direct op-amp noise entries *)
+    List.iteri
+      (fun c s ->
+        for k = 0 to nx - 1 do
+          if s.xinj.(k) <> 0.0 then
+            Mat.update p_n k c (fun x -> x +. s.xinj.(k))
+        done)
+      noise;
+    (* dynamic-row effective matrices *)
+    let gd_eff = Mat.scale (-1.0) (Mat.add g_dd (Mat.mul g_dr rd)) in
+    let gs_eff = Mat.scale (-1.0) (Mat.add g_ds (Mat.mul g_dr rs)) in
+    let n_eff = Mat.create nd m_noise in
+    List.iteri
+      (fun c s ->
+        let direct = pick d_rows s.inj in
+        let via_r = if nr = 0 then Vec.create nd else Mat.mul_vec g_dr (List.nth rn c) in
+        for i = 0 to nd - 1 do
+          Mat.set n_eff i c (direct.(i) -. via_r.(i))
+        done)
+      noise;
+    let u_eff = Mat.create nd ni in
+    for c = 0 to ni - 1 do
+      let direct = pick d_rows (Mat.col iinj c) in
+      let via_r = if nr = 0 then Vec.create nd else Mat.mul_vec g_dr ru.(c) in
+      for i = 0 to nd - 1 do
+        Mat.set u_eff i c (direct.(i) -. via_r.(i))
+      done
+    done;
+    (* compose with C_ds * S_x * xdot coupling *)
+    let cds_sx = Mat.mul c_ds s_x in
+    let top_a_d = c_solve (Mat.sub gd_eff (Mat.mul cds_sx p_d)) in
+    let p_s_sx = Mat.mul p_s s_x in
+    let top_a_x =
+      c_solve (Mat.sub (Mat.mul gs_eff s_x) (Mat.mul cds_sx p_s_sx))
+    in
+    let top_b = c_solve (Mat.sub n_eff (Mat.mul cds_sx p_n)) in
+    let p_s_su = Mat.mul p_s s_u in
+    let e_v_top =
+      c_solve (Mat.sub (Mat.mul gs_eff s_u) (Mat.mul cds_sx p_s_su))
+    in
+    let e_i_top = c_solve (Mat.sub u_eff (Mat.mul cds_sx p_u)) in
+    let e_dot_top = Mat.scale (-1.0) (c_solve (Mat.mul c_ds s_u)) in
+    (* flicker coupling: each shaping state injects a unit current at its
+       terminals; transform exactly like a noise column, but the result
+       becomes an A-matrix column for that state *)
+    let flk_top = Mat.create nd nf and flk_x = Mat.create nx nf in
+    List.iteri
+      (fun j fs ->
+        let inj = Vec.create n_all in
+        if fs.fk_n1 > 0 then inj.(fs.fk_n1 - 1) <- inj.(fs.fk_n1 - 1) +. 1.0;
+        if fs.fk_n2 > 0 then inj.(fs.fk_n2 - 1) <- inj.(fs.fk_n2 - 1) -. 1.0;
+        let r_resp = r_solve_vec (pick r_rows inj) in
+        let direct = pick d_rows inj in
+        let via_r =
+          if nr = 0 then Vec.create nd else Mat.mul_vec g_dr r_resp
+        in
+        for i = 0 to nd - 1 do
+          Mat.set flk_top i j (direct.(i) -. via_r.(i))
+        done;
+        (* op-amps sense the algebraic feedthrough at resistive nodes *)
+        List.iteri
+          (fun k o ->
+            let sense sign node =
+              match classify.(node) with
+              | Resistive q ->
+                  Mat.update flk_x k j (fun x ->
+                      x +. (sign *. o.oi_ugf *. r_resp.(q)))
+              | Ground | Dynamic _ | Driven _ -> ()
+            in
+            sense 1.0 o.oi_plus;
+            sense (-1.0) o.oi_minus)
+          integrator_opamps)
+      flicker_sections;
+    (* assemble circuit-state-sized blocks (nz_c = nd + nx rows) *)
+    let blk top bottom label =
+      let nc = Mat.cols top in
+      if Mat.cols bottom <> nc then
+        raise (Error ("internal: block mismatch in " ^ label));
+      Mat.init nz_c nc (fun i j ->
+          if i < nd then Mat.get top i j else Mat.get bottom (i - nd) j)
+    in
+    (* append nf zero rows to reach the full state size *)
+    let with_flicker_rows ?(diag = [||]) m =
+      Mat.init nz (Mat.cols m) (fun i j ->
+          if i < nz_c then Mat.get m i j
+          else if Array.length diag > 0 && j = Mat.cols m - nf + (i - nz_c)
+          then diag.(i - nz_c)
+          else 0.0)
+    in
+    let a_circuit =
+      Mat.hcat (blk top_a_d p_d "A(d)") (blk top_a_x p_s_sx "A(x)")
+    in
+    let a =
+      if nf = 0 then a_circuit
+      else begin
+        let flk_cols =
+          blk (c_solve (Mat.sub flk_top (Mat.mul cds_sx flk_x))) flk_x "A(f)"
+        in
+        let top = Mat.hcat a_circuit flk_cols in
+        let bottom =
+          Mat.init nf nz (fun i j ->
+              if j = nz_c + i then
+                -.(List.nth flicker_sections i).fk_omega
+              else 0.0)
+        in
+        Mat.vcat top bottom
+      end
+    in
+    let b =
+      let b_circuit = blk top_b p_n "B" in
+      if nf = 0 then b_circuit
+      else begin
+        let widened = Mat.hcat b_circuit (Mat.create nz_c nf) in
+        let sigmas =
+          Array.of_list (List.map (fun fs -> fs.fk_sigma) flicker_sections)
+        in
+        with_flicker_rows ~diag:sigmas widened
+      end
+    in
+    (* E: vsource columns then isource columns *)
+    let e_v = blk e_v_top p_s_su "Ev" in
+    let e_i = blk e_i_top p_u "Ei" in
+    let e =
+      let m = Mat.hcat e_v e_i in
+      if nf = 0 then m else with_flicker_rows m
+    in
+    let e_dot =
+      let m =
+        Mat.hcat (blk e_dot_top (Mat.create nx nv) "Edot") (Mat.create nz_c ni)
+      in
+      if nf = 0 then m else with_flicker_rows m
+    in
+    let q = Mat.mul b (Mat.transpose b) in
+    let noise_labels =
+      Array.of_list
+        (List.map (fun s -> s.label) noise
+        @ List.map (fun fs -> fs.fk_label) flicker_sections)
+    in
+    { Pwl.tau; a; b; q; e; e_dot; noise_labels }
+  in
+  let durations = Clock.durations clock in
+  let phases = Array.mapi build_phase durations in
+  (* names and observables *)
+  let state_names =
+    Array.init nz (fun i ->
+        if i < nd then
+          "v(" ^ Netlist.node_name nl (Netlist.node_of_id nl d_nodes.(i)) ^ ")"
+        else if i < nz_c then
+          "x(" ^ (List.nth integrator_opamps (i - nd)).oi_name ^ ")"
+        else
+          "flicker(" ^ (List.nth flicker_sections (i - nz_c)).fk_label ^ ")")
+  in
+  let observables =
+    let dyn =
+      Array.to_list
+        (Array.mapi
+           (fun i n ->
+             let row = Vec.create nz in
+             row.(i) <- 1.0;
+             (Netlist.node_name nl (Netlist.node_of_id nl n), row))
+           d_nodes)
+    in
+    let opamp_outs =
+      List.mapi
+        (fun k o ->
+          let row = Vec.create nz in
+          row.(nd + k) <- 1.0;
+          (Netlist.node_name nl (Netlist.node_of_id nl o.oi_out), row))
+        integrator_opamps
+    in
+    dyn @ opamp_outs
+  in
+  let inputs =
+    Array.of_list
+      (List.map
+         (fun v ->
+           { Pwl.label = v.vs_name; waveform = v.vs_wave })
+         vsources
+      @ List.map
+          (fun i ->
+            { Pwl.label = i.is_name; waveform = i.is_wave })
+          isources)
+  in
+  let sys =
+    {
+      Pwl.period = Clock.period clock;
+      phases;
+      nstates = nz;
+      state_names;
+      inputs;
+      observables;
+    }
+  in
+  Pwl.validate sys;
+  sys

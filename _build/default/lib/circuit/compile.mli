@@ -1,0 +1,28 @@
+(** Compiler from a {!Netlist} plus a {!Clock} to the phase-wise LTI
+    state-space form {!Pwl.t}.
+
+    The state vector is [ [capacitor-node voltages; integrator-op-amp
+    states] ].  For every clock phase the compiler stamps the conductance
+    matrix (closed switches included), eliminates purely resistive nodes
+    by a Schur complement — mapping the noise injected there onto the
+    dynamic equations — and assembles
+
+    [dx = A_p x dt + B_p dW + E_p u dt + Edot_p du] .
+
+    Noise sources carried into [B_p]: thermal noise of resistors and
+    closed switches ([2kT/R], double-sided), explicit white current
+    sources, and op-amp input-referred voltage noise.
+
+    Diagnostics: a singular capacitance sub-matrix (floating capacitor
+    network) raises {!Error}; a resistive node left without a conductive
+    path in some phase is grounded through [g_leak] (default 1e-12 S)
+    with a warning log. *)
+
+exception Error of string
+
+val compile :
+  ?temperature:float -> ?g_leak:float -> Netlist.t -> Clock.t -> Pwl.t
+(** [compile netlist clock] builds the piecewise-LTI system.
+    [temperature] (K, default 300) sets thermal noise intensities.
+    Raises {!Error} on structural problems (switch phases out of range,
+    floating capacitor networks, no states). *)

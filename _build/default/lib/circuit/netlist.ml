@@ -1,0 +1,248 @@
+type node = int
+
+type element =
+  | Resistor of { name : string; n1 : int; n2 : int; r : float; noisy : bool }
+  | Capacitor of { name : string; n1 : int; n2 : int; c : float }
+  | Switch of {
+      name : string;
+      n1 : int;
+      n2 : int;
+      r_on : float;
+      noisy : bool;
+      closed_in : int list;
+    }
+  | Vsource of { name : string; n : int; waveform : float -> float }
+  | Isource of { name : string; n1 : int; n2 : int; waveform : float -> float }
+  | Noise_isource of { name : string; n1 : int; n2 : int; psd : float }
+  | Flicker_isource of {
+      name : string;
+      n1 : int;
+      n2 : int;
+      psd_1hz : float;
+      fmin : float;
+      fmax : float;
+      sections_per_decade : int;
+    }
+  | Opamp_integrator of {
+      name : string;
+      plus : int;
+      minus : int;
+      out : int;
+      ugf : float;
+      input_noise_psd : float;
+    }
+  | Opamp_single_stage of {
+      name : string;
+      plus : int;
+      minus : int;
+      out : int;
+      gm : float;
+      rout : float;
+      cout : float;
+      input_noise_psd : float;
+    }
+
+type t = {
+  mutable names : string list; (* reversed; index 1 = first created *)
+  mutable n_nodes : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable elements : element list; (* reversed *)
+  mutable n_elements : int;
+  mutable driven : (int * string) list; (* node id, driver name *)
+}
+
+let create () =
+  {
+    names = [];
+    n_nodes = 0;
+    by_name = Hashtbl.create 16;
+    elements = [];
+    n_elements = 0;
+    driven = [];
+  }
+
+let ground = 0
+
+let node t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      t.n_nodes <- t.n_nodes + 1;
+      t.names <- name :: t.names;
+      Hashtbl.add t.by_name name t.n_nodes;
+      t.n_nodes
+
+let node_name t n =
+  if n = 0 then "0"
+  else if n < 0 || n > t.n_nodes then invalid_arg "Netlist.node_name: bad node"
+  else List.nth t.names (t.n_nodes - n)
+
+let n_nodes t = t.n_nodes
+
+let node_id n = n
+
+let node_of_id t id =
+  if id < 0 || id > t.n_nodes then invalid_arg "Netlist.node_of_id: bad id";
+  id
+
+let check_node t n what =
+  if n < 0 || n > t.n_nodes then
+    invalid_arg (Printf.sprintf "Netlist.%s: unknown node" what)
+
+let check_distinct n1 n2 what =
+  if n1 = n2 then
+    invalid_arg (Printf.sprintf "Netlist.%s: both terminals on the same node" what)
+
+let fresh_name t prefix =
+  Printf.sprintf "%s%d" prefix (t.n_elements + 1)
+
+let push t e =
+  t.elements <- e :: t.elements;
+  t.n_elements <- t.n_elements + 1
+
+let mark_driven t n driver =
+  if n = ground then
+    invalid_arg (Printf.sprintf "Netlist: %s cannot drive ground" driver);
+  match List.assoc_opt n t.driven with
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "Netlist: node %s driven by both %s and %s"
+           (node_name t n) other driver)
+  | None -> t.driven <- (n, driver) :: t.driven
+
+let resistor ?name ?(noisy = true) t n1 n2 r =
+  check_node t n1 "resistor";
+  check_node t n2 "resistor";
+  check_distinct n1 n2 "resistor";
+  if r <= 0.0 then invalid_arg "Netlist.resistor: r <= 0";
+  let name = match name with Some s -> s | None -> fresh_name t "R" in
+  push t (Resistor { name; n1; n2; r; noisy })
+
+let capacitor ?name t n1 n2 c =
+  check_node t n1 "capacitor";
+  check_node t n2 "capacitor";
+  check_distinct n1 n2 "capacitor";
+  if c <= 0.0 then invalid_arg "Netlist.capacitor: c <= 0";
+  let name = match name with Some s -> s | None -> fresh_name t "C" in
+  push t (Capacitor { name; n1; n2; c })
+
+let switch ?name ?(noisy = true) ~closed_in t n1 n2 r_on =
+  check_node t n1 "switch";
+  check_node t n2 "switch";
+  check_distinct n1 n2 "switch";
+  if r_on <= 0.0 then invalid_arg "Netlist.switch: r_on <= 0";
+  if closed_in = [] then invalid_arg "Netlist.switch: never closed";
+  List.iter
+    (fun p -> if p < 0 then invalid_arg "Netlist.switch: negative phase index")
+    closed_in;
+  let name = match name with Some s -> s | None -> fresh_name t "S" in
+  push t (Switch { name; n1; n2; r_on; noisy; closed_in })
+
+let vsource ?name t n waveform =
+  check_node t n "vsource";
+  let name = match name with Some s -> s | None -> fresh_name t "V" in
+  mark_driven t n name;
+  push t (Vsource { name; n; waveform })
+
+let vsource_dc ?name t n v = vsource ?name t n (fun _ -> v)
+
+let isource ?name t n1 n2 waveform =
+  check_node t n1 "isource";
+  check_node t n2 "isource";
+  check_distinct n1 n2 "isource";
+  let name = match name with Some s -> s | None -> fresh_name t "I" in
+  push t (Isource { name; n1; n2; waveform })
+
+let noise_isource ?name t n1 n2 ~psd =
+  check_node t n1 "noise_isource";
+  check_node t n2 "noise_isource";
+  check_distinct n1 n2 "noise_isource";
+  if psd < 0.0 then invalid_arg "Netlist.noise_isource: psd < 0";
+  let name = match name with Some s -> s | None -> fresh_name t "IN" in
+  push t (Noise_isource { name; n1; n2; psd })
+
+let flicker_isource ?name ?(sections_per_decade = 2) t n1 n2 ~psd_1hz ~fmin
+    ~fmax =
+  check_node t n1 "flicker_isource";
+  check_node t n2 "flicker_isource";
+  check_distinct n1 n2 "flicker_isource";
+  if psd_1hz <= 0.0 then invalid_arg "Netlist.flicker_isource: psd_1hz <= 0";
+  if fmin <= 0.0 || fmax <= fmin then
+    invalid_arg "Netlist.flicker_isource: need 0 < fmin < fmax";
+  if sections_per_decade < 1 then
+    invalid_arg "Netlist.flicker_isource: sections_per_decade < 1";
+  let name = match name with Some s -> s | None -> fresh_name t "IF" in
+  push t
+    (Flicker_isource { name; n1; n2; psd_1hz; fmin; fmax; sections_per_decade })
+
+let opamp_integrator ?name ?(input_noise_psd = 0.0) t ~plus ~minus ~out ~ugf =
+  check_node t plus "opamp_integrator";
+  check_node t minus "opamp_integrator";
+  check_node t out "opamp_integrator";
+  if ugf <= 0.0 then invalid_arg "Netlist.opamp_integrator: ugf <= 0";
+  if input_noise_psd < 0.0 then
+    invalid_arg "Netlist.opamp_integrator: input_noise_psd < 0";
+  let name = match name with Some s -> s | None -> fresh_name t "OA" in
+  mark_driven t out name;
+  push t (Opamp_integrator { name; plus; minus; out; ugf; input_noise_psd })
+
+let opamp_single_stage ?name ?(input_noise_psd = 0.0) t ~plus ~minus ~out ~gm
+    ~rout ~cout =
+  check_node t plus "opamp_single_stage";
+  check_node t minus "opamp_single_stage";
+  check_node t out "opamp_single_stage";
+  if out = ground then invalid_arg "Netlist.opamp_single_stage: out is ground";
+  if gm <= 0.0 then invalid_arg "Netlist.opamp_single_stage: gm <= 0";
+  if rout <= 0.0 then invalid_arg "Netlist.opamp_single_stage: rout <= 0";
+  if cout <= 0.0 then invalid_arg "Netlist.opamp_single_stage: cout <= 0";
+  if input_noise_psd < 0.0 then
+    invalid_arg "Netlist.opamp_single_stage: input_noise_psd < 0";
+  let name = match name with Some s -> s | None -> fresh_name t "OA" in
+  push t
+    (Opamp_single_stage
+       { name; plus; minus; out; gm; rout; cout; input_noise_psd })
+
+let elements t = List.rev t.elements
+
+let max_phase_index t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Switch { closed_in; _ } -> List.fold_left max acc closed_in
+      | Resistor _ | Capacitor _ | Vsource _ | Isource _ | Noise_isource _
+      | Flicker_isource _ | Opamp_integrator _ | Opamp_single_stage _ ->
+          acc)
+    (-1) t.elements
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>netlist: %d nodes, %d elements@," t.n_nodes
+    t.n_elements;
+  List.iter
+    (fun e ->
+      let nn = node_name t in
+      match e with
+      | Resistor { name; n1; n2; r; noisy } ->
+          Format.fprintf fmt "R %s %s %s %g%s@," name (nn n1) (nn n2) r
+            (if noisy then "" else " noiseless")
+      | Capacitor { name; n1; n2; c } ->
+          Format.fprintf fmt "C %s %s %s %g@," name (nn n1) (nn n2) c
+      | Switch { name; n1; n2; r_on; closed_in; _ } ->
+          Format.fprintf fmt "S %s %s %s %g phases=%s@," name (nn n1) (nn n2)
+            r_on
+            (String.concat "," (List.map string_of_int closed_in))
+      | Vsource { name; n; _ } -> Format.fprintf fmt "V %s %s@," name (nn n)
+      | Isource { name; n1; n2; _ } ->
+          Format.fprintf fmt "I %s %s %s@," name (nn n1) (nn n2)
+      | Noise_isource { name; n1; n2; psd } ->
+          Format.fprintf fmt "IN %s %s %s psd=%g@," name (nn n1) (nn n2) psd
+      | Flicker_isource { name; n1; n2; psd_1hz; fmin; fmax; _ } ->
+          Format.fprintf fmt "IF %s %s %s psd@1Hz=%g band=[%g,%g]@," name
+            (nn n1) (nn n2) psd_1hz fmin fmax
+      | Opamp_integrator { name; plus; minus; out; ugf; _ } ->
+          Format.fprintf fmt "OA %s +%s -%s out=%s ugf=%g@," name (nn plus)
+            (nn minus) (nn out) ugf
+      | Opamp_single_stage { name; plus; minus; out; gm; rout; cout; _ } ->
+          Format.fprintf fmt "OA1 %s +%s -%s out=%s gm=%g rout=%g cout=%g@,"
+            name (nn plus) (nn minus) (nn out) gm rout cout)
+    (elements t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,151 @@
+(** Netlist builder for periodically switched linear circuits.
+
+    The element set matches the macromodelling level of the source
+    papers: noisy resistors, capacitors, phase-controlled switches
+    (on-resistance + thermal noise when closed), ideal voltage / current
+    sources, explicit white-noise current sources, and two operational
+    amplifier macromodels:
+
+    - {!opamp_integrator}: a single-pole integrator
+      [dx/dt = w_u (v+ - v- + vn)] whose output node is an ideal voltage
+      source driven by the state [x] ("source-follower output" in the
+      papers).  An essentially ideal op-amp is modelled by a [w_u] much
+      larger than every other rate in the circuit.
+    - {!opamp_single_stage}: a transconductance [gm] into an output node
+      loaded by [rout || cout] (folded-cascode-like single stage); its
+      unity-gain frequency is [gm / cout].
+
+    Both accept an input-referred white voltage-noise PSD (double-sided,
+    V^2/Hz). *)
+
+type t
+
+type node
+(** A circuit node handle.  {!ground} is the reference. *)
+
+val create : unit -> t
+
+val ground : node
+
+val node : t -> string -> node
+(** [node t name] creates (or retrieves, by name) a node. *)
+
+val node_name : t -> node -> string
+
+val n_nodes : t -> int
+(** Number of nodes created so far, excluding ground. *)
+
+(** {1 Elements}
+
+    Optional [name]s default to a generated label.  Two-terminal elements
+    reject identical terminals. *)
+
+val resistor : ?name:string -> ?noisy:bool -> t -> node -> node -> float -> unit
+(** [resistor t n1 n2 r] with [r > 0] ohms; [noisy] defaults to
+    [true] (thermal current noise [2kT/r]). *)
+
+val capacitor : ?name:string -> t -> node -> node -> float -> unit
+(** [capacitor t n1 n2 c] with [c > 0] farads. *)
+
+val switch :
+  ?name:string -> ?noisy:bool -> closed_in:int list -> t -> node -> node ->
+  float -> unit
+(** [switch ~closed_in t n1 n2 r_on]: conducts with resistance [r_on]
+    (plus thermal noise unless [noisy:false]) during the listed clock
+    phases, open otherwise. *)
+
+val vsource : ?name:string -> t -> node -> (float -> float) -> unit
+(** Ideal voltage source from [node] to ground; the node becomes
+    driven.  The waveform is used by large-signal simulation only (noise
+    analysis treats inputs as quiet). *)
+
+val vsource_dc : ?name:string -> t -> node -> float -> unit
+
+val isource : ?name:string -> t -> node -> node -> (float -> float) -> unit
+(** Current source injecting into the first node and out of the
+    second. *)
+
+val noise_isource : ?name:string -> t -> node -> node -> psd:float -> unit
+(** Stationary white current-noise source with double-sided PSD [psd]
+    (A^2/Hz) between two nodes. *)
+
+val flicker_isource :
+  ?name:string -> ?sections_per_decade:int -> t -> node -> node ->
+  psd_1hz:float -> fmin:float -> fmax:float -> unit
+(** 1/f (flicker) current-noise source between two nodes, realised as a
+    bank of first-order shaping filters (one extra state per section,
+    [sections_per_decade] per decade, default 2) whose summed Lorentzian
+    spectra approximate [psd_1hz / f] (A^2/Hz, double-sided) between
+    [fmin] and [fmax].  This is the "appropriate filtering network"
+    route to 1/f noise discussed in the source papers.  Requires
+    [0 < fmin < fmax]. *)
+
+val opamp_integrator :
+  ?name:string -> ?input_noise_psd:float -> t -> plus:node -> minus:node ->
+  out:node -> ugf:float -> unit
+(** Single-pole integrator op-amp macromodel; [ugf] is the unity-gain
+    frequency in rad/s ([> 0]).  The output node becomes driven. *)
+
+val opamp_single_stage :
+  ?name:string -> ?input_noise_psd:float -> t -> plus:node -> minus:node ->
+  out:node -> gm:float -> rout:float -> cout:float -> unit
+(** Single-stage transconductance op-amp macromodel; the output node
+    becomes dynamic (it carries [cout]). *)
+
+(** {1 Introspection (used by the compiler)} *)
+
+type element =
+  | Resistor of { name : string; n1 : int; n2 : int; r : float; noisy : bool }
+  | Capacitor of { name : string; n1 : int; n2 : int; c : float }
+  | Switch of {
+      name : string;
+      n1 : int;
+      n2 : int;
+      r_on : float;
+      noisy : bool;
+      closed_in : int list;
+    }
+  | Vsource of { name : string; n : int; waveform : float -> float }
+  | Isource of { name : string; n1 : int; n2 : int; waveform : float -> float }
+  | Noise_isource of { name : string; n1 : int; n2 : int; psd : float }
+  | Flicker_isource of {
+      name : string;
+      n1 : int;
+      n2 : int;
+      psd_1hz : float;
+      fmin : float;
+      fmax : float;
+      sections_per_decade : int;
+    }
+  | Opamp_integrator of {
+      name : string;
+      plus : int;
+      minus : int;
+      out : int;
+      ugf : float;
+      input_noise_psd : float;
+    }
+  | Opamp_single_stage of {
+      name : string;
+      plus : int;
+      minus : int;
+      out : int;
+      gm : float;
+      rout : float;
+      cout : float;
+      input_noise_psd : float;
+    }
+
+val elements : t -> element list
+(** Elements in insertion order. *)
+
+val node_id : node -> int
+(** Raw integer id (ground = 0). *)
+
+val node_of_id : t -> int -> node
+(** Inverse of {!node_id}; raises [Invalid_argument] on an unknown id. *)
+
+val max_phase_index : t -> int
+(** Largest phase index referenced by any switch, or -1 if none. *)
+
+val pp : Format.formatter -> t -> unit

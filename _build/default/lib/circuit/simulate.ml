@@ -1,0 +1,67 @@
+module Vec = Scnoise_linalg.Vec
+module Trapezoid = Scnoise_ode.Trapezoid
+
+type waveform = { times : float array; states : Vec.t array }
+
+let transient ?(steps_per_phase = 64) sys ~periods ~x0 =
+  if periods < 1 then invalid_arg "Simulate.transient: periods < 1";
+  if steps_per_phase < 1 then invalid_arg "Simulate.transient: steps < 1";
+  let np = Pwl.n_phases sys in
+  let total = (periods * np * steps_per_phase) + 1 in
+  let times = Array.make total 0.0 in
+  let states = Array.make total x0 in
+  let idx = ref 1 in
+  let x = ref x0 in
+  let t = ref 0.0 in
+  for _ = 1 to periods do
+    for p = 0 to np - 1 do
+      let ph = sys.Pwl.phases.(p) in
+      let h = ph.Pwl.tau /. float_of_int steps_per_phase in
+      let st = Trapezoid.make ~a:ph.Pwl.a ~h in
+      let f = ref (Pwl.forcing sys p !t) in
+      for _ = 1 to steps_per_phase do
+        let t_next = !t +. h in
+        let f_next = Pwl.forcing sys p t_next in
+        x := Trapezoid.step st ~x:!x ~f0:!f ~f1:f_next;
+        f := f_next;
+        t := t_next;
+        times.(!idx) <- !t;
+        states.(!idx) <- !x;
+        incr idx
+      done
+    done
+  done;
+  { times; states }
+
+let observe sys name wf =
+  let row = Pwl.observable sys name in
+  Array.map (fun x -> Vec.dot row x) wf.states
+
+let steady_state ?(steps_per_phase = 64) ?(tol = 1e-10) ?(max_periods = 10_000)
+    sys ~x0 =
+  let np = Pwl.n_phases sys in
+  let advance_period x t0 =
+    let x = ref x and t = ref t0 in
+    for p = 0 to np - 1 do
+      let ph = sys.Pwl.phases.(p) in
+      let h = ph.Pwl.tau /. float_of_int steps_per_phase in
+      let st = Trapezoid.make ~a:ph.Pwl.a ~h in
+      let f = ref (Pwl.forcing sys p !t) in
+      for _ = 1 to steps_per_phase do
+        let t_next = !t +. h in
+        let f_next = Pwl.forcing sys p t_next in
+        x := Trapezoid.step st ~x:!x ~f0:!f ~f1:f_next;
+        f := f_next;
+        t := t_next
+      done
+    done;
+    !x
+  in
+  let rec loop x t0 k =
+    if k > max_periods then failwith "Simulate.steady_state: did not converge";
+    let x' = advance_period x t0 in
+    let scale = 1.0 +. Vec.norm_inf x' in
+    if Vec.max_abs_diff x x' <= tol *. scale then x'
+    else loop x' (t0 +. sys.Pwl.period) (k + 1)
+  in
+  loop x0 0.0 1

@@ -1,0 +1,25 @@
+(** Large-signal transient simulation of a compiled {!Pwl.t} system.
+
+    Phase-wise trapezoidal integration (A-stable); used by the examples
+    and by signal-transfer-function sanity checks.  Noise inputs are not
+    sampled here — see the Monte-Carlo engine in the noise library. *)
+
+module Vec = Scnoise_linalg.Vec
+
+type waveform = { times : float array; states : Vec.t array }
+
+val transient :
+  ?steps_per_phase:int -> Pwl.t -> periods:int -> x0:Vec.t -> waveform
+(** [transient sys ~periods ~x0] integrates [periods] full clock periods
+    starting at [t = 0] from [x0], with [steps_per_phase] (default 64)
+    trapezoidal steps per clock phase.  Returns all interior samples. *)
+
+val observe : Pwl.t -> string -> waveform -> float array
+(** Extract a node-voltage trace from a waveform. *)
+
+val steady_state :
+  ?steps_per_phase:int -> ?tol:float -> ?max_periods:int -> Pwl.t ->
+  x0:Vec.t -> Vec.t
+(** Integrate period-by-period until the state at the period boundary
+    stops changing ([tol], default 1e-10 relative) and return it.
+    Raises [Failure] after [max_periods] (default 10_000). *)

@@ -1,0 +1,1 @@
+lib/circuits/branches.ml: Scnoise_circuit

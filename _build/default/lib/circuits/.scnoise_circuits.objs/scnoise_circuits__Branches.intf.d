@@ -1,0 +1,1 @@
+lib/circuits/branches.mli: Scnoise_circuit

@@ -1,0 +1,1 @@
+lib/circuits/sc_bandpass.mli: Scnoise_circuit Scnoise_linalg

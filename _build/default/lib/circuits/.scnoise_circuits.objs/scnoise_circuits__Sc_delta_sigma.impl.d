@@ -1,0 +1,1 @@
+lib/circuits/sc_delta_sigma.ml: Branches Float Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/circuits/sc_delta_sigma.mli: Scnoise_circuit Scnoise_linalg

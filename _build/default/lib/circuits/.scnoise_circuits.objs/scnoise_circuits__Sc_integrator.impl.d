@@ -1,0 +1,1 @@
+lib/circuits/sc_integrator.ml: Float Scnoise_circuit Scnoise_dtime Scnoise_linalg Scnoise_util

@@ -1,0 +1,1 @@
+lib/circuits/sc_integrator.mli: Scnoise_circuit Scnoise_dtime Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/circuits/sc_ladder.ml: Printf Scnoise_circuit Scnoise_linalg

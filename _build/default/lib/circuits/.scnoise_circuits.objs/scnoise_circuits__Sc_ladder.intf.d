@@ -1,0 +1,1 @@
+lib/circuits/sc_ladder.mli: Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/circuits/sc_lowpass.ml: Float Scnoise_circuit Scnoise_linalg

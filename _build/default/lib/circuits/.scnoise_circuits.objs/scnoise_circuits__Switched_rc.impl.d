@@ -1,0 +1,1 @@
+lib/circuits/switched_rc.ml: Scnoise_circuit Scnoise_dtime Scnoise_linalg Scnoise_util

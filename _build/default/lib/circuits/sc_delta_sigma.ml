@@ -1,0 +1,74 @@
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+
+type params = {
+  ci1 : float;
+  ci2 : float;
+  b1 : float;
+  a1 : float;
+  c1 : float;
+  a2 : float;
+  r_switch : float;
+  clock_hz : float;
+  ugf : float;
+  opamp_noise_psd : float;
+  c_par : float;
+  temperature : float;
+}
+
+let default =
+  {
+    ci1 = 10e-12;
+    ci2 = 10e-12;
+    b1 = 0.25;
+    a1 = 0.25;
+    c1 = 0.5;
+    a2 = 0.5;
+    r_switch = 1e3;
+    clock_hz = 1e6;
+    ugf = 2.0 *. Float.pi *. 1e8;
+    opamp_noise_psd = 0.0;
+    c_par = 20e-15;
+    temperature = 300.0;
+  }
+
+type built = {
+  sys : Pwl.t;
+  output : Scnoise_linalg.Vec.t;
+  params : params;
+}
+
+let output_name = "vo2"
+
+let build params =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "vin" in
+  let vg1 = Netlist.node nl "vg1" in
+  let vo1 = Netlist.node nl "vo1" in
+  let vg2 = Netlist.node nl "vg2" in
+  let vo2 = Netlist.node nl "vo2" in
+  Netlist.vsource_dc ~name:"Vin" nl vin 0.0;
+  Netlist.capacitor ~name:"Ci1" nl vg1 vo1 params.ci1;
+  Netlist.opamp_integrator ~name:"OA1" ~input_noise_psd:params.opamp_noise_psd
+    nl ~plus:Netlist.ground ~minus:vg1 ~out:vo1 ~ugf:params.ugf;
+  Netlist.capacitor ~name:"Ci2" nl vg2 vo2 params.ci2;
+  Netlist.opamp_integrator ~name:"OA2" ~input_noise_psd:params.opamp_noise_psd
+    nl ~plus:Netlist.ground ~minus:vg2 ~out:vo2 ~ugf:params.ugf;
+  let r = params.r_switch and cp = params.c_par in
+  (* signal path: non-inverting input branch, non-inverting inter-stage *)
+  Branches.parasitic_insensitive_noninverting nl ~label:"Bin" ~src:vin
+    ~sum:vg1 ~c:(params.b1 *. params.ci1) ~cp ~r ();
+  Branches.parasitic_insensitive_noninverting nl ~label:"Bc1" ~src:vo1
+    ~sum:vg2 ~c:(params.c1 *. params.ci2) ~cp ~r ();
+  (* linearised DAC feedback: inverting branches from the quantiser input *)
+  Branches.toggle_to_ground nl ~label:"Bfb1" ~src:vo2 ~sum:vg1
+    ~c:(params.a1 *. params.ci1) ~r ();
+  Branches.toggle_to_ground nl ~label:"Bfb2" ~src:vo2 ~sum:vg2
+    ~c:(params.a2 *. params.ci2) ~r ();
+  let period = 1.0 /. params.clock_hz in
+  let clock = Clock.make [ period /. 2.0; period /. 2.0 ] in
+  let sys = Compile.compile ~temperature:params.temperature nl clock in
+  let output = Pwl.observable sys output_name in
+  { sys; output; params }

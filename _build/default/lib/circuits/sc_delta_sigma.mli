@@ -1,0 +1,44 @@
+(** Linearised second-order switched-capacitor delta-sigma modulator
+    front end (Boser-Wooley style loop filter).
+
+    The quantiser/DAC pair is replaced by its linear model (unity gain),
+    closing the loop from the second integrator's output back into both
+    summing nodes through inverting SC branches; the circuit is then a
+    periodically switched *linear* system and the noise engines apply —
+    the linearised treatment used for thermal-noise budgets of
+    oversampling converters (cf. the delta-sigma application of the
+    time-domain noise literature the source paper cites).
+
+    The classic design consequence is testable here: in-band
+    (f << f_clk / 2 OSR) thermal noise of the second stage is suppressed
+    by the first integrator's gain, so the input branch dominates the
+    low-frequency noise budget. *)
+
+type params = {
+  ci1 : float;  (** integrating cap, stage 1 *)
+  ci2 : float;  (** integrating cap, stage 2 *)
+  b1 : float;  (** input coefficient (cap ratio to ci1) *)
+  a1 : float;  (** DAC feedback into stage 1 *)
+  c1 : float;  (** inter-stage coefficient (ratio to ci2) *)
+  a2 : float;  (** DAC feedback into stage 2 *)
+  r_switch : float;
+  clock_hz : float;
+  ugf : float;
+  opamp_noise_psd : float;
+  c_par : float;
+  temperature : float;
+}
+
+val default : params
+(** 10 pF integrators, (b1, a1, c1, a2) = (0.25, 0.25, 0.5, 0.5), 1 kohm
+    switches, 1 MHz clock, 2 pi 100 MHz op-amps, quiet op-amps. *)
+
+type built = {
+  sys : Scnoise_circuit.Pwl.t;
+  output : Scnoise_linalg.Vec.t;  (** quantiser-input voltage (vo2) *)
+  params : params;
+}
+
+val build : params -> built
+
+val output_name : string

@@ -1,0 +1,59 @@
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+
+type params = {
+  stages : int;
+  r : float;
+  c : float;
+  r_switch : float;
+  clock_hz : float;
+  duty : float;
+  temperature : float;
+}
+
+let default =
+  {
+    stages = 4;
+    r = 1e3;
+    c = 100e-12;
+    r_switch = 1e3;
+    clock_hz = 1e5;
+    duty = 0.5;
+    temperature = 300.0;
+  }
+
+let with_stages stages = { default with stages }
+
+type built = {
+  sys : Pwl.t;
+  output : Scnoise_linalg.Vec.t;
+  params : params;
+}
+
+let output_name = "nlast"
+
+let build params =
+  if params.stages < 1 then invalid_arg "Sc_ladder.build: stages < 1";
+  let nl = Netlist.create () in
+  let node i =
+    if i = params.stages then Netlist.node nl output_name
+    else Netlist.node nl (Printf.sprintf "n%d" i)
+  in
+  let first = node 1 in
+  Netlist.switch ~name:"S0" ~closed_in:[ 0 ] nl first Netlist.ground
+    params.r_switch;
+  Netlist.capacitor ~name:"C1" nl first Netlist.ground params.c;
+  let prev = ref first in
+  for i = 2 to params.stages do
+    let n = node i in
+    Netlist.resistor ~name:(Printf.sprintf "R%d" i) nl !prev n params.r;
+    Netlist.capacitor ~name:(Printf.sprintf "C%d" i) nl n Netlist.ground
+      params.c;
+    prev := n
+  done;
+  let clock = Clock.duty ~period:(1.0 /. params.clock_hz) ~duty:params.duty in
+  let sys = Compile.compile ~temperature:params.temperature nl clock in
+  let output = Pwl.observable sys output_name in
+  { sys; output; params }

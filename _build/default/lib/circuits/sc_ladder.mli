@@ -1,0 +1,35 @@
+(** Periodically switched RC ladder with a configurable number of
+    stages — the scaling workload.
+
+    [stages] capacitor nodes are chained through noisy resistors; the
+    chain connects to ground through a switch that conducts during
+    phase 0.  The state count equals [stages], which makes the circuit
+    the natural vehicle for measuring how the engines scale with circuit
+    size (the papers note the N(N+1)/2 covariance unknowns as the
+    method's practical size limit). *)
+
+type params = {
+  stages : int;  (** number of capacitor nodes (= states), >= 1 *)
+  r : float;  (** series resistance per stage *)
+  c : float;  (** capacitance per node *)
+  r_switch : float;
+  clock_hz : float;
+  duty : float;
+  temperature : float;
+}
+
+val default : params
+(** 4 stages, 1 kohm / 100 pF, 1 kohm switch, 100 kHz clock, 50% duty. *)
+
+val with_stages : int -> params
+
+type built = {
+  sys : Scnoise_circuit.Pwl.t;
+  output : Scnoise_linalg.Vec.t;  (** last-node voltage *)
+  params : params;
+}
+
+val build : params -> built
+
+val output_name : string
+(** Name of the output (last) node. *)

@@ -1,0 +1,86 @@
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+
+type opamp_model =
+  | Integrator of { ugf : float }
+  | Single_stage of { ugf : float; cout : float; rout : float }
+
+type params = {
+  c1 : float;
+  c2 : float;
+  c3 : float;
+  r4 : float;
+  r5 : float;
+  r6 : float;
+  clock_hz : float;
+  opamp : opamp_model;
+  opamp_noise_psd : float;
+  temperature : float;
+}
+
+let default =
+  {
+    c1 = 300e-12;
+    c2 = 100e-12;
+    c3 = 100e-12;
+    r4 = 80.0;
+    r5 = 80.0;
+    r6 = 80.0;
+    clock_hz = 4e3;
+    opamp = Integrator { ugf = 9.0 *. Float.pi *. 1e6 };
+    opamp_noise_psd = 10.0 ** (-6.15);
+    temperature = 300.0;
+  }
+
+let single_stage_variant =
+  {
+    default with
+    opamp = Single_stage { ugf = 2.0 *. Float.pi *. 1e7; cout = 100e-12; rout = 1e7 };
+  }
+
+type built = {
+  sys : Pwl.t;
+  output : Scnoise_linalg.Vec.t;
+  params : params;
+}
+
+let output_name = "vo"
+
+(* two-phase clock: phase 0 = sampling (S4, S6->vo), phase 1 = integrating *)
+let phi1 = [ 0 ]
+
+let phi2 = [ 1 ]
+
+let build params =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "vin" in
+  let n1 = Netlist.node nl "n1" in
+  let vg = Netlist.node nl "vg" in
+  let vo = Netlist.node nl "vo" in
+  let n3 = Netlist.node nl "n3" in
+  Netlist.vsource_dc ~name:"Vin" nl vin 0.0;
+  (* input branch *)
+  Netlist.switch ~name:"S4" ~closed_in:phi1 nl vin n1 params.r4;
+  Netlist.switch ~name:"S5" ~closed_in:phi2 nl n1 Netlist.ground params.r5;
+  Netlist.capacitor ~name:"C1" nl n1 vg params.c1;
+  (* integrator *)
+  Netlist.capacitor ~name:"C2" nl vg vo params.c2;
+  (* damping branch: C3 toggled between the output and the summing node *)
+  Netlist.switch ~name:"S6a" ~closed_in:phi1 nl n3 vo params.r6;
+  Netlist.switch ~name:"S6b" ~closed_in:phi2 nl n3 vg params.r6;
+  Netlist.capacitor ~name:"C3" nl n3 Netlist.ground params.c3;
+  (match params.opamp with
+  | Integrator { ugf } ->
+      Netlist.opamp_integrator ~name:"OA" ~input_noise_psd:params.opamp_noise_psd
+        nl ~plus:Netlist.ground ~minus:vg ~out:vo ~ugf
+  | Single_stage { ugf; cout; rout } ->
+      Netlist.opamp_single_stage ~name:"OA"
+        ~input_noise_psd:params.opamp_noise_psd nl ~plus:Netlist.ground
+        ~minus:vg ~out:vo ~gm:(ugf *. cout) ~rout ~cout);
+  let period = 1.0 /. params.clock_hz in
+  let clock = Clock.make [ period /. 2.0; period /. 2.0 ] in
+  let sys = Compile.compile ~temperature:params.temperature nl clock in
+  let output = Pwl.observable sys output_name in
+  { sys; output; params }

@@ -1,0 +1,62 @@
+(** First-order switched-capacitor low-pass filter with the component
+    values of the Toth et al. measurement reproduced in the source paper
+    (Fig. 6/7 there): C1 = 300 pF, C2 = C3 = 100 pF, 80-ohm switches,
+    4 kHz two-phase clock, and a -61.5 dB (V^2/Hz) white noise source at
+    the op-amp's non-inverting input.
+
+    Topology (reconstructed from the paper's description; the exact
+    schematic of the original is not in the text):
+
+    - op-amp with integrating capacitor [C2] from the summing node [vg]
+      to the output [vo];
+    - input branch: [S4] (phase 1) connects [n1] to the input, [S5]
+      (phase 2) connects [n1] to ground; [C1] couples [n1] to [vg] — a
+      standard inverting SC input branch;
+    - damping branch: [C3] from [n3] to ground, with [S6] toggling [n3]
+      between [vo] (phase 1, sampling) and [vg] (phase 2, discharging) —
+      an SC-resistor feedback that makes the integrator lossy.
+
+    During the integrating phase all three capacitors exchange charge at
+    the summing node, matching the paper's charge-transfer relation
+    [C1 dV1 = C2 dV2 + C3 dV3].  Two op-amp macromodels are provided, as
+    compared in the paper: an integrator with ideal (source-follower)
+    output, and a single-stage transconductance amplifier whose response
+    additionally depends on its output capacitance. *)
+
+type opamp_model =
+  | Integrator of { ugf : float }
+      (** single-pole op-amp with ideal voltage output; [ugf] in rad/s *)
+  | Single_stage of { ugf : float; cout : float; rout : float }
+      (** transconductance stage: [gm = ugf * cout] into [rout || cout] *)
+
+type params = {
+  c1 : float;
+  c2 : float;
+  c3 : float;
+  r4 : float;  (** S4 on-resistance *)
+  r5 : float;  (** S5 on-resistance *)
+  r6 : float;  (** S6 on-resistance *)
+  clock_hz : float;
+  opamp : opamp_model;
+  opamp_noise_psd : float;  (** double-sided, V^2/Hz, at the + input *)
+  temperature : float;
+}
+
+val default : params
+(** The paper's values: 300/100/100 pF, 80-ohm switches, 4 kHz clock,
+    integrator op-amp with [ugf = 9 pi 10^6] rad/s, noise
+    [10^(-6.15)] V^2/Hz. *)
+
+val single_stage_variant : params
+(** The paper's second fit: single-stage op-amp, [ugf = 2 pi 10^7] rad/s,
+    [cout = 100 pF]. *)
+
+type built = {
+  sys : Scnoise_circuit.Pwl.t;
+  output : Scnoise_linalg.Vec.t;  (** op-amp output voltage row *)
+  params : params;
+}
+
+val build : params -> built
+
+val output_name : string

@@ -1,0 +1,1 @@
+lib/core/contrib.ml: Array Hashtbl List Psd Scnoise_circuit Scnoise_linalg

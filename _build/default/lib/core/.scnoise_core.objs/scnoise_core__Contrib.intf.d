@@ -1,0 +1,1 @@
+lib/core/contrib.mli: Covariance Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/core/covariance.ml: Array List Phase_grid Scnoise_circuit Scnoise_linalg Scnoise_util

@@ -1,0 +1,1 @@
+lib/core/covariance.mli: Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/core/periodic_bvp.ml: Array Covariance Hashtbl Scnoise_circuit Scnoise_linalg Scnoise_ode

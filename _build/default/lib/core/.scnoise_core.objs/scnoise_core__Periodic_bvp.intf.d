@@ -1,0 +1,1 @@
+lib/core/periodic_bvp.mli: Covariance Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/core/phase_grid.ml: Array Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/core/phase_grid.mli: Scnoise_linalg

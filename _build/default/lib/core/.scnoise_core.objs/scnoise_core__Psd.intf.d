@@ -1,0 +1,1 @@
+lib/core/psd.mli: Covariance Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Contrib Covariance List Option Printf Psd Scnoise_circuit Scnoise_linalg Scnoise_util

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Array Covariance Float Periodic_bvp Scnoise_circuit Scnoise_linalg Scnoise_util

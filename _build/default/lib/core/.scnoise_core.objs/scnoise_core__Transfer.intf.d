@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Covariance Scnoise_circuit Scnoise_linalg

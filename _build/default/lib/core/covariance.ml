@@ -1,0 +1,121 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Vanloan = Scnoise_linalg.Vanloan
+module Lyapunov = Scnoise_linalg.Lyapunov
+module Pwl = Scnoise_circuit.Pwl
+
+type solver = [ `Kron | `Doubling | `Iterate of int ]
+
+type grid_kind = [ `Stretched | `Uniform ]
+
+type sampled = {
+  sys : Pwl.t;
+  times : float array;
+  interval_phase : int array;
+  ks : Mat.t array;
+  phis : Mat.t array;
+  k0 : Mat.t;
+  phi_period : Mat.t;
+  q_period : Mat.t;
+}
+
+(* Flattened grid over one period: absolute times, the phase owning each
+   interval, and the per-interval Van Loan discretisations. *)
+type discretized_grid = {
+  g_times : float array;
+  g_phase : int array;
+  g_disc : Vanloan.t array;
+}
+
+let discretized_grid ?(samples_per_phase = 96) ?(grid = `Stretched) (sys : Pwl.t) =
+  let times = ref [ 0.0 ] in
+  let phases = ref [] in
+  let discs = ref [] in
+  let offset = ref 0.0 in
+  Array.iteri
+    (fun p (ph : Pwl.phase) ->
+      let local =
+        match grid with
+        | `Stretched -> Phase_grid.make ~a:ph.Pwl.a ~tau:ph.Pwl.tau ~n:samples_per_phase
+        | `Uniform -> Phase_grid.uniform ~tau:ph.Pwl.tau ~n:samples_per_phase
+      in
+      for j = 1 to Array.length local - 1 do
+        let h = local.(j) -. local.(j - 1) in
+        times := (!offset +. local.(j)) :: !times;
+        phases := p :: !phases;
+        discs := Vanloan.discretize ~a:ph.Pwl.a ~q:ph.Pwl.q ~tau:h :: !discs
+      done;
+      offset := !offset +. ph.Pwl.tau)
+    sys.Pwl.phases;
+  {
+    g_times = Array.of_list (List.rev !times);
+    g_phase = Array.of_list (List.rev !phases);
+    g_disc = Array.of_list (List.rev !discs);
+  }
+
+let map_of_grid n g =
+  let phi = ref (Mat.identity n) and q = ref (Mat.create n n) in
+  Array.iter
+    (fun (d : Vanloan.t) ->
+      phi := Mat.mul d.Vanloan.phi !phi;
+      q := Vanloan.propagate d !q)
+    g.g_disc;
+  (!phi, !q)
+
+let period_map ?samples_per_phase ?grid sys =
+  let g = discretized_grid ?samples_per_phase ?grid sys in
+  map_of_grid sys.Pwl.nstates g
+
+let solve_steady solver phi q =
+  match solver with
+  | `Kron -> Lyapunov.solve_discrete_kron phi q
+  | `Doubling -> Lyapunov.solve_discrete_doubling phi q
+  | `Iterate n ->
+      let k = ref (Mat.create (Mat.rows q) (Mat.cols q)) in
+      for _ = 1 to n do
+        k := Mat.symmetrize (Mat.add (Mat.mul phi (Mat.mul !k (Mat.transpose phi))) q)
+      done;
+      !k
+
+let periodic_initial ?(solver = `Kron) ?samples_per_phase sys =
+  let phi, q = period_map ?samples_per_phase sys in
+  solve_steady solver phi q
+
+let sample ?(solver = `Kron) ?samples_per_phase ?grid sys =
+  let g = discretized_grid ?samples_per_phase ?grid sys in
+  let n = sys.Pwl.nstates in
+  let phi_period, q_period = map_of_grid n g in
+  let k0 = solve_steady solver phi_period q_period in
+  let npts = Array.length g.g_times in
+  let ks = Array.make npts k0 in
+  let phis = Array.make npts (Mat.identity n) in
+  let k = ref k0 and phi = ref (Mat.identity n) in
+  for i = 1 to npts - 1 do
+    let d = g.g_disc.(i - 1) in
+    k := Vanloan.propagate d !k;
+    phi := Mat.mul d.Vanloan.phi !phi;
+    ks.(i) <- !k;
+    phis.(i) <- !phi
+  done;
+  {
+    sys;
+    times = g.g_times;
+    interval_phase = g.g_phase;
+    ks;
+    phis;
+    k0;
+    phi_period;
+    q_period;
+  }
+
+let variance_trace s c =
+  Array.map (fun k -> Vec.dot c (Mat.mul_vec k c)) s.ks
+
+let variance_at_boundary s c = Vec.dot c (Mat.mul_vec s.k0 c)
+
+let average_variance s c =
+  let tr = variance_trace s c in
+  let period = s.times.(Array.length s.times - 1) in
+  Scnoise_util.Grid.trapezoid s.times tr /. period
+
+let closure_error s = Mat.max_abs_diff s.ks.(Array.length s.ks - 1) s.k0

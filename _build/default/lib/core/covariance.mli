@@ -1,0 +1,71 @@
+(** Periodic steady state of the noise covariance of a switched linear
+    circuit.
+
+    The covariance obeys the periodic Lyapunov ODE
+    [dK/dt = A(t) K + K A(t)ᵀ + B(t) B(t)ᵀ].  Over one clock period the
+    map [K(0) -> K(T)] is affine, [K(T) = Phi K(0) Phiᵀ + Q], with
+    [(Phi, Q)] assembled exactly from per-substep Van Loan
+    discretisations.  The periodic steady state is the fixed point of
+    that map — a discrete Lyapunov equation solved directly, which is the
+    covariance half of the mixed-frequency-time method. *)
+
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Pwl = Scnoise_circuit.Pwl
+
+type solver = [ `Kron | `Doubling | `Iterate of int ]
+(** [`Kron]: exact vectorised solve.  [`Doubling]: doubling iteration
+    (requires stability).  [`Iterate n]: propagate the affine map from
+    [K = 0] for [n] periods (the naive baseline, for ablation). *)
+
+type grid_kind = [ `Stretched | `Uniform ]
+
+type sampled = {
+  sys : Pwl.t;
+  times : float array;  (** grid over one period, [0 .. T], length N+1 *)
+  interval_phase : int array;  (** phase index of each of the N intervals *)
+  ks : Mat.t array;  (** K at each grid time *)
+  phis : Mat.t array;  (** state-transition Phi(t_i, 0) at each grid time *)
+  k0 : Mat.t;  (** periodic steady-state covariance at t = 0 *)
+  phi_period : Mat.t;  (** monodromy Phi(T, 0) *)
+  q_period : Mat.t;  (** accumulated process noise over one period *)
+}
+
+type discretized_grid = {
+  g_times : float array;  (** grid over one period, [0 .. T] *)
+  g_phase : int array;  (** phase owning each interval *)
+  g_disc : Scnoise_linalg.Vanloan.t array;  (** per-interval (Phi, Qd) *)
+}
+
+val discretized_grid :
+  ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t -> discretized_grid
+(** The per-substep Van Loan discretisation of one clock period; shared
+    with the brute-force and Monte-Carlo baseline engines. *)
+
+val period_map : ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t ->
+  Mat.t * Mat.t
+(** [(Phi, Q)] of the one-period affine covariance map (the grid options
+    only affect substep placement; the result is exact up to rounding
+    regardless, they are exposed for the ablation benches). *)
+
+val periodic_initial : ?solver:solver -> ?samples_per_phase:int -> Pwl.t ->
+  Mat.t
+(** Steady-state covariance at the period boundary. *)
+
+val sample :
+  ?solver:solver -> ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t ->
+  sampled
+(** Full sampled trace of the periodic covariance over one period,
+    together with the transition matrices needed by the PSD engine. *)
+
+val variance_trace : sampled -> Vec.t -> float array
+(** [variance_trace s c] is [cᵀ K(t_i) c] on the grid. *)
+
+val variance_at_boundary : sampled -> Vec.t -> float
+
+val average_variance : sampled -> Vec.t -> float
+(** Time average of the variance over one period. *)
+
+val closure_error : sampled -> float
+(** [max_abs (K(T) - K(0))] — a periodicity self-check (small for a
+    converged steady state). *)

@@ -1,0 +1,84 @@
+module Mat = Scnoise_linalg.Mat
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Cmat = Scnoise_linalg.Cmat
+module Clu = Scnoise_linalg.Clu
+module Ctrapezoid = Scnoise_ode.Ctrapezoid
+module Pwl = Scnoise_circuit.Pwl
+
+type t = {
+  sys : Pwl.t;
+  times : float array;
+  interval_phase : int array;
+  phis : Mat.t array; (* transition Phi(t_i, 0) *)
+  phi_period : Mat.t;
+}
+
+let of_sampled (cov : Covariance.sampled) =
+  {
+    sys = cov.Covariance.sys;
+    times = cov.Covariance.times;
+    interval_phase = cov.Covariance.interval_phase;
+    phis = cov.Covariance.phis;
+    phi_period = cov.Covariance.phi_period;
+  }
+
+let times t = Array.copy t.times
+
+let n_points t = Array.length t.times
+
+let interval_phase t = Array.copy t.interval_phase
+
+let make_stepper_cache t omega =
+  let shift = Cx.make 0.0 omega in
+  let cache : (int * float, Ctrapezoid.stepper) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  fun p h ->
+    match Hashtbl.find_opt cache (p, h) with
+    | Some st -> st
+    | None ->
+        let st = Ctrapezoid.make ~a:t.sys.Pwl.phases.(p).Pwl.a ~shift ~h in
+        Hashtbl.add cache (p, h) st;
+        st
+
+let particular_piecewise t ~omega ~forcing =
+  let n = t.sys.Pwl.nstates in
+  let npts = Array.length t.times in
+  let stepper = make_stepper_cache t omega in
+  let traj = Array.make npts (Cvec.create n) in
+  let p_cur = ref (Cvec.create n) in
+  for i = 1 to npts - 1 do
+    let h = t.times.(i) -. t.times.(i - 1) in
+    let p = t.interval_phase.(i - 1) in
+    let k0, k1 = forcing (i - 1) in
+    p_cur := Ctrapezoid.step (stepper p h) ~p:!p_cur ~k0 ~k1;
+    traj.(i) <- !p_cur
+  done;
+  traj
+
+let close_periodic t ~omega part =
+  let n = t.sys.Pwl.nstates in
+  let period = t.sys.Pwl.period in
+  let npts = Array.length part in
+  let rot_t = Cx.cis (-.omega *. period) in
+  let lhs =
+    Cmat.init n n (fun i j ->
+        let p = Cx.scale (Mat.get t.phi_period i j) rot_t in
+        if i = j then Cx.( -: ) Cx.one p else Cx.neg p)
+  in
+  let p0 = Clu.solve_dense lhs part.(npts - 1) in
+  Array.init npts (fun i ->
+      let rot = Cx.cis (-.omega *. t.times.(i)) in
+      let hom = Cmat.mul_vec (Cmat.of_real t.phis.(i)) p0 in
+      Cvec.add (Cvec.scale rot hom) part.(i))
+
+let solve_piecewise t ~omega ~forcing =
+  close_periodic t ~omega (particular_piecewise t ~omega ~forcing)
+
+let particular t ~omega ~forcing =
+  particular_piecewise t ~omega ~forcing:(fun i ->
+      (forcing i, forcing (i + 1)))
+
+let solve t ~omega ~forcing =
+  close_periodic t ~omega (particular t ~omega ~forcing)

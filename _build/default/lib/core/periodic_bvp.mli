@@ -1,0 +1,49 @@
+(** Shared periodic boundary-value solver of the mixed-frequency-time
+    method.
+
+    Solves, over one clock period and for an arbitrary periodic forcing,
+
+    [dP/dt = (A(t) - j w I) P + k(t),   P(0) = P(T)]
+
+    by one forced trapezoidal transient (particular solution), a complex
+    boundary solve against the frequency-rotated real monodromy
+    [(I - e^{-jwT} Phi) P(0) = P_part(T)], and superposition.  The PSD
+    engine uses it with [k = K(t) c]; the LPTV transfer-function engine
+    with deterministic input columns. *)
+
+module Cvec = Scnoise_linalg.Cvec
+
+type t
+(** Prepared solver: grids, phase matrices and transition matrices are
+    shared across frequencies and forcings. *)
+
+val of_sampled : Covariance.sampled -> t
+(** Build from a sampled periodic covariance (which already carries the
+    grid and the transition matrices). *)
+
+val times : t -> float array
+(** The grid over one period ([0 .. T]). *)
+
+val n_points : t -> int
+
+val solve : t -> omega:float -> forcing:(int -> Cvec.t) -> Cvec.t array
+(** [solve t ~omega ~forcing] returns the periodic steady state
+    [P(t_i)] on the grid; [forcing i] is [k(t_i)].  The forcing must be
+    periodic ([forcing 0 = forcing (n_points - 1)] in intent; only grid
+    samples are consulted).  Raises [Clu.Singular] only if the circuit
+    has a Floquet multiplier of unit modulus. *)
+
+val particular : t -> omega:float -> forcing:(int -> Cvec.t) -> Cvec.t array
+(** The zero-initial-condition forced response alone (used by the
+    brute-force engine's tests and diagnostics). *)
+
+val solve_piecewise :
+  t -> omega:float -> forcing:(int -> Cvec.t * Cvec.t) -> Cvec.t array
+(** Like {!solve} but for forcings that jump at phase boundaries:
+    [forcing i] gives the values at the left and right endpoints of
+    interval [i] (for [i] in [0 .. n_points - 2]), both evaluated inside
+    that interval's phase.  Used by the LPTV transfer engine whose input
+    matrices switch with the clock. *)
+
+val interval_phase : t -> int array
+(** Phase index owning each grid interval. *)

@@ -1,0 +1,49 @@
+module Mat = Scnoise_linalg.Mat
+
+let boundary_layer a tau =
+  let rate = Mat.norm_inf a in
+  if rate <= 0.0 then 0.0 else min (0.5 *. tau) (10.0 /. rate)
+
+let uniform ~tau ~n =
+  if n < 2 then invalid_arg "Phase_grid.uniform: n < 2";
+  if tau <= 0.0 then invalid_arg "Phase_grid.uniform: tau <= 0";
+  Array.init (n + 1) (fun i -> tau *. float_of_int i /. float_of_int n)
+
+let make ~a ~tau ~n =
+  if n < 2 then invalid_arg "Phase_grid.make: n < 2";
+  if tau <= 0.0 then invalid_arg "Phase_grid.make: tau <= 0";
+  let layer = boundary_layer a tau in
+  let rate = Mat.norm_inf a in
+  let uniform_step = tau /. float_of_int n in
+  (* Only stretch when the layer is substantially finer than the uniform
+     grid would resolve. *)
+  if layer = 0.0 || layer >= 0.45 *. tau || uniform_step <= layer /. 5.0 then
+    uniform ~tau ~n
+  else begin
+    let tau_fast = 1.0 /. rate in
+    let rho = 1.5 in
+    (* geometric points in (0, layer]: first step ~ tau_fast / 2 *)
+    let m1 =
+      let target = max 2.0 (layer /. (0.5 *. tau_fast)) in
+      let m = ceil (log1p (target *. (rho -. 1.0)) /. log rho) in
+      max 3 (min (n / 2) (int_of_float m))
+    in
+    let geo =
+      Array.init m1 (fun j ->
+          let j = float_of_int (j + 1) in
+          layer *. ((rho ** j) -. 1.0) /. ((rho ** float_of_int m1) -. 1.0))
+    in
+    let m2 = max 2 (n - m1) in
+    let rest =
+      Array.init m2 (fun j ->
+          layer +. ((tau -. layer) *. float_of_int (j + 1) /. float_of_int m2))
+    in
+    let pts = Array.concat [ [| 0.0 |]; geo; rest ] in
+    (* guard monotonicity against rounding *)
+    pts.(Array.length pts - 1) <- tau;
+    for i = 1 to Array.length pts - 1 do
+      if pts.(i) <= pts.(i - 1) then
+        pts.(i) <- pts.(i - 1) +. (epsilon_float *. tau)
+    done;
+    pts
+  end

@@ -1,0 +1,22 @@
+(** Stiffness-aware sample grids within one clock phase.
+
+    Switched-capacitor phases mix fast switch/op-amp time constants
+    (1/(R_sw C) and faster) with the slow clock scale.  Covariance and
+    cross-spectral-density envelopes therefore have an exponential
+    boundary layer right after each switching instant.  This module
+    builds per-phase grids that cluster samples geometrically inside the
+    boundary layer and spread the rest uniformly, so that trapezoidal
+    quadrature over the envelope converges with modest sample counts. *)
+
+val boundary_layer : Scnoise_linalg.Mat.t -> float -> float
+(** [boundary_layer a tau] estimates the boundary-layer width: ten times
+    the fastest time constant of [a] (bounded from the infinity norm),
+    clamped to [tau / 2]; 0 when [a] has no dynamics. *)
+
+val make : a:Scnoise_linalg.Mat.t -> tau:float -> n:int -> float array
+(** [make ~a ~tau ~n] returns strictly increasing sample times starting
+    at [0.0] and ending at [tau], with at least [n + 1] points.  Raises
+    [Invalid_argument] if [n < 2] or [tau <= 0]. *)
+
+val uniform : tau:float -> n:int -> float array
+(** Plain uniform grid (used by ablation benches). *)

@@ -1,0 +1,71 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Pwl = Scnoise_circuit.Pwl
+module Grid = Scnoise_util.Grid
+
+type engine = {
+  cov : Covariance.sampled;
+  bvp : Periodic_bvp.t;
+  out_row : Vec.t;
+  forcing : Cvec.t array; (* k(t_i) = K(t_i) c, as complex vectors *)
+}
+
+let of_sampled cov ~output =
+  if Array.length output <> cov.Covariance.sys.Pwl.nstates then
+    invalid_arg "Psd.of_sampled: output row has wrong length";
+  let forcing =
+    Array.map
+      (fun k -> Cvec.of_real (Mat.mul_vec k output))
+      cov.Covariance.ks
+  in
+  { cov; bvp = Periodic_bvp.of_sampled cov; out_row = output; forcing }
+
+let prepare ?solver ?samples_per_phase ?grid sys ~output =
+  let cov = Covariance.sample ?solver ?samples_per_phase ?grid sys in
+  of_sampled cov ~output
+
+let output e = Vec.copy e.out_row
+
+let covariance e = e.cov
+
+let envelope e ~f =
+  let omega = 2.0 *. Float.pi *. f in
+  Periodic_bvp.solve e.bvp ~omega ~forcing:(fun i -> e.forcing.(i))
+
+let instantaneous e ~f =
+  (* S_v(t, f) = d(ESD)/dt = 2 Re (cᵀ P(t)): the instantaneous spectral
+     density over one clock period in steady state *)
+  let env = envelope e ~f in
+  let values =
+    Array.map
+      (fun p ->
+        let s = ref 0.0 in
+        Array.iteri (fun i c -> s := !s +. (c *. p.(i).Cx.re)) e.out_row;
+        2.0 *. !s)
+      env
+  in
+  (Periodic_bvp.times e.bvp, values)
+
+let psd e ~f =
+  let period = e.cov.Covariance.sys.Pwl.period in
+  let times, values = instantaneous e ~f in
+  Grid.trapezoid times values /. period
+
+let psd_db e ~f = Scnoise_util.Db.of_power (psd e ~f)
+
+let sweep e freqs = Array.map (fun f -> psd e ~f) freqs
+
+let sweep_db e freqs = Array.map (fun f -> psd_db e ~f) freqs
+
+let average_variance e = Covariance.average_variance e.cov e.out_row
+
+let integrated_noise ?(points = 400) e ~fmin ~fmax =
+  if fmax <= fmin then invalid_arg "Psd.integrated_noise: fmax <= fmin";
+  if points < 2 then invalid_arg "Psd.integrated_noise: points < 2";
+  let freqs = Grid.linspace fmin fmax points in
+  let s = sweep e freqs in
+  (* double-sided PSD: a [fmin, fmax] band with fmin >= 0 also collects
+     the mirrored negative-frequency band *)
+  2.0 *. Grid.trapezoid freqs s

@@ -1,0 +1,42 @@
+(** One-call noise characterisation report for a compiled circuit.
+
+    Gathers in a single structure everything a designer asks of a noise
+    tool: stability, steady-state variance, band-integrated noise, the
+    spectrum on a chosen grid, and the per-source breakdown — all from
+    the mixed-frequency-time engine.  Rendered as aligned text by
+    {!to_string} (used by the CLI's [report] subcommand). *)
+
+module Pwl = Scnoise_circuit.Pwl
+module Vec = Scnoise_linalg.Vec
+
+type source_share = {
+  label : string;
+  psd : float;  (** contribution at the reference frequency, V^2/Hz *)
+  share : float;  (** fraction of the total at that frequency *)
+}
+
+type t = {
+  title : string;
+  stable : bool;
+  floquet_radius : float;
+  nstates : int;
+  variance_avg : float;  (** time-averaged output variance, V^2 *)
+  variance_boundary : float;  (** at the period boundary *)
+  rms_uv : float;  (** sqrt of the average variance, in uV *)
+  band : (float * float * float) option;
+      (** (fmin, fmax, integrated noise V^2) when a band was requested *)
+  spectrum : (float * float) array;  (** (f, PSD dB) samples *)
+  contributions : source_share list;  (** sorted, largest first *)
+  reference_freq : float;
+}
+
+val analyze :
+  ?samples_per_phase:int -> ?freqs:float array -> ?band:float * float ->
+  ?reference_freq:float -> ?title:string -> Pwl.t -> output:Vec.t -> t
+(** Defaults: 33 frequencies from 0 to [2 / period], reference frequency
+    the 8th grid point, no band integration.  Unstable circuits return a
+    report with [stable = false] and noise fields at [nan]. *)
+
+val to_string : t -> string
+
+val print : t -> unit

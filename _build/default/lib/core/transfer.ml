@@ -1,0 +1,99 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Pwl = Scnoise_circuit.Pwl
+module Grid = Scnoise_util.Grid
+
+type engine = {
+  sys : Pwl.t;
+  bvp : Periodic_bvp.t;
+  out_row : Vec.t;
+  times : float array;
+  interval_phase : int array;
+}
+
+let of_sampled cov ~output =
+  let sys = cov.Covariance.sys in
+  if Array.length output <> sys.Pwl.nstates then
+    invalid_arg "Transfer.of_sampled: output row has wrong length";
+  let bvp = Periodic_bvp.of_sampled cov in
+  {
+    sys;
+    bvp;
+    out_row = output;
+    times = Periodic_bvp.times bvp;
+    interval_phase = Periodic_bvp.interval_phase bvp;
+  }
+
+let prepare ?solver ?samples_per_phase ?grid sys ~output =
+  let cov = Covariance.sample ?solver ?samples_per_phase ?grid sys in
+  of_sampled cov ~output
+
+let n_inputs e = Array.length e.sys.Pwl.inputs
+
+(* The steady state for input e^{jwt} with per-phase forcing column b_p is
+   x(t) = e^{jwt} P(t) with dP/dt = (A - jw) P + b_{phase(t)}; the output
+   envelope cᵀP(t) is T-periodic and its Fourier coefficients are the
+   harmonic transfer functions. *)
+let response e ~forcing ~f ~k_range =
+  if k_range < 0 then invalid_arg "Transfer.response: k_range < 0";
+  let omega = 2.0 *. Float.pi *. f in
+  let cols = Array.map forcing (Array.init (Pwl.n_phases e.sys) (fun p -> p)) in
+  let forcing_interval i =
+    let col = cols.(e.interval_phase.(i)) in
+    (col, col)
+  in
+  let env = Periodic_bvp.solve_piecewise e.bvp ~omega ~forcing:forcing_interval in
+  let y =
+    Array.map
+      (fun p ->
+        let acc = ref Cx.zero in
+        Array.iteri
+          (fun i c -> acc := Cx.( +: ) !acc (Cx.scale c p.(i)))
+          e.out_row;
+        !acc)
+      env
+  in
+  let period = e.sys.Pwl.period in
+  let wc = 2.0 *. Float.pi /. period in
+  Array.init
+    ((2 * k_range) + 1)
+    (fun idx ->
+      let k = idx - k_range in
+      (* (1/T) ∫ y(t) e^{-j k wc t} dt over the (non-uniform) grid *)
+      let re =
+        Grid.trapezoid e.times
+          (Array.mapi
+             (fun i (z : Cx.t) ->
+               let ph = -.float_of_int k *. wc *. e.times.(i) in
+               (z.Cx.re *. cos ph) -. (z.Cx.im *. sin ph))
+             y)
+      in
+      let im =
+        Grid.trapezoid e.times
+          (Array.mapi
+             (fun i (z : Cx.t) ->
+               let ph = -.float_of_int k *. wc *. e.times.(i) in
+               (z.Cx.re *. sin ph) +. (z.Cx.im *. cos ph))
+             y)
+      in
+      Cx.make (re /. period) (im /. period))
+
+let harmonics e ~input ~f ~k_range =
+  if input < 0 || input >= n_inputs e then
+    invalid_arg "Transfer.harmonics: input index out of range";
+  let omega = 2.0 *. Float.pi *. f in
+  (* u = e^{jwt}: the forcing is E u + Edot du/dt = (E + jw Edot) e^{jwt} *)
+  let forcing p =
+    let e_col = Mat.col e.sys.Pwl.phases.(p).Pwl.e input in
+    let edot_col = Mat.col e.sys.Pwl.phases.(p).Pwl.e_dot input in
+    Array.init (Array.length e_col) (fun i ->
+        Cx.make e_col.(i) (omega *. edot_col.(i)))
+  in
+  response e ~forcing ~f ~k_range
+
+let gain e ~input ~f =
+  (harmonics e ~input ~f ~k_range:0).(0)
+
+let gain_db e ~input ~f = Scnoise_util.Db.of_amplitude (Cx.modulus (gain e ~input ~f))

@@ -1,0 +1,1 @@
+lib/dtime/dt_system.ml: Array Float Scnoise_linalg

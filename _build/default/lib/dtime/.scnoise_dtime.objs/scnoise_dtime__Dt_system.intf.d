@@ -1,0 +1,1 @@
+lib/dtime/dt_system.mli: Scnoise_linalg

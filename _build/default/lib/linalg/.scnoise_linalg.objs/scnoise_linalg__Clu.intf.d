@@ -1,0 +1,1 @@
+lib/linalg/clu.mli: Cmat Cvec Cx

@@ -1,0 +1,1 @@
+lib/linalg/kron.ml: Array Mat

@@ -1,0 +1,1 @@
+lib/linalg/vanloan.ml: Expm Lu Lyapunov Mat

@@ -1,0 +1,64 @@
+exception Not_psd of int
+
+let factor_exn eps m =
+  let n = Mat.rows m in
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let s = ref (Mat.get m j j) in
+    for k = 0 to j - 1 do
+      s := !s -. (Mat.get l j k *. Mat.get l j k)
+    done;
+    let d = !s in
+    if d < -.eps then raise (Not_psd j);
+    let ljj = sqrt (max d 0.0) in
+    Mat.set l j j ljj;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.get m i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      (* semi-definite column: zero it out rather than divide by 0 *)
+      Mat.set l i j (if ljj > 0.0 then !s /. ljj else 0.0)
+    done
+  done;
+  l
+
+let factor ?(jitter = 1e-13) m =
+  if not (Mat.is_square m) then invalid_arg "Chol.factor: not square";
+  let scale = Mat.max_abs m in
+  let eps = jitter *. (1.0 +. scale) in
+  try factor_exn eps m with Not_psd _ ->
+    (* one rescue attempt with explicit diagonal jitter *)
+    let n = Mat.rows m in
+    let m' = Mat.copy m in
+    for i = 0 to n - 1 do
+      Mat.update m' i i (fun x -> x +. eps)
+    done;
+    factor_exn eps m'
+
+let solve l b =
+  let n = Mat.rows l in
+  if Array.length b <> n then invalid_arg "Chol.solve: dimension mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. y.(j))
+    done;
+    let d = Mat.get l i i in
+    if d = 0.0 then invalid_arg "Chol.solve: singular factor";
+    y.(i) <- !s /. d
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  y
+
+let is_psd ?(tol = 1e-10) m =
+  match factor_exn (tol *. (1.0 +. Mat.max_abs m)) m with
+  | _ -> true
+  | exception Not_psd _ -> false

@@ -1,0 +1,19 @@
+(** Cholesky factorisation of symmetric positive (semi-)definite
+    matrices, used to sample exact discrete-time process noise in the
+    Monte-Carlo engine. *)
+
+exception Not_psd of int
+(** Raised with the offending pivot index when a diagonal pivot is
+    negative beyond tolerance. *)
+
+val factor : ?jitter:float -> Mat.t -> Mat.t
+(** [factor m] returns lower-triangular [l] with [l lᵀ = m + jitter*I]
+    (relative [jitter] scaled by [max_abs m], default 1e-13; applied only
+    when needed to rescue a semi-definite pivot).  Raises {!Not_psd} when
+    [m] is indefinite. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve l b] solves [l lᵀ x = b] given the factor [l]. *)
+
+val is_psd : ?tol:float -> Mat.t -> bool
+(** Cheap PSD check via attempted factorisation. *)

@@ -1,0 +1,90 @@
+type t = { n : int; lu : Cx.t array; piv : int array; sign : float }
+
+exception Singular of int
+
+let factor m =
+  if Cmat.rows m <> Cmat.cols m then invalid_arg "Clu.factor: not square";
+  let n = Cmat.rows m in
+  let lu = Array.make (n * n) Cx.zero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      lu.((i * n) + j) <- Cmat.get m i j
+    done
+  done;
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    let pmax = ref (Cx.modulus lu.((k * n) + k)) in
+    let prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = Cx.modulus lu.((i * n) + k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax = 0.0 then raise (Singular k);
+    if !prow <> k then begin
+      for j = 0 to n - 1 do
+        let t = lu.((k * n) + j) in
+        lu.((k * n) + j) <- lu.((!prow * n) + j);
+        lu.((!prow * n) + j) <- t
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!prow);
+      piv.(!prow) <- t;
+      sign := -. !sign
+    end;
+    let pivot = lu.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let f = Cx.( /: ) lu.((i * n) + k) pivot in
+      lu.((i * n) + k) <- f;
+      if f <> Cx.zero then
+        for j = k + 1 to n - 1 do
+          lu.((i * n) + j) <-
+            Cx.( -: ) lu.((i * n) + j) (Cx.( *: ) f lu.((k * n) + j))
+        done
+    done
+  done;
+  { n; lu; piv; sign = !sign }
+
+let solve t b =
+  if Array.length b <> t.n then invalid_arg "Clu.solve: dimension mismatch";
+  let n = t.n in
+  let x = Array.init n (fun i -> b.(t.piv.(i))) in
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := Cx.( -: ) !acc (Cx.( *: ) t.lu.((i * n) + j) x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Cx.( -: ) !acc (Cx.( *: ) t.lu.((i * n) + j) x.(j))
+    done;
+    x.(i) <- Cx.( /: ) !acc t.lu.((i * n) + i)
+  done;
+  x
+
+let det t =
+  let acc = ref (Cx.re t.sign) in
+  for i = 0 to t.n - 1 do
+    acc := Cx.( *: ) !acc t.lu.((i * t.n) + i)
+  done;
+  !acc
+
+let inverse t =
+  let out = Cmat.create t.n t.n in
+  for j = 0 to t.n - 1 do
+    let e = Cvec.create t.n in
+    e.(j) <- Cx.one;
+    let x = solve t e in
+    for i = 0 to t.n - 1 do
+      Cmat.set out i j x.(i)
+    done
+  done;
+  out
+
+let solve_dense m b = solve (factor m) b

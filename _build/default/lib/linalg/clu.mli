@@ -1,0 +1,18 @@
+(** LU factorisation with partial pivoting for complex square matrices.
+
+    Used by the MFT engine for the per-frequency periodic boundary solve
+    [(I - e^{-jwT} Phi) P0 = r]. *)
+
+type t
+
+exception Singular of int
+
+val factor : Cmat.t -> t
+
+val solve : t -> Cvec.t -> Cvec.t
+
+val det : t -> Cx.t
+
+val inverse : t -> Cmat.t
+
+val solve_dense : Cmat.t -> Cvec.t -> Cvec.t

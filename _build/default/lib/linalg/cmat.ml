@@ -1,0 +1,99 @@
+type t = { nr : int; nc : int; d : Cx.t array }
+
+let create nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Cmat.create: negative size";
+  { nr; nc; d = Array.make (nr * nc) Cx.zero }
+
+let init nr nc f =
+  let m = create nr nc in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      m.d.((i * nc) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+
+let of_real m = init (Mat.rows m) (Mat.cols m) (fun i j -> Cx.re (Mat.get m i j))
+
+let real m = Mat.init m.nr m.nc (fun i j -> (m.d.((i * m.nc) + j)).Cx.re)
+
+let imag m = Mat.init m.nr m.nc (fun i j -> (m.d.((i * m.nc) + j)).Cx.im)
+
+let rows m = m.nr
+
+let cols m = m.nc
+
+let check_bounds m i j name =
+  if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
+    invalid_arg ("Cmat." ^ name ^ ": index out of bounds")
+
+let get m i j =
+  check_bounds m i j "get";
+  m.d.((i * m.nc) + j)
+
+let set m i j z =
+  check_bounds m i j "set";
+  m.d.((i * m.nc) + j) <- z
+
+let copy m = { m with d = Array.copy m.d }
+
+let same_dims a b name =
+  if a.nr <> b.nr || a.nc <> b.nc then
+    invalid_arg ("Cmat." ^ name ^ ": dimension mismatch")
+
+let add a b =
+  same_dims a b "add";
+  { a with d = Array.init (Array.length a.d) (fun k -> Cx.( +: ) a.d.(k) b.d.(k)) }
+
+let sub a b =
+  same_dims a b "sub";
+  { a with d = Array.init (Array.length a.d) (fun k -> Cx.( -: ) a.d.(k) b.d.(k)) }
+
+let scale s m = { m with d = Array.map (fun z -> Cx.( *: ) s z) m.d }
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Cmat.mul: inner dimension mismatch";
+  let c = create a.nr b.nc in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = a.d.((i * a.nc) + k) in
+      if aik <> Cx.zero then begin
+        let brow = k * b.nc in
+        let crow = i * b.nc in
+        for j = 0 to b.nc - 1 do
+          c.d.(crow + j) <- Cx.( +: ) c.d.(crow + j) (Cx.( *: ) aik b.d.(brow + j))
+        done
+      end
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.nc <> Array.length v then invalid_arg "Cmat.mul_vec: dimension mismatch";
+  Array.init m.nr (fun i ->
+      let acc = ref Cx.zero in
+      let base = i * m.nc in
+      for j = 0 to m.nc - 1 do
+        acc := Cx.( +: ) !acc (Cx.( *: ) m.d.(base + j) v.(j))
+      done;
+      !acc)
+
+let transpose m = init m.nc m.nr (fun i j -> m.d.((j * m.nc) + i))
+
+let adjoint m = init m.nc m.nr (fun i j -> Cx.conj m.d.((j * m.nc) + i))
+
+let max_abs m =
+  Array.fold_left (fun acc z -> max acc (Cx.modulus z)) 0.0 m.d
+
+let max_abs_diff a b =
+  same_dims a b "max_abs_diff";
+  let best = ref 0.0 in
+  for k = 0 to Array.length a.d - 1 do
+    best := max !best (Cx.modulus (Cx.( -: ) a.d.(k) b.d.(k)))
+  done;
+  !best
+
+let is_hermitian ?(tol = 1e-12) m =
+  m.nr = m.nc && max_abs_diff m (adjoint m) <= tol

@@ -1,0 +1,46 @@
+(** Dense complex matrices, row-major. *)
+
+type t
+
+val create : int -> int -> t
+
+val init : int -> int -> (int -> int -> Cx.t) -> t
+
+val identity : int -> t
+
+val of_real : Mat.t -> t
+
+val real : t -> Mat.t
+
+val imag : t -> Mat.t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> Cx.t
+
+val set : t -> int -> int -> Cx.t -> unit
+
+val copy : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : Cx.t -> t -> t
+
+val mul : t -> t -> t
+
+val mul_vec : t -> Cvec.t -> Cvec.t
+
+val transpose : t -> t
+
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val max_abs : t -> float
+
+val max_abs_diff : t -> t -> float
+
+val is_hermitian : ?tol:float -> t -> bool

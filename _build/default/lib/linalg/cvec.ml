@@ -1,0 +1,55 @@
+type t = Cx.t array
+
+let create n = Array.make n Cx.zero
+
+let init = Array.init
+
+let of_real v = Array.map Cx.re v
+
+let real v = Array.map (fun (z : Cx.t) -> z.re) v
+
+let imag v = Array.map (fun (z : Cx.t) -> z.im) v
+
+let copy = Array.copy
+
+let check_len a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Cvec." ^ name ^ ": length mismatch")
+
+let add a b =
+  check_len a b "add";
+  Array.init (Array.length a) (fun i -> Cx.( +: ) a.(i) b.(i))
+
+let sub a b =
+  check_len a b "sub";
+  Array.init (Array.length a) (fun i -> Cx.( -: ) a.(i) b.(i))
+
+let scale s a = Array.map (fun z -> Cx.( *: ) s z) a
+
+let scale_re s a = Array.map (Cx.scale s) a
+
+let dot_conj a b =
+  check_len a b "dot_conj";
+  let acc = ref Cx.zero in
+  for i = 0 to Array.length a - 1 do
+    acc := Cx.( +: ) !acc (Cx.( *: ) (Cx.conj a.(i)) b.(i))
+  done;
+  !acc
+
+let norm2 a =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (z : Cx.t) -> acc := !acc +. (z.re *. z.re) +. (z.im *. z.im))
+    a;
+  sqrt !acc
+
+let norm_inf a =
+  Array.fold_left (fun m z -> max m (Cx.modulus z)) 0.0 a
+
+let max_abs_diff a b =
+  check_len a b "max_abs_diff";
+  let m = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    m := max !m (Cx.modulus (Cx.( -: ) a.(i) b.(i)))
+  done;
+  !m

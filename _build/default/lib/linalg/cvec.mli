@@ -1,0 +1,33 @@
+(** Dense complex vectors. *)
+
+type t = Cx.t array
+
+val create : int -> t
+(** Zero vector. *)
+
+val init : int -> (int -> Cx.t) -> t
+
+val of_real : Vec.t -> t
+
+val real : t -> Vec.t
+
+val imag : t -> Vec.t
+
+val copy : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : Cx.t -> t -> t
+
+val scale_re : float -> t -> t
+
+val dot_conj : t -> t -> Cx.t
+(** [dot_conj a b] is [sum (conj a_i * b_i)]. *)
+
+val norm2 : t -> float
+
+val norm_inf : t -> float
+
+val max_abs_diff : t -> t -> float

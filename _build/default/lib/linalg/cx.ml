@@ -1,0 +1,42 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+
+let one = Complex.one
+
+let i = Complex.i
+
+let re x = { re = x; im = 0.0 }
+
+let make re im = { re; im }
+
+let ( +: ) = Complex.add
+
+let ( -: ) = Complex.sub
+
+let ( *: ) = Complex.mul
+
+let ( /: ) = Complex.div
+
+let neg = Complex.neg
+
+let conj = Complex.conj
+
+let scale s z = { re = s *. z.re; im = s *. z.im }
+
+let modulus = Complex.norm
+
+let arg = Complex.arg
+
+let exp = Complex.exp
+
+let cis theta = { re = cos theta; im = sin theta }
+
+let is_finite z =
+  match (classify_float z.re, classify_float z.im) with
+  | (FP_infinite | FP_nan), _ | _, (FP_infinite | FP_nan) -> false
+  | (FP_normal | FP_subnormal | FP_zero), (FP_normal | FP_subnormal | FP_zero)
+    ->
+      true
+
+let approx_equal ?(tol = 1e-12) a b = Complex.norm (Complex.sub a b) <= tol

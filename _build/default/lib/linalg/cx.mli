@@ -1,0 +1,41 @@
+(** Complex scalar helpers on top of [Stdlib.Complex]. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+
+val one : t
+
+val i : t
+
+val re : float -> t
+(** Real number as a complex. *)
+
+val make : float -> float -> t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( *: ) : t -> t -> t
+
+val ( /: ) : t -> t -> t
+
+val neg : t -> t
+
+val conj : t -> t
+
+val scale : float -> t -> t
+
+val modulus : t -> float
+
+val arg : t -> float
+
+val exp : t -> t
+
+val cis : float -> t
+(** [cis theta] is [exp (i theta)]. *)
+
+val is_finite : t -> bool
+
+val approx_equal : ?tol:float -> t -> t -> bool

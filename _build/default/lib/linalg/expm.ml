@@ -1,0 +1,61 @@
+(* Higham's scaling-and-squaring with the order-13 Padé approximant.  We
+   always use the order-13 approximant (skipping the lower-order fast
+   paths); the matrices here are small, so simplicity wins. *)
+
+let pade13_coeffs =
+  [| 64764752532480000.0; 32382376266240000.0; 7771770303897600.0;
+     1187353796428800.0; 129060195264000.0; 10559470521600.0; 670442572800.0;
+     33522128640.0; 1323241920.0; 40840800.0; 960960.0; 16380.0; 182.0; 1.0 |]
+
+let theta13 = 5.371920351148152
+
+let expm a =
+  if not (Mat.is_square a) then invalid_arg "Expm.expm: not square";
+  let n = Mat.rows a in
+  if n = 0 then Mat.create 0 0
+  else begin
+    let norm = Mat.norm_inf a in
+    let s =
+      if norm <= theta13 then 0
+      else int_of_float (ceil (log (norm /. theta13) /. log 2.0))
+    in
+    let s = max s 0 in
+    let a = Mat.scale (1.0 /. (2.0 ** float_of_int s)) a in
+    let b = pade13_coeffs in
+    let ident = Mat.identity n in
+    let a2 = Mat.mul a a in
+    let a4 = Mat.mul a2 a2 in
+    let a6 = Mat.mul a2 a4 in
+    let u_inner =
+      Mat.add
+        (Mat.mul a6
+           (Mat.add
+              (Mat.add (Mat.scale b.(13) a6) (Mat.scale b.(11) a4))
+              (Mat.scale b.(9) a2)))
+        (Mat.add
+           (Mat.add (Mat.scale b.(7) a6) (Mat.scale b.(5) a4))
+           (Mat.add (Mat.scale b.(3) a2) (Mat.scale b.(1) ident)))
+    in
+    let u = Mat.mul a u_inner in
+    let v =
+      Mat.add
+        (Mat.mul a6
+           (Mat.add
+              (Mat.add (Mat.scale b.(12) a6) (Mat.scale b.(10) a4))
+              (Mat.scale b.(8) a2)))
+        (Mat.add
+           (Mat.add (Mat.scale b.(6) a6) (Mat.scale b.(4) a4))
+           (Mat.add (Mat.scale b.(2) a2) (Mat.scale b.(0) ident)))
+    in
+    (* r = (V - U)^{-1} (V + U) *)
+    let lhs = Mat.sub v u in
+    let rhs = Mat.add v u in
+    let lu = Lu.factor lhs in
+    let r = ref (Lu.solve_mat lu rhs) in
+    for _ = 1 to s do
+      r := Mat.mul !r !r
+    done;
+    !r
+  end
+
+let expm_scaled a t = expm (Mat.scale t a)

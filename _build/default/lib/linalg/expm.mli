@@ -1,0 +1,14 @@
+(** Matrix exponential by Padé(13) approximation with scaling and
+    squaring (Higham 2005).
+
+    Exact (to rounding) for the phase-wise-constant state matrices of
+    switched-capacitor circuits, which is what makes the Van Loan
+    discretisation and the MFT monodromy computation robust against
+    stiffness. *)
+
+val expm : Mat.t -> Mat.t
+(** [expm a] is [e^a] for a square matrix.  Raises [Invalid_argument] if
+    [a] is not square. *)
+
+val expm_scaled : Mat.t -> float -> Mat.t
+(** [expm_scaled a t] is [e^(a t)]. *)

@@ -1,0 +1,13 @@
+let kron a b =
+  let ra = Mat.rows a and ca = Mat.cols a in
+  let rb = Mat.rows b and cb = Mat.cols b in
+  Mat.init (ra * rb) (ca * cb) (fun i j ->
+      Mat.get a (i / rb) (j / cb) *. Mat.get b (i mod rb) (j mod cb))
+
+let vec m =
+  let nr = Mat.rows m and nc = Mat.cols m in
+  Array.init (nr * nc) (fun k -> Mat.get m (k mod nr) (k / nr))
+
+let unvec nr nc v =
+  if Array.length v <> nr * nc then invalid_arg "Kron.unvec: length mismatch";
+  Mat.init nr nc (fun i j -> v.((j * nr) + i))

@@ -1,0 +1,14 @@
+(** Kronecker products and matrix vectorisation.
+
+    Vectorisation is column-major ([vec] stacks columns), so the identity
+    [vec (A X B) = (Bᵀ ⊗ A) vec X] holds; the Lyapunov solvers rely on
+    it. *)
+
+val kron : Mat.t -> Mat.t -> Mat.t
+(** Kronecker product [a ⊗ b]. *)
+
+val vec : Mat.t -> Vec.t
+(** Column-major vectorisation. *)
+
+val unvec : int -> int -> Vec.t -> Mat.t
+(** [unvec rows cols v] inverts {!vec}. *)

@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  lu : float array; (* row-major, L below diagonal (unit), U on/above *)
+  piv : int array; (* row permutation *)
+  sign : float; (* parity of the permutation *)
+}
+
+exception Singular of int
+
+let factor m =
+  if not (Mat.is_square m) then invalid_arg "Lu.factor: not square";
+  let n = Mat.rows m in
+  let lu = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      lu.((i * n) + j) <- Mat.get m i j
+    done
+  done;
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: find the largest magnitude in column k. *)
+    let pmax = ref (abs_float lu.((k * n) + k)) in
+    let prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = abs_float lu.((i * n) + k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax = 0.0 then raise (Singular k);
+    if !prow <> k then begin
+      for j = 0 to n - 1 do
+        let t = lu.((k * n) + j) in
+        lu.((k * n) + j) <- lu.((!prow * n) + j);
+        lu.((!prow * n) + j) <- t
+      done;
+      let t = piv.(k) in
+      piv.(k) <- piv.(!prow);
+      piv.(!prow) <- t;
+      sign := -. !sign
+    end;
+    let pivot = lu.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let f = lu.((i * n) + k) /. pivot in
+      lu.((i * n) + k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          lu.((i * n) + j) <- lu.((i * n) + j) -. (f *. lu.((k * n) + j))
+        done
+    done
+  done;
+  { n; lu; piv; sign = !sign }
+
+let solve_in_place t x =
+  let n = t.n in
+  (* forward substitution with unit L *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (t.lu.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (t.lu.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !acc /. t.lu.((i * n) + i)
+  done
+
+let solve t b =
+  if Array.length b <> t.n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init t.n (fun i -> b.(t.piv.(i))) in
+  solve_in_place t x;
+  x
+
+let solve_mat t b =
+  if Mat.rows b <> t.n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  let nc = Mat.cols b in
+  let out = Mat.create t.n nc in
+  for j = 0 to nc - 1 do
+    let x = solve t (Mat.col b j) in
+    for i = 0 to t.n - 1 do
+      Mat.set out i j x.(i)
+    done
+  done;
+  out
+
+let det t =
+  let acc = ref t.sign in
+  for i = 0 to t.n - 1 do
+    acc := !acc *. t.lu.((i * t.n) + i)
+  done;
+  !acc
+
+let inverse t = solve_mat t (Mat.identity t.n)
+
+let rcond_estimate t =
+  let mn = ref infinity and mx = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let u = abs_float t.lu.((i * t.n) + i) in
+    mn := min !mn u;
+    mx := max !mx u
+  done;
+  if !mx = 0.0 then 0.0 else !mn /. !mx
+
+let solve_dense m b = solve (factor m) b

@@ -1,0 +1,30 @@
+(** LU factorisation with partial pivoting for real square matrices. *)
+
+type t
+(** A factorisation [P A = L U]. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot is exactly
+    zero.  Near-singular systems are not detected; callers that care
+    should inspect {!rcond_estimate}. *)
+
+val factor : Mat.t -> t
+(** Factor a square matrix.  Raises [Invalid_argument] if not square and
+    {!Singular} if structurally singular. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b] for one right-hand side. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column-wise. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)
+
+val inverse : t -> Mat.t
+
+val rcond_estimate : t -> float
+(** Crude reciprocal-condition estimate: [min |u_ii| / max |u_ii|]. *)
+
+val solve_dense : Mat.t -> Vec.t -> Vec.t
+(** One-shot factor-and-solve. *)

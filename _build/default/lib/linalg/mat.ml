@@ -1,0 +1,189 @@
+type t = { nr : int; nc : int; d : float array }
+
+let create nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.create: negative size";
+  { nr; nc; d = Array.make (nr * nc) 0.0 }
+
+let init nr nc f =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.init: negative size";
+  let d = Array.make (nr * nc) 0.0 in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      d.((i * nc) + j) <- f i j
+    done
+  done;
+  { nr; nc; d }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let of_arrays rows_arr =
+  let nr = Array.length rows_arr in
+  if nr = 0 then invalid_arg "Mat.of_arrays: empty";
+  let nc = Array.length rows_arr.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> nc then invalid_arg "Mat.of_arrays: ragged rows")
+    rows_arr;
+  init nr nc (fun i j -> rows_arr.(i).(j))
+
+let rows m = m.nr
+
+let cols m = m.nc
+
+let to_arrays m =
+  Array.init m.nr (fun i -> Array.init m.nc (fun j -> m.d.((i * m.nc) + j)))
+
+let check_bounds m i j name =
+  if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
+    invalid_arg ("Mat." ^ name ^ ": index out of bounds")
+
+let get m i j =
+  check_bounds m i j "get";
+  m.d.((i * m.nc) + j)
+
+let set m i j x =
+  check_bounds m i j "set";
+  m.d.((i * m.nc) + j) <- x
+
+let update m i j f =
+  check_bounds m i j "update";
+  let k = (i * m.nc) + j in
+  m.d.(k) <- f m.d.(k)
+
+let copy m = { m with d = Array.copy m.d }
+
+let transpose m = init m.nc m.nr (fun i j -> m.d.((j * m.nc) + i))
+
+let same_dims a b name =
+  if a.nr <> b.nr || a.nc <> b.nc then
+    invalid_arg ("Mat." ^ name ^ ": dimension mismatch")
+
+let add a b =
+  same_dims a b "add";
+  { a with d = Array.init (Array.length a.d) (fun k -> a.d.(k) +. b.d.(k)) }
+
+let sub a b =
+  same_dims a b "sub";
+  { a with d = Array.init (Array.length a.d) (fun k -> a.d.(k) -. b.d.(k)) }
+
+let scale s m = { m with d = Array.map (fun x -> s *. x) m.d }
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Mat.mul: inner dimension mismatch";
+  let c = create a.nr b.nc in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = a.d.((i * a.nc) + k) in
+      if aik <> 0.0 then begin
+        let brow = k * b.nc in
+        let crow = i * b.nc in
+        for j = 0 to b.nc - 1 do
+          c.d.(crow + j) <- c.d.(crow + j) +. (aik *. b.d.(brow + j))
+        done
+      end
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.nc <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.nr (fun i ->
+      let acc = ref 0.0 in
+      let base = i * m.nc in
+      for j = 0 to m.nc - 1 do
+        acc := !acc +. (m.d.(base + j) *. v.(j))
+      done;
+      !acc)
+
+let mul_transpose_vec m v =
+  if m.nr <> Array.length v then
+    invalid_arg "Mat.mul_transpose_vec: dimension mismatch";
+  let r = Array.make m.nc 0.0 in
+  for i = 0 to m.nr - 1 do
+    let vi = v.(i) in
+    if vi <> 0.0 then begin
+      let base = i * m.nc in
+      for j = 0 to m.nc - 1 do
+        r.(j) <- r.(j) +. (m.d.(base + j) *. vi)
+      done
+    end
+  done;
+  r
+
+let row m i =
+  if i < 0 || i >= m.nr then invalid_arg "Mat.row: out of bounds";
+  Array.init m.nc (fun j -> m.d.((i * m.nc) + j))
+
+let col m j =
+  if j < 0 || j >= m.nc then invalid_arg "Mat.col: out of bounds";
+  Array.init m.nr (fun i -> m.d.((i * m.nc) + j))
+
+let map f m = { m with d = Array.map f m.d }
+
+let norm_inf m =
+  let best = ref 0.0 in
+  for i = 0 to m.nr - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to m.nc - 1 do
+      acc := !acc +. abs_float m.d.((i * m.nc) + j)
+    done;
+    best := max !best !acc
+  done;
+  !best
+
+let norm_fro m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.d)
+
+let max_abs m = Array.fold_left (fun acc x -> max acc (abs_float x)) 0.0 m.d
+
+let max_abs_diff a b =
+  same_dims a b "max_abs_diff";
+  let best = ref 0.0 in
+  for k = 0 to Array.length a.d - 1 do
+    best := max !best (abs_float (a.d.(k) -. b.d.(k)))
+  done;
+  !best
+
+let is_square m = m.nr = m.nc
+
+let symmetrize m =
+  if not (is_square m) then invalid_arg "Mat.symmetrize: not square";
+  init m.nr m.nc (fun i j ->
+      0.5 *. (m.d.((i * m.nc) + j) +. m.d.((j * m.nc) + i)))
+
+let submatrix m ~rows:ris ~cols:cjs =
+  let ris = Array.of_list ris and cjs = Array.of_list cjs in
+  Array.iter (fun i -> if i < 0 || i >= m.nr then invalid_arg "Mat.submatrix") ris;
+  Array.iter (fun j -> if j < 0 || j >= m.nc then invalid_arg "Mat.submatrix") cjs;
+  init (Array.length ris) (Array.length cjs) (fun i j ->
+      m.d.((ris.(i) * m.nc) + cjs.(j)))
+
+let hcat a b =
+  if a.nr <> b.nr then invalid_arg "Mat.hcat: row mismatch";
+  init a.nr (a.nc + b.nc) (fun i j ->
+      if j < a.nc then a.d.((i * a.nc) + j) else b.d.((i * b.nc) + (j - a.nc)))
+
+let vcat a b =
+  if a.nc <> b.nc then invalid_arg "Mat.vcat: column mismatch";
+  init (a.nr + b.nr) a.nc (fun i j ->
+      if i < a.nr then a.d.((i * a.nc) + j) else b.d.(((i - a.nr) * b.nc) + j))
+
+let equal ?(tol = 0.0) a b =
+  a.nr = b.nr && a.nc = b.nc && max_abs_diff a b <= tol
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.nr - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.nc - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%10.4g" m.d.((i * m.nc) + j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.nr - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,85 @@
+(** Dense real matrices, row-major.
+
+    Sizes are validated on every operation; mismatches raise
+    [Invalid_argument].  The representation is exposed read-only through
+    accessors; construct with {!create}/{!init}/{!of_arrays}. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val diag : float array -> t
+(** Square matrix with the given diagonal. *)
+
+val of_arrays : float array array -> t
+(** Rows must be non-empty and of equal length. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val update : t -> int -> int -> (float -> float) -> unit
+(** [update m i j f] sets [m.(i).(j) <- f m.(i).(j)]; used by MNA
+    stamping. *)
+
+val copy : t -> t
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul_transpose_vec : t -> Vec.t -> Vec.t
+(** [mul_transpose_vec m v] is [mᵀ v] without forming the transpose. *)
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val map : (float -> float) -> t -> t
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val norm_fro : t -> float
+
+val max_abs : t -> float
+
+val max_abs_diff : t -> t -> float
+
+val is_square : t -> bool
+
+val symmetrize : t -> t
+(** [(m + mᵀ)/2]; used to keep covariance propagation symmetric against
+    numerical drift. *)
+
+val submatrix : t -> rows:int list -> cols:int list -> t
+(** Extract the submatrix with the given row/column index lists (order is
+    preserved, duplicates allowed). *)
+
+val hcat : t -> t -> t
+
+val vcat : t -> t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Van Loan (1978) discretisation of an LTI stochastic system.
+
+    Given [dx = A x dt + B dW] with constant [A], [B] over an interval of
+    length [tau], computes exactly (to rounding):
+
+    - the state transition matrix [Phi = e^{A tau}], and
+    - the accumulated process-noise covariance
+      [Qd = ∫_0^tau e^{A s} B Bᵀ e^{Aᵀ s} ds],
+
+    via the matrix exponential of the augmented block matrix
+    [[-A, B Bᵀ; 0, Aᵀ] tau].  The covariance propagates across the
+    interval as [K(tau) = Phi K(0) Phiᵀ + Qd]. *)
+
+type t = { phi : Mat.t; qd : Mat.t }
+
+val discretize : a:Mat.t -> q:Mat.t -> tau:float -> t
+(** [discretize ~a ~q ~tau] with [q = B Bᵀ] (PSD intensity matrix).
+    [tau >= 0] required; [tau = 0] gives [phi = I], [qd = 0].
+
+    Numerically robust for stiff phases: when [norm(a) * tau] is large,
+    the augmented exponential would overflow through its [e^{-A tau}]
+    block, so the implementation switches to the exact stationary form
+    [qd = Kinf - phi Kinf phiᵀ] (continuous Lyapunov solve), with a
+    chunked-composition fallback for marginally stable [a]. *)
+
+val stiff_threshold : float
+(** The [norm(a) * tau] value above which {!discretize} leaves the
+    augmented-exponential path (20). *)
+
+val discretize_b : a:Mat.t -> b:Mat.t -> tau:float -> t
+(** Convenience wrapper forming [q = b bᵀ] first. *)
+
+val propagate : t -> Mat.t -> Mat.t
+(** [propagate d k] is [phi k phiᵀ + qd], symmetrised. *)

@@ -1,0 +1,1 @@
+lib/noise/esd_transient.ml: Array Float Hashtbl List Scnoise_circuit Scnoise_core Scnoise_linalg Scnoise_ode Scnoise_util

@@ -1,0 +1,1 @@
+lib/noise/esd_transient.mli: Scnoise_circuit Scnoise_core Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/noise/freq_domain.ml: Array List Scnoise_circuit Scnoise_core Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/noise/monte_carlo.ml: Array Float Scnoise_circuit Scnoise_core Scnoise_linalg Scnoise_prng Scnoise_spectral

@@ -1,0 +1,1 @@
+lib/noise/monte_carlo.mli: Scnoise_circuit Scnoise_linalg

@@ -1,0 +1,112 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Vanloan = Scnoise_linalg.Vanloan
+module Ctrapezoid = Scnoise_ode.Ctrapezoid
+module Covariance = Scnoise_core.Covariance
+module Pwl = Scnoise_circuit.Pwl
+module Db = Scnoise_util.Db
+
+type result = {
+  psd : float;
+  periods : int;
+  history : (float * float) array;
+}
+
+let psd ?samples_per_phase ?grid ?(tol_db = 0.1) ?(window_periods = 3)
+    ?(min_periods = 4) ?(max_periods = 20_000) ?(init = `Zero) (sys : Pwl.t)
+    ~output ~f =
+  let n = sys.Pwl.nstates in
+  if Array.length output <> n then
+    invalid_arg "Esd_transient.psd: output row length";
+  let g = Covariance.discretized_grid ?samples_per_phase ?grid sys in
+  let times = g.Covariance.g_times in
+  let npts = Array.length times in
+  let omega = 2.0 *. Float.pi *. f in
+  (* steppers for K' (unshifted), cached per (phase, h) *)
+  let cache : (int * float, Ctrapezoid.stepper) Hashtbl.t = Hashtbl.create 64 in
+  let stepper p h =
+    match Hashtbl.find_opt cache (p, h) with
+    | Some st -> st
+    | None ->
+        let st = Ctrapezoid.make ~a:sys.Pwl.phases.(p).Pwl.a ~shift:Cx.zero ~h in
+        Hashtbl.add cache (p, h) st;
+        st
+  in
+  let k =
+    ref
+      (match init with
+      | `Zero -> Mat.create n n
+      | `Periodic -> Covariance.periodic_initial ?samples_per_phase sys)
+  in
+  let k' = ref (Cvec.create n) in
+  let k'' = ref 0.0 in
+  let history = ref [] in
+  let forcing_at kmat t =
+    let base = Mat.mul_vec kmat output in
+    let rot = Cx.cis (omega *. t) in
+    Array.map (fun x -> Cx.( *: ) rot (Cx.re x)) base
+  in
+  let integrand kvec t =
+    (* 2 Re (e^{-jwt} cᵀ K') *)
+    let rot = Cx.cis (-.omega *. t) in
+    let s = ref Cx.zero in
+    Array.iteri
+      (fun i c -> s := Cx.( +: ) !s (Cx.scale c kvec.(i)))
+      output;
+    2.0 *. (Cx.( *: ) rot !s).Cx.re
+  in
+  let rec run period =
+    if period > max_periods then
+      failwith "Esd_transient.psd: max_periods exceeded without convergence";
+    let t_base = float_of_int (period - 1) *. sys.Pwl.period in
+    let fprev = ref (forcing_at !k (t_base +. times.(0))) in
+    let gprev = ref (integrand !k' (t_base +. times.(0))) in
+    for i = 1 to npts - 1 do
+      let t_abs = t_base +. times.(i) in
+      let h = times.(i) -. times.(i - 1) in
+      let p = g.Covariance.g_phase.(i - 1) in
+      (* exact covariance substep *)
+      k := Vanloan.propagate g.Covariance.g_disc.(i - 1) !k;
+      (* cross-spectral density trapezoidal substep *)
+      let fnext = forcing_at !k t_abs in
+      k' := Ctrapezoid.step (stepper p h) ~p:!k' ~k0:!fprev ~k1:fnext;
+      fprev := fnext;
+      (* ESD accumulation *)
+      let gnext = integrand !k' t_abs in
+      k'' := !k'' +. (0.5 *. h *. (!gprev +. gnext));
+      gprev := gnext
+    done;
+    let t_now = float_of_int period *. sys.Pwl.period in
+    let est = !k'' /. t_now in
+    history := (t_now, est) :: !history;
+    let converged =
+      period >= min_periods + window_periods
+      &&
+      let recent =
+        List.filteri (fun i _ -> i <= window_periods) !history
+      in
+      match recent with
+      | [] -> false
+      | (_, latest) :: older ->
+          List.for_all
+            (fun (_, e) -> abs_float (Db.of_power latest -. Db.of_power e) < tol_db)
+            older
+    in
+    if converged then begin
+      let est = !k'' /. t_now in
+      { psd = est; periods = period; history = Array.of_list (List.rev !history) }
+    end
+    else run (period + 1)
+  in
+  run 1
+
+let sweep ?samples_per_phase ?grid ?tol_db ?window_periods ?min_periods
+    ?max_periods ?init sys ~output freqs =
+  Array.map
+    (fun f ->
+      (psd ?samples_per_phase ?grid ?tol_db ?window_periods ?min_periods
+         ?max_periods ?init sys ~output ~f)
+        .psd)
+    freqs

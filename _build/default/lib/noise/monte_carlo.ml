@@ -1,0 +1,173 @@
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Chol = Scnoise_linalg.Chol
+module Covariance = Scnoise_core.Covariance
+module Pwl = Scnoise_circuit.Pwl
+module Gaussian = Scnoise_prng.Gaussian
+module Xoshiro = Scnoise_prng.Xoshiro
+
+module Welch = Scnoise_spectral.Welch
+module Fft = Scnoise_spectral.Fft
+
+type estimate = {
+  freqs : float array;
+  psd : float array;
+  variance : float;
+  segments : int;
+}
+
+let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
+    ?(warmup_periods = 32) ?(periods_per_segment = 16) ?(segments_per_path = 8)
+    (sys : Pwl.t) ~output ~freqs =
+  let n = sys.Pwl.nstates in
+  if Array.length output <> n then
+    invalid_arg "Monte_carlo.estimate: output row length";
+  (* uniform per-phase grids so segments sample evenly in time *)
+  let g =
+    Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform sys
+  in
+  let times = g.Covariance.g_times in
+  let nsub = Array.length g.Covariance.g_disc in
+  let chols =
+    Array.map (fun (d : _) -> Chol.factor d.Scnoise_linalg.Vanloan.qd)
+      g.Covariance.g_disc
+  in
+  let seg_samples = periods_per_segment * nsub in
+  let seg_duration = float_of_int periods_per_segment *. sys.Pwl.period in
+  (* Hann window and its energy *)
+  let window =
+    Array.init seg_samples (fun i ->
+        let x = float_of_int i /. float_of_int (seg_samples - 1) in
+        0.5 *. (1.0 -. cos (2.0 *. Float.pi *. x)))
+  in
+  let nf = Array.length freqs in
+  let psd_acc = Array.make nf 0.0 in
+  let var_acc = ref 0.0 and var_count = ref 0 in
+  let total_segments = ref 0 in
+  let master = Xoshiro.create seed in
+  for _path = 1 to paths do
+    let stream = Xoshiro.copy master in
+    Xoshiro.jump master;
+    let gauss = Gaussian.of_xoshiro stream in
+    let xi = Array.make n 0.0 in
+    let x = ref (Vec.create n) in
+    let advance_substep i =
+      let d = g.Covariance.g_disc.(i) in
+      let drift = Mat.mul_vec d.Scnoise_linalg.Vanloan.phi !x in
+      Gaussian.fill gauss xi;
+      let noise = Mat.mul_vec chols.(i) xi in
+      x := Vec.add drift noise
+    in
+    (* warm up to (approximate) stationarity *)
+    for _ = 1 to warmup_periods do
+      for i = 0 to nsub - 1 do
+        advance_substep i
+      done
+    done;
+    (* collect segments; substep durations vary within a period, use the
+       actual sample times for the Fourier sums *)
+    let samples = Array.make seg_samples 0.0 in
+    let sample_times = Array.make seg_samples 0.0 in
+    for _seg = 1 to segments_per_path do
+      let idx = ref 0 in
+      for p = 0 to periods_per_segment - 1 do
+        for i = 0 to nsub - 1 do
+          advance_substep i;
+          samples.(!idx) <- Vec.dot output !x;
+          sample_times.(!idx) <-
+            (float_of_int p *. sys.Pwl.period) +. times.(i + 1);
+          incr idx
+        done
+      done;
+      (* accumulate variance from raw samples *)
+      Array.iter
+        (fun v ->
+          var_acc := !var_acc +. (v *. v);
+          incr var_count)
+        samples;
+      (* windowed DFT at each requested frequency *)
+      let dt = seg_duration /. float_of_int seg_samples in
+      let wsum2 =
+        Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 window *. dt
+      in
+      for fi = 0 to nf - 1 do
+        let omega = 2.0 *. Float.pi *. freqs.(fi) in
+        let re = ref 0.0 and im = ref 0.0 in
+        for i = 0 to seg_samples - 1 do
+          let ph = -.omega *. sample_times.(i) in
+          let wv = window.(i) *. samples.(i) *. dt in
+          re := !re +. (wv *. cos ph);
+          im := !im +. (wv *. sin ph)
+        done;
+        psd_acc.(fi) <-
+          psd_acc.(fi) +. (((!re *. !re) +. (!im *. !im)) /. wsum2)
+      done;
+      incr total_segments
+    done
+  done;
+  let segs = float_of_int !total_segments in
+  {
+    freqs = Array.copy freqs;
+    psd = Array.map (fun s -> s /. segs) psd_acc;
+    variance = !var_acc /. float_of_int !var_count;
+    segments = !total_segments;
+  }
+
+let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
+    ?(warmup_periods = 32) ?(record_periods = 256) ?(segment_periods = 32)
+    (sys : Pwl.t) ~output =
+  let n = sys.Pwl.nstates in
+  if Array.length output <> n then
+    invalid_arg "Monte_carlo.full_spectrum: output row length";
+  (* uniform sampling requires equal phase durations *)
+  let taus = Array.map (fun (p : Pwl.phase) -> p.Pwl.tau) sys.Pwl.phases in
+  Array.iter
+    (fun tau ->
+      if abs_float (tau -. taus.(0)) > 1e-12 *. taus.(0) then
+        invalid_arg
+          "Monte_carlo.full_spectrum: phases of unequal duration (use \
+           [estimate] instead)")
+    taus;
+  let g = Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform sys in
+  let nsub = Array.length g.Covariance.g_disc in
+  let chols =
+    Array.map (fun (d : _) -> Chol.factor d.Scnoise_linalg.Vanloan.qd)
+      g.Covariance.g_disc
+  in
+  let dt = sys.Pwl.period /. float_of_int nsub in
+  let record_len = Fft.next_pow2 (record_periods * nsub) in
+  let segment = min record_len (Fft.next_pow2 (segment_periods * nsub)) in
+  let master = Xoshiro.create seed in
+  let acc = ref None in
+  for _path = 1 to paths do
+    let stream = Xoshiro.copy master in
+    Xoshiro.jump master;
+    let gauss = Gaussian.of_xoshiro stream in
+    let xi = Array.make n 0.0 in
+    let x = ref (Vec.create n) in
+    let advance i =
+      let d = g.Covariance.g_disc.(i) in
+      let drift = Mat.mul_vec d.Scnoise_linalg.Vanloan.phi !x in
+      Gaussian.fill gauss xi;
+      x := Vec.add drift (Mat.mul_vec chols.(i) xi)
+    in
+    for _ = 1 to warmup_periods do
+      for i = 0 to nsub - 1 do
+        advance i
+      done
+    done;
+    let record = Array.make record_len 0.0 in
+    for k = 0 to record_len - 1 do
+      advance (k mod nsub);
+      record.(k) <- Vec.dot output !x
+    done;
+    let freqs, psd = Welch.estimate ~dt ~segment record in
+    (match !acc with
+    | None -> acc := Some (freqs, psd)
+    | Some (_, total) ->
+        Array.iteri (fun i v -> total.(i) <- total.(i) +. v) psd)
+  done;
+  match !acc with
+  | None -> invalid_arg "Monte_carlo.full_spectrum: paths = 0"
+  | Some (freqs, total) ->
+      (freqs, Array.map (fun v -> v /. float_of_int paths) total)

@@ -1,0 +1,37 @@
+(** Monte-Carlo noise simulation: the method-independent sanity baseline.
+
+    Sample paths of [dx = A(t) x dt + B(t) dW] are generated with the
+    exact discrete-time map of each substep —
+    [x <- Phi x + L xi], [L Lᵀ = Qd], [xi ~ N(0, I)] — so the path
+    statistics are exact for any step size.  The output PSD is estimated
+    with Welch-averaged Hann-windowed periodograms evaluated directly at
+    the requested frequencies, and the variance from the sample second
+    moment. *)
+
+module Pwl = Scnoise_circuit.Pwl
+module Vec = Scnoise_linalg.Vec
+
+type estimate = {
+  freqs : float array;
+  psd : float array;  (** double-sided PSD estimates, V^2/Hz *)
+  variance : float;  (** time-averaged output variance *)
+  segments : int;  (** periodogram segments averaged *)
+}
+
+val estimate :
+  ?seed:int64 -> ?samples_per_phase:int -> ?paths:int -> ?warmup_periods:int ->
+  ?periods_per_segment:int -> ?segments_per_path:int -> Pwl.t ->
+  output:Vec.t -> freqs:float array -> estimate
+(** Defaults: [seed 1], [samples_per_phase 64], [paths 8],
+    [warmup_periods 32], [periods_per_segment 16],
+    [segments_per_path 8]. *)
+
+val full_spectrum :
+  ?seed:int64 -> ?samples_per_phase:int -> ?paths:int -> ?warmup_periods:int ->
+  ?record_periods:int -> ?segment_periods:int -> Pwl.t -> output:Vec.t ->
+  float array * float array
+(** FFT-based Welch estimate of the whole spectrum on the DFT grid:
+    [(freqs, psd)].  Requires all clock phases to have equal duration
+    (uniform sampling); raises [Invalid_argument] otherwise.  Defaults:
+    [record_periods 256] per path, [segment_periods 32] per Welch
+    segment (both rounded to powers of two in samples). *)

@@ -1,0 +1,1 @@
+lib/ode/ctrapezoid.ml: Array Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/ode/ctrapezoid.mli: Scnoise_linalg

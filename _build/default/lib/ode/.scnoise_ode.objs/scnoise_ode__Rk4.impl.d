@@ -1,0 +1,1 @@
+lib/ode/rk4.ml: Array Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/ode/rk4.mli: Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/ode/rkf45.ml: Array List Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/ode/rkf45.mli: Rk4 Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/ode/trapezoid.ml: Array Scnoise_linalg

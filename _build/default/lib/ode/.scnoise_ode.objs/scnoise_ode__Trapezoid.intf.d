@@ -1,0 +1,1 @@
+lib/ode/trapezoid.mli: Scnoise_linalg

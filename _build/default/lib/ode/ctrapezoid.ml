@@ -1,0 +1,53 @@
+module Cvec = Scnoise_linalg.Cvec
+module Cmat = Scnoise_linalg.Cmat
+module Clu = Scnoise_linalg.Clu
+module Mat = Scnoise_linalg.Mat
+module Cx = Scnoise_linalg.Cx
+
+type stepper = {
+  h : float;
+  lhs : Clu.t; (* I - h/2 (A - sI) *)
+  rhs : Cmat.t; (* I + h/2 (A - sI) *)
+}
+
+let shifted_half a shift h =
+  (* h/2 (A - shift I) as a complex matrix *)
+  let n = Mat.rows a in
+  Cmat.init n n (fun i j ->
+      let re = 0.5 *. h *. Mat.get a i j in
+      if i = j then Cx.( -: ) (Cx.re re) (Cx.scale (0.5 *. h) shift)
+      else Cx.re re)
+
+let make ~a ~shift ~h =
+  if not (Mat.is_square a) then invalid_arg "Ctrapezoid.make: not square";
+  if h <= 0.0 then invalid_arg "Ctrapezoid.make: h <= 0";
+  let n = Mat.rows a in
+  let ident = Cmat.identity n in
+  let half = shifted_half a shift h in
+  { h; lhs = Clu.factor (Cmat.sub ident half); rhs = Cmat.add ident half }
+
+let step st ~p ~k0 ~k1 =
+  let b = Cmat.mul_vec st.rhs p in
+  let w = Cx.re (0.5 *. st.h) in
+  let b =
+    Array.mapi
+      (fun i bi -> Cx.( +: ) bi (Cx.( *: ) w (Cx.( +: ) k0.(i) k1.(i))))
+      b
+  in
+  Clu.solve st.lhs b
+
+let step_homogeneous st p = Clu.solve st.lhs (Cmat.mul_vec st.rhs p)
+
+let trajectory ~a ~shift ~forcing ~h ~steps p0 =
+  if steps < 1 then invalid_arg "Ctrapezoid.trajectory: steps < 1";
+  let st = make ~a ~shift ~h in
+  let out = Array.make (steps + 1) p0 in
+  let p = ref p0 in
+  let k = ref (forcing 0) in
+  for i = 1 to steps do
+    let k_next = forcing i in
+    p := step st ~p:!p ~k0:!k ~k1:k_next;
+    k := k_next;
+    out.(i) <- !p
+  done;
+  out

@@ -1,0 +1,26 @@
+(** Trapezoidal integration for complex shifted linear systems
+    [dP/dt = (A - s I) P + k(t)] with real [A] and complex shift [s].
+
+    This is the equation obeyed by the periodic envelope of the
+    cross-spectral density in the mixed-frequency-time method, where
+    [s = j w] for analysis frequency [w]. *)
+
+module Cvec = Scnoise_linalg.Cvec
+module Mat = Scnoise_linalg.Mat
+module Cx = Scnoise_linalg.Cx
+
+type stepper
+
+val make : a:Mat.t -> shift:Cx.t -> h:float -> stepper
+(** Prepare a stepper for [dP/dt = (A - shift·I) P + k]. *)
+
+val step : stepper -> p:Cvec.t -> k0:Cvec.t -> k1:Cvec.t -> Cvec.t
+
+val step_homogeneous : stepper -> Cvec.t -> Cvec.t
+
+val trajectory :
+  a:Mat.t -> shift:Cx.t -> forcing:(int -> Cvec.t) -> h:float -> steps:int ->
+  Cvec.t -> Cvec.t array
+(** [trajectory ~a ~shift ~forcing ~h ~steps p0] integrates from sample 0
+    to sample [steps] with the forcing given by its grid samples
+    ([forcing i] is [k] at [t = i h]); returns all [steps + 1] states. *)

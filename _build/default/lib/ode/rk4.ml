@@ -1,0 +1,35 @@
+module Vec = Scnoise_linalg.Vec
+
+type f = float -> Vec.t -> Vec.t
+
+let step f t h x =
+  let k1 = f t x in
+  let k2 = f (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k1)) in
+  let k3 = f (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k2)) in
+  let k4 = f (t +. h) (Vec.add x (Vec.scale h k3)) in
+  let incr =
+    Vec.add (Vec.add k1 (Vec.scale 2.0 k2)) (Vec.add (Vec.scale 2.0 k3) k4)
+  in
+  Vec.add x (Vec.scale (h /. 6.0) incr)
+
+let integrate f ~t0 ~t1 ~steps x0 =
+  if steps < 1 then invalid_arg "Rk4.integrate: steps < 1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let x = ref x0 in
+  for i = 0 to steps - 1 do
+    let t = t0 +. (h *. float_of_int i) in
+    x := step f t h !x
+  done;
+  !x
+
+let trajectory f ~t0 ~t1 ~steps x0 =
+  if steps < 1 then invalid_arg "Rk4.trajectory: steps < 1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let out = Array.make (steps + 1) (t0, x0) in
+  let x = ref x0 in
+  for i = 1 to steps do
+    let t = t0 +. (h *. float_of_int (i - 1)) in
+    x := step f t h !x;
+    out.(i) <- (t +. h, !x)
+  done;
+  out

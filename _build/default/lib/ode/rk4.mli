@@ -1,0 +1,21 @@
+(** Classical fixed-step fourth-order Runge-Kutta for general ODEs
+    [dx/dt = f t x].  Non-stiff use only (large-signal waveforms of
+    well-scaled systems); the noise engines use the A-stable trapezoidal
+    steppers instead. *)
+
+type f = float -> Scnoise_linalg.Vec.t -> Scnoise_linalg.Vec.t
+
+val step : f -> float -> float -> Scnoise_linalg.Vec.t -> Scnoise_linalg.Vec.t
+(** [step f t h x] advances one step of size [h]. *)
+
+val integrate :
+  f -> t0:float -> t1:float -> steps:int -> Scnoise_linalg.Vec.t ->
+  Scnoise_linalg.Vec.t
+(** [integrate f ~t0 ~t1 ~steps x0] advances from [t0] to [t1] in
+    [steps] equal steps and returns the final state. *)
+
+val trajectory :
+  f -> t0:float -> t1:float -> steps:int -> Scnoise_linalg.Vec.t ->
+  (float * Scnoise_linalg.Vec.t) array
+(** Like {!integrate} but returns all [steps + 1] samples including the
+    initial one. *)

@@ -1,0 +1,131 @@
+module Vec = Scnoise_linalg.Vec
+
+type stats = { steps_accepted : int; steps_rejected : int }
+
+(* Fehlberg coefficients *)
+let c2 = 0.25
+and c3 = 3.0 /. 8.0
+and c4 = 12.0 /. 13.0
+and c5 = 1.0
+and c6 = 0.5
+
+let a21 = 0.25
+
+let a31 = 3.0 /. 32.0
+and a32 = 9.0 /. 32.0
+
+let a41 = 1932.0 /. 2197.0
+and a42 = -7200.0 /. 2197.0
+and a43 = 7296.0 /. 2197.0
+
+let a51 = 439.0 /. 216.0
+and a52 = -8.0
+and a53 = 3680.0 /. 513.0
+and a54 = -845.0 /. 4104.0
+
+let a61 = -8.0 /. 27.0
+and a62 = 2.0
+and a63 = -3544.0 /. 2565.0
+and a64 = 1859.0 /. 4104.0
+and a65 = -11.0 /. 40.0
+
+(* 5th order solution weights *)
+let b1 = 16.0 /. 135.0
+and b3 = 6656.0 /. 12825.0
+and b4 = 28561.0 /. 56430.0
+and b5 = -9.0 /. 50.0
+and b6 = 2.0 /. 55.0
+
+(* 4th order (embedded) weights *)
+let d1 = 25.0 /. 216.0
+and d3 = 1408.0 /. 2565.0
+and d4 = 2197.0 /. 4104.0
+and d5 = -0.2
+
+let try_step f t h x =
+  let n = Array.length x in
+  let stage coeffs ks =
+    let y = Vec.copy x in
+    List.iter2 (fun c k -> Vec.axpy (c *. h) k y) coeffs ks;
+    y
+  in
+  let k1 = f t x in
+  let k2 = f (t +. (c2 *. h)) (stage [ a21 ] [ k1 ]) in
+  let k3 = f (t +. (c3 *. h)) (stage [ a31; a32 ] [ k1; k2 ]) in
+  let k4 = f (t +. (c4 *. h)) (stage [ a41; a42; a43 ] [ k1; k2; k3 ]) in
+  let k5 =
+    f (t +. (c5 *. h)) (stage [ a51; a52; a53; a54 ] [ k1; k2; k3; k4 ])
+  in
+  let k6 =
+    f
+      (t +. (c6 *. h))
+      (stage [ a61; a62; a63; a64; a65 ] [ k1; k2; k3; k4; k5 ])
+  in
+  let x5 = Vec.copy x in
+  Vec.axpy (b1 *. h) k1 x5;
+  Vec.axpy (b3 *. h) k3 x5;
+  Vec.axpy (b4 *. h) k4 x5;
+  Vec.axpy (b5 *. h) k5 x5;
+  Vec.axpy (b6 *. h) k6 x5;
+  let x4 = Vec.copy x in
+  Vec.axpy (d1 *. h) k1 x4;
+  Vec.axpy (d3 *. h) k3 x4;
+  Vec.axpy (d4 *. h) k4 x4;
+  Vec.axpy (d5 *. h) k5 x4;
+  let err = ref 0.0 in
+  for i = 0 to n - 1 do
+    err := max !err (abs_float (x5.(i) -. x4.(i)))
+  done;
+  (x5, !err)
+
+let integrate ?(rtol = 1e-8) ?(atol = 1e-12) ?h0 ?h_min ?(max_steps = 1_000_000)
+    f ~t0 ~t1 x0 =
+  if t1 < t0 then invalid_arg "Rkf45.integrate: t1 < t0";
+  if t1 = t0 then (x0, { steps_accepted = 0; steps_rejected = 0 })
+  else begin
+    let span = t1 -. t0 in
+    let h0 = match h0 with Some h -> h | None -> span /. 100.0 in
+    let h_min = match h_min with Some h -> h | None -> span *. 1e-12 in
+    let t = ref t0 and x = ref x0 and h = ref (min h0 span) in
+    let acc = ref 0 and rej = ref 0 in
+    while !t < t1 do
+      if !acc + !rej > max_steps then failwith "Rkf45: max_steps exceeded";
+      let hstep = min !h (t1 -. !t) in
+      let x_new, err = try_step f !t hstep !x in
+      let tol = atol +. (rtol *. Vec.norm_inf !x) in
+      if err <= tol || hstep <= h_min then begin
+        (if err > tol then
+           (* forced acceptance at the floor: record it as accepted but
+              do not let the controller shrink further *)
+           ());
+        t := !t +. hstep;
+        x := x_new;
+        incr acc;
+        let grow =
+          if err = 0.0 then 4.0
+          else min 4.0 (0.9 *. ((tol /. err) ** 0.2))
+        in
+        h := max h_min (hstep *. max 0.1 grow)
+      end
+      else begin
+        incr rej;
+        let shrink = max 0.1 (0.9 *. ((tol /. err) ** 0.25)) in
+        h := max h_min (hstep *. shrink)
+      end
+    done;
+    (!x, { steps_accepted = !acc; steps_rejected = !rej })
+  end
+
+let sample ?rtol ?atol f ~t0 ~t1 ~n x0 =
+  if n < 1 then invalid_arg "Rkf45.sample: n < 1";
+  let out = Array.make (n + 1) (t0, x0) in
+  let x = ref x0 in
+  let h = (t1 -. t0) /. float_of_int n in
+  for i = 1 to n do
+    let a = t0 +. (h *. float_of_int (i - 1)) in
+    let b = t0 +. (h *. float_of_int i) in
+    let x', _ = integrate ?rtol ?atol f ~t0:a ~t1:b !x in
+    x := x';
+    out.(i) <- (b, !x)
+  done;
+  out

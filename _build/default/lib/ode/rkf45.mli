@@ -1,0 +1,23 @@
+(** Runge-Kutta-Fehlberg 4(5) with adaptive step control.
+
+    Step sizes are chosen from the embedded local-truncation-error
+    estimate, mirroring the LTE-controlled integration described for the
+    prototype implementation of the source papers. *)
+
+type stats = { steps_accepted : int; steps_rejected : int }
+
+val integrate :
+  ?rtol:float -> ?atol:float -> ?h0:float -> ?h_min:float -> ?max_steps:int ->
+  Rk4.f -> t0:float -> t1:float -> Scnoise_linalg.Vec.t ->
+  Scnoise_linalg.Vec.t * stats
+(** [integrate f ~t0 ~t1 x0] integrates with adaptive steps.  Defaults:
+    [rtol = 1e-8], [atol = 1e-12], initial step [(t1-t0)/100],
+    [h_min = (t1-t0) * 1e-12], [max_steps = 1_000_000].  Raises [Failure]
+    when the controller stalls at [h_min] or exceeds [max_steps]. *)
+
+val sample :
+  ?rtol:float -> ?atol:float ->
+  Rk4.f -> t0:float -> t1:float -> n:int -> Scnoise_linalg.Vec.t ->
+  (float * Scnoise_linalg.Vec.t) array
+(** Integrate adaptively but report the solution on [n+1] uniformly
+    spaced output points (dense output by integration between points). *)

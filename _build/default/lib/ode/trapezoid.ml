@@ -1,0 +1,62 @@
+module Vec = Scnoise_linalg.Vec
+module Mat = Scnoise_linalg.Mat
+module Lu = Scnoise_linalg.Lu
+
+type stepper = {
+  h : float;
+  lhs : Lu.t; (* I - h/2 A *)
+  rhs : Mat.t; (* I + h/2 A *)
+}
+
+let make ~a ~h =
+  if not (Mat.is_square a) then invalid_arg "Trapezoid.make: not square";
+  if h <= 0.0 then invalid_arg "Trapezoid.make: h <= 0";
+  let n = Mat.rows a in
+  let ident = Mat.identity n in
+  let half = Mat.scale (0.5 *. h) a in
+  { h; lhs = Lu.factor (Mat.sub ident half); rhs = Mat.add ident half }
+
+let step st ~x ~f0 ~f1 =
+  let b = Mat.mul_vec st.rhs x in
+  Vec.axpy (0.5 *. st.h) f0 b;
+  Vec.axpy (0.5 *. st.h) f1 b;
+  Lu.solve st.lhs b
+
+let step_homogeneous st x = Lu.solve st.lhs (Mat.mul_vec st.rhs x)
+
+let integrate ~a ~forcing ~t0 ~t1 ~steps x0 =
+  if steps < 1 then invalid_arg "Trapezoid.integrate: steps < 1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let st = make ~a ~h in
+  let x = ref x0 in
+  let f = ref (forcing t0) in
+  for i = 1 to steps do
+    let t_next = t0 +. (h *. float_of_int i) in
+    let f_next = forcing t_next in
+    x := step st ~x:!x ~f0:!f ~f1:f_next;
+    f := f_next
+  done;
+  !x
+
+let trajectory ~a ~forcing ~t0 ~t1 ~steps x0 =
+  if steps < 1 then invalid_arg "Trapezoid.trajectory: steps < 1";
+  let h = (t1 -. t0) /. float_of_int steps in
+  let st = make ~a ~h in
+  let out = Array.make (steps + 1) (t0, x0) in
+  let x = ref x0 in
+  let f = ref (forcing t0) in
+  for i = 1 to steps do
+    let t_next = t0 +. (h *. float_of_int i) in
+    let f_next = forcing t_next in
+    x := step st ~x:!x ~f0:!f ~f1:f_next;
+    f := f_next;
+    out.(i) <- (t_next, !x)
+  done;
+  out
+
+let backward_euler_step ~a ~h ~x ~f1 =
+  let n = Mat.rows a in
+  let lhs = Mat.sub (Mat.identity n) (Mat.scale h a) in
+  let b = Vec.copy x in
+  Vec.axpy h f1 b;
+  Lu.solve_dense lhs b

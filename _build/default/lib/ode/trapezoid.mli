@@ -1,0 +1,37 @@
+(** A-stable trapezoidal integration for linear systems
+    [dx/dt = A x + f(t)] with constant [A] over the integration window —
+    the regime of one clock phase of a switched linear circuit.
+
+    The step matrix [(I - h/2 A)] is factored once per (A, h) pair and
+    reused, which keeps long transients cheap. *)
+
+module Vec = Scnoise_linalg.Vec
+module Mat = Scnoise_linalg.Mat
+
+type stepper
+(** A prepared stepper for fixed [A] and step [h]. *)
+
+val make : a:Mat.t -> h:float -> stepper
+(** Prepare a trapezoidal stepper.  Raises [Lu.Singular] if
+    [(I - h/2 A)] is singular (never for dissipative circuits). *)
+
+val step : stepper -> x:Vec.t -> f0:Vec.t -> f1:Vec.t -> Vec.t
+(** One step: [f0], [f1] are the forcing evaluated at the step's start
+    and end. *)
+
+val step_homogeneous : stepper -> Vec.t -> Vec.t
+(** One unforced step. *)
+
+val integrate :
+  a:Mat.t -> forcing:(float -> Vec.t) -> t0:float -> t1:float -> steps:int ->
+  Vec.t -> Vec.t
+(** Fixed-step integration over [\[t0, t1\]]. *)
+
+val trajectory :
+  a:Mat.t -> forcing:(float -> Vec.t) -> t0:float -> t1:float -> steps:int ->
+  Vec.t -> (float * Vec.t) array
+(** As {!integrate}, returning all samples. *)
+
+val backward_euler_step : a:Mat.t -> h:float -> x:Vec.t -> f1:Vec.t -> Vec.t
+(** Single backward-Euler step [(I - hA) x' = x + h f1]; L-stable
+    reference used in ablation benches. *)

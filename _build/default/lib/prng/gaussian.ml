@@ -1,0 +1,34 @@
+type t = { gen : Xoshiro.t; mutable cached : float option }
+
+let create seed = { gen = Xoshiro.create seed; cached = None }
+
+let of_xoshiro gen = { gen; cached = None }
+
+(* Marsaglia polar method: rejection from the unit disc, two variates per
+   accepted pair. *)
+let rec polar_pair gen =
+  let u = (2.0 *. Xoshiro.float01 gen) -. 1.0 in
+  let v = (2.0 *. Xoshiro.float01 gen) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then polar_pair gen
+  else begin
+    let m = sqrt (-2.0 *. log s /. s) in
+    (u *. m, v *. m)
+  end
+
+let sample t =
+  match t.cached with
+  | Some x ->
+      t.cached <- None;
+      x
+  | None ->
+      let x, y = polar_pair t.gen in
+      t.cached <- Some y;
+      x
+
+let sample_scaled t ~mean ~sigma = mean +. (sigma *. sample t)
+
+let fill t arr =
+  for i = 0 to Array.length arr - 1 do
+    arr.(i) <- sample t
+  done

@@ -1,0 +1,20 @@
+(** Gaussian variates on top of {!Xoshiro}. *)
+
+type t
+(** A Gaussian sampler owning its generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a sampler with a fresh xoshiro256++ stream. *)
+
+val of_xoshiro : Xoshiro.t -> t
+(** Wrap an existing generator (shared state). *)
+
+val sample : t -> float
+(** Standard normal variate (mean 0, variance 1), by Marsaglia's polar
+    method with caching of the second variate. *)
+
+val sample_scaled : t -> mean:float -> sigma:float -> float
+(** [sample_scaled t ~mean ~sigma] is [mean +. sigma *. sample t]. *)
+
+val fill : t -> float array -> unit
+(** Fill an array with independent standard normal variates. *)

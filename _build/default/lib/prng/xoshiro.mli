@@ -1,0 +1,25 @@
+(** xoshiro256++ pseudo-random generator.
+
+    A small, fast, reproducible PRNG used by the Monte-Carlo noise engine.
+    Streams are deterministic functions of the seed, independent of the
+    OCaml stdlib [Random] state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] initialises a generator from a 64-bit seed via
+    splitmix64 expansion.  Any seed (including 0) is valid. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val float01 : t -> float
+(** Uniform float in [[0, 1)] with 53 bits of precision. *)
+
+val jump : t -> unit
+(** Advance the state by 2^128 steps; used to derive non-overlapping
+    parallel streams from a common seed. *)

@@ -1,0 +1,1 @@
+lib/spectral/fft.ml: Array Float Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/spectral/fft.mli: Scnoise_linalg

@@ -1,0 +1,1 @@
+lib/spectral/welch.ml: Array Fft Float Scnoise_linalg

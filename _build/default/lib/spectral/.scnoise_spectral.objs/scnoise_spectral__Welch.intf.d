@@ -1,0 +1,1 @@
+lib/spectral/welch.mli:

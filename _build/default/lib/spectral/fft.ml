@@ -1,0 +1,71 @@
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Iterative in-place Cooley-Tukey with bit-reversal permutation;
+   [sign] = -1 forward, +1 inverse (no scaling here). *)
+let fft_in_place sign (a : Cx.t array) =
+  let n = Array.length a in
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let rec carry m =
+      if m land !j <> 0 then begin
+        j := !j lxor m;
+        carry (m lsr 1)
+      end
+      else j := !j lor m
+    in
+    carry (n lsr 1)
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wstep = Cx.cis theta in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Cx.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Cx.( *: ) !w a.(!i + k + half) in
+        a.(!i + k) <- Cx.( +: ) u v;
+        a.(!i + k + half) <- Cx.( -: ) u v;
+        w := Cx.( *: ) !w wstep
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let transform x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length not a power of 2";
+  let a = Cvec.copy x in
+  fft_in_place (-1) a;
+  a
+
+let inverse x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Fft.inverse: length not a power of 2";
+  let a = Cvec.copy x in
+  fft_in_place 1 a;
+  Cvec.scale_re (1.0 /. float_of_int n) a
+
+let real_transform x = transform (Cvec.of_real x)
+
+let frequencies ~n ~dt =
+  if n < 1 then invalid_arg "Fft.frequencies: n < 1";
+  if dt <= 0.0 then invalid_arg "Fft.frequencies: dt <= 0";
+  Array.init n (fun k -> float_of_int k /. (float_of_int n *. dt))

@@ -1,0 +1,27 @@
+(** Radix-2 fast Fourier transform.
+
+    Power-of-two lengths only; used by the Welch estimator to turn
+    Monte-Carlo sample paths into full spectra. *)
+
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+
+val is_pow2 : int -> bool
+
+val next_pow2 : int -> int
+(** Smallest power of two >= the argument (>= 1). *)
+
+val transform : Cvec.t -> Cvec.t
+(** Forward DFT, [X_k = sum_n x_n e^{-2 pi i k n / N}].  Raises
+    [Invalid_argument] unless the length is a power of two. *)
+
+val inverse : Cvec.t -> Cvec.t
+(** Inverse DFT with the [1/N] factor, so [inverse (transform x) = x]. *)
+
+val real_transform : float array -> Cvec.t
+(** Forward DFT of a real signal (convenience wrapper). *)
+
+val frequencies : n:int -> dt:float -> float array
+(** The frequency of each DFT bin for a length-[n] record sampled every
+    [dt] seconds: [0, 1/(n dt), ..., (n-1)/(n dt)] — bins above [n/2]
+    alias to negative frequencies. *)

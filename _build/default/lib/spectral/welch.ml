@@ -1,0 +1,56 @@
+module Cx = Scnoise_linalg.Cx
+
+type window = Rect | Hann
+
+let window_values w n =
+  match w with
+  | Rect -> Array.make n 1.0
+  | Hann ->
+      Array.init n (fun i ->
+          let x = float_of_int i /. float_of_int (n - 1) in
+          0.5 *. (1.0 -. cos (2.0 *. Float.pi *. x)))
+
+let periodogram ?(window = Hann) ~dt samples =
+  let n = Array.length samples in
+  if not (Fft.is_pow2 n) then
+    invalid_arg "Welch.periodogram: length not a power of 2";
+  if dt <= 0.0 then invalid_arg "Welch.periodogram: dt <= 0";
+  let w = window_values window n in
+  let wsum2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 w in
+  let xw = Array.init n (fun i -> samples.(i) *. w.(i)) in
+  let spec = Fft.real_transform xw in
+  let nhalf = (n / 2) + 1 in
+  let freqs = Array.init nhalf (fun k -> float_of_int k /. (float_of_int n *. dt)) in
+  (* S(f_k) = |X_k dt|^2 / (wsum2 dt): double-sided density *)
+  let psd =
+    Array.init nhalf (fun k ->
+        let m = Cx.modulus spec.(k) in
+        m *. m *. dt /. wsum2)
+  in
+  (freqs, psd)
+
+let estimate ?(window = Hann) ?(overlap = 0.5) ~dt ~segment samples =
+  if not (Fft.is_pow2 segment) then
+    invalid_arg "Welch.estimate: segment not a power of 2";
+  if overlap < 0.0 || overlap >= 1.0 then
+    invalid_arg "Welch.estimate: overlap out of range";
+  let n = Array.length samples in
+  if n < segment then invalid_arg "Welch.estimate: record shorter than segment";
+  let hop = max 1 (int_of_float (float_of_int segment *. (1.0 -. overlap))) in
+  let acc = ref None in
+  let count = ref 0 in
+  let start = ref 0 in
+  while !start + segment <= n do
+    let seg = Array.sub samples !start segment in
+    let freqs, psd = periodogram ~window ~dt seg in
+    (match !acc with
+    | None -> acc := Some (freqs, psd)
+    | Some (_, total) ->
+        Array.iteri (fun i v -> total.(i) <- total.(i) +. v) psd);
+    incr count;
+    start := !start + hop
+  done;
+  match !acc with
+  | None -> invalid_arg "Welch.estimate: no segments"
+  | Some (freqs, total) ->
+      (freqs, Array.map (fun v -> v /. float_of_int !count) total)

@@ -1,0 +1,64 @@
+let render ?(width = 64) ?(height = 16) ?(x_log = false) ?(x_label = "x")
+    ?(y_label = "y") xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Ascii_plot.render: length mismatch";
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: too small";
+  (* usable points: finite y, positive x when logarithmic *)
+  let pts =
+    Array.to_list (Array.mapi (fun i x -> (x, ys.(i))) xs)
+    |> List.filter (fun (x, y) ->
+           Float.is_finite y && ((not x_log) || x > 0.0))
+  in
+  if List.length pts < 2 then
+    invalid_arg "Ascii_plot.render: fewer than 2 usable points";
+  let fx x = if x_log then log10 x else x in
+  let xmin = List.fold_left (fun a (x, _) -> min a (fx x)) infinity pts in
+  let xmax = List.fold_left (fun a (x, _) -> max a (fx x)) neg_infinity pts in
+  let ymin = List.fold_left (fun a (_, y) -> min a y) infinity pts in
+  let ymax = List.fold_left (fun a (_, y) -> max a y) neg_infinity pts in
+  let yspan = if ymax -. ymin <= 0.0 then 1.0 else ymax -. ymin in
+  let xspan = if xmax -. xmin <= 0.0 then 1.0 else xmax -. xmin in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (x, y) ->
+      let col =
+        int_of_float
+          (Float.round ((fx x -. xmin) /. xspan *. float_of_int (width - 1)))
+      in
+      let row =
+        int_of_float
+          (Float.round ((ymax -. y) /. yspan *. float_of_int (height - 1)))
+      in
+      let col = max 0 (min (width - 1) col) in
+      let row = max 0 (min (height - 1) row) in
+      grid.(row).(col) <- '*')
+    pts;
+  let buf = Buffer.create ((height + 3) * (width + 12)) in
+  Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+  Array.iteri
+    (fun r line ->
+      let y_here =
+        ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan)
+      in
+      let tag =
+        if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+          Printf.sprintf "%9.3g |" y_here
+        else String.make 9 ' ' ^ " |"
+      in
+      Buffer.add_string buf tag;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 10 ' ' ^ "+" ^ String.make width '-');
+  Buffer.add_char buf '\n';
+  let left = if x_log then 10.0 ** xmin else xmin in
+  let right = if x_log then 10.0 ** xmax else xmax in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%.4g%s%.4g  (%s%s)\n" (String.make 11 ' ') left
+       (String.make (max 1 (width - 16)) ' ')
+       right x_label
+       (if x_log then ", log" else ""));
+  Buffer.contents buf
+
+let print ?width ?height ?x_log ?x_label ?y_label xs ys =
+  print_string (render ?width ?height ?x_log ?x_label ?y_label xs ys)

@@ -1,0 +1,19 @@
+(** Minimal terminal plotting for spectra and traces.
+
+    Renders an (x, y) series as a fixed-size character grid with axis
+    annotations — enough to eyeball a noise spectrum from the CLI without
+    leaving the terminal. *)
+
+val render :
+  ?width:int -> ?height:int -> ?x_log:bool -> ?x_label:string ->
+  ?y_label:string -> float array -> float array -> string
+(** [render xs ys] draws the series with [*] markers on a
+    [width x height] grid (defaults 64 x 16).  [x_log] (default false)
+    spaces the x axis logarithmically (requires positive x values; the
+    first non-positive points are dropped).  Raises [Invalid_argument]
+    on length mismatch or fewer than 2 usable points.  Non-finite y
+    values are skipped. *)
+
+val print :
+  ?width:int -> ?height:int -> ?x_log:bool -> ?x_label:string ->
+  ?y_label:string -> float array -> float array -> unit

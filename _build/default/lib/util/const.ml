@@ -1,0 +1,14 @@
+let boltzmann = 1.380649e-23
+
+let electron_charge = 1.602176634e-19
+
+let room_temperature = 300.0
+
+let kt ?(temperature = room_temperature) () = boltzmann *. temperature
+
+let thermal_current_psd ?(temperature = room_temperature) r =
+  if r <= 0.0 then invalid_arg "Const.thermal_current_psd: r <= 0";
+  2.0 *. boltzmann *. temperature /. r
+
+let thermal_voltage ?(temperature = room_temperature) () =
+  boltzmann *. temperature /. electron_charge

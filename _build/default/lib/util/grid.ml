@@ -1,0 +1,59 @@
+let linspace a b n =
+  if n < 1 then invalid_arg "Grid.linspace: n < 1";
+  if n = 1 then [| a |]
+  else begin
+    let h = (b -. a) /. float_of_int (n - 1) in
+    Array.init n (fun i -> a +. (h *. float_of_int i))
+  end
+
+let logspace a b n =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Grid.logspace: bounds must be > 0";
+  let la = log10 a and lb = log10 b in
+  Array.map (fun x -> 10.0 ** x) (linspace la lb n)
+
+let arange start stop step =
+  if step = 0.0 then invalid_arg "Grid.arange: step = 0";
+  let n =
+    int_of_float (ceil (((stop -. start) /. step) -. 0.5 *. epsilon_float))
+  in
+  let n = max n 0 in
+  Array.init n (fun i -> start +. (step *. float_of_int i))
+
+let trapezoid xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Grid.trapezoid: length mismatch";
+  if n < 2 then invalid_arg "Grid.trapezoid: need >= 2 samples";
+  let acc = ref 0.0 in
+  for i = 0 to n - 2 do
+    acc := !acc +. (0.5 *. (ys.(i) +. ys.(i + 1)) *. (xs.(i + 1) -. xs.(i)))
+  done;
+  !acc
+
+let trapezoid_uniform h ys =
+  let n = Array.length ys in
+  if n < 2 then invalid_arg "Grid.trapezoid_uniform: need >= 2 samples";
+  let acc = ref (0.5 *. (ys.(0) +. ys.(n - 1))) in
+  for i = 1 to n - 2 do
+    acc := !acc +. ys.(i)
+  done;
+  !acc *. h
+
+let simpson_uniform h ys =
+  let n = Array.length ys in
+  if n < 2 then invalid_arg "Grid.simpson_uniform: need >= 2 samples";
+  if n = 2 then 0.5 *. h *. (ys.(0) +. ys.(1))
+  else begin
+    (* Simpson needs an odd number of samples; handle a trailing interval
+       with one trapezoid panel when the count is even. *)
+    let m = if n mod 2 = 1 then n else n - 1 in
+    let acc = ref (ys.(0) +. ys.(m - 1)) in
+    let i = ref 1 in
+    while !i < m - 1 do
+      let w = if !i mod 2 = 1 then 4.0 else 2.0 in
+      acc := !acc +. (w *. ys.(!i));
+      incr i
+    done;
+    let simpson = h /. 3.0 *. !acc in
+    if n mod 2 = 1 then simpson
+    else simpson +. (0.5 *. h *. (ys.(n - 2) +. ys.(n - 1)))
+  end

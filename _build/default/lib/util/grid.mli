@@ -1,0 +1,26 @@
+(** Frequency and time grids for sweeps and quadrature. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n] equally spaced points from [a] to [b]
+    inclusive.  [n >= 2] required (and [n = 1] returns [[|a|]]). *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] is [n] log-spaced points from [a] to [b] inclusive;
+    both bounds must be positive. *)
+
+val arange : float -> float -> float -> float array
+(** [arange start stop step] is points [start, start+step, ...] strictly
+    below [stop] (within a half-step tolerance of inclusion). *)
+
+val trapezoid : float array -> float array -> float
+(** [trapezoid xs ys] integrates samples [ys] over abscissae [xs] with the
+    composite trapezoid rule.  Arrays must have equal length >= 2. *)
+
+val trapezoid_uniform : float -> float array -> float
+(** [trapezoid_uniform h ys] integrates uniformly spaced samples with
+    spacing [h]. *)
+
+val simpson_uniform : float -> float array -> float
+(** [simpson_uniform h ys] is the composite Simpson rule over uniformly
+    spaced samples; falls back to trapezoid on the final interval when the
+    sample count is even. *)

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Array Float List QCheck QCheck_alcotest Scnoise_analytic Scnoise_util

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Float Format Scnoise_circuit Scnoise_core Scnoise_linalg Scnoise_util String

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Float List Scnoise_analytic Scnoise_circuit Scnoise_circuits Scnoise_core Scnoise_linalg Scnoise_util String

@@ -1,0 +1,1 @@
+test/test_dtime.ml: Alcotest Array List Printf Scnoise_analytic Scnoise_circuits Scnoise_core Scnoise_dtime Scnoise_linalg Scnoise_util

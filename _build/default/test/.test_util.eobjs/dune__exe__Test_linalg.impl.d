@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Random Scnoise_linalg String

@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array List Printf Scnoise_analytic Scnoise_circuit Scnoise_circuits Scnoise_core Scnoise_noise Scnoise_util

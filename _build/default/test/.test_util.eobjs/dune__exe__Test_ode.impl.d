@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array List QCheck QCheck_alcotest Scnoise_linalg Scnoise_ode

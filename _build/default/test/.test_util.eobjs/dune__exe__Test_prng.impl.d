@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float QCheck QCheck_alcotest Scnoise_prng

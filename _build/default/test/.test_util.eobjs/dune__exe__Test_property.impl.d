@@ -1,0 +1,1 @@
+test/test_property.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Scnoise_circuit Scnoise_core Scnoise_linalg Scnoise_noise Scnoise_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Gen List QCheck QCheck_alcotest Scnoise_util String Sys

@@ -1,0 +1,182 @@
+module Lti = Scnoise_analytic.Lti
+module Switched_rc = Scnoise_analytic.Switched_rc
+module Ideal_sc = Scnoise_analytic.Ideal_sc
+module Const = Scnoise_util.Const
+module Grid = Scnoise_util.Grid
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+(* --- Lti --- *)
+
+let test_rc_psd_dc () =
+  let r = 1e3 in
+  check_close "2kTR at DC" (2.0 *. Const.kt () *. r)
+    (Lti.rc_lowpass_psd ~r ~c:1e-9 0.0)
+
+let test_rc_psd_corner () =
+  let r = 1e3 and c = 1e-9 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  check_close ~eps:1e-9 "half power at corner"
+    (Const.kt () *. r)
+    (Lti.rc_lowpass_psd ~r ~c fc)
+
+let test_rc_total_noise_parseval () =
+  (* ∫ S df over (-inf, inf) = kT/C; numerically to ~0.1% *)
+  let r = 1e3 and c = 1e-9 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  let freqs = Grid.linspace 0.0 (3000.0 *. fc) 3_000_000 in
+  let s = Array.map (fun f -> Lti.rc_lowpass_psd ~r ~c f) freqs in
+  let integral = 2.0 *. Grid.trapezoid_uniform (freqs.(1) -. freqs.(0)) s in
+  let expected = Lti.rc_total_noise ~c () in
+  if abs_float (integral -. expected) > 2e-3 *. expected then
+    Alcotest.failf "Parseval: %g vs %g" integral expected
+
+let test_sinc () =
+  check_close "sinc 0" 1.0 (Lti.sinc 0.0);
+  check_close "sinc pi" 0.0 ~eps:1e-12 (Lti.sinc Float.pi);
+  check_close "sinc 1" (sin 1.0) (Lti.sinc 1.0)
+
+let test_lorentzian () =
+  check_close "dc" 4.0 (Lti.lorentzian ~s0:4.0 ~pole_hz:100.0 0.0);
+  check_close "pole" 2.0 (Lti.lorentzian ~s0:4.0 ~pole_hz:100.0 100.0)
+
+(* --- Switched_rc closed form --- *)
+
+let make ?(duty = 0.5) ?(t_over_rc = 5.0) () =
+  let r = 1e3 and c = 1e-9 in
+  Switched_rc.make ~r ~c ~period:(t_over_rc *. r *. c) ~duty ()
+
+let test_variance_is_kt_over_c () =
+  let t = make () in
+  check_close "kT/C" (Const.kt () /. 1e-9) (Switched_rc.variance t)
+
+let test_duty_to_one_approaches_lti () =
+  (* as duty -> 1 the spectrum approaches the plain RC Lorentzian *)
+  let t = make ~duty:0.999 () in
+  List.iter
+    (fun f ->
+      let s = Switched_rc.psd t f in
+      let s_lti = Switched_rc.lti_limit t f in
+      if abs_float (s -. s_lti) > 0.02 *. s_lti then
+        Alcotest.failf "duty->1 limit at f=%g: %g vs %g" f s s_lti)
+    [ 0.0; 1e4; 1e5; 1e6 ]
+
+let test_dc_value_increases_with_open_time () =
+  (* longer hold -> more low-frequency (sampled) power *)
+  let s_short = Switched_rc.psd (make ~t_over_rc:5.0 ()) 0.0 in
+  let s_long = Switched_rc.psd (make ~t_over_rc:20.0 ()) 0.0 in
+  if s_long <= s_short then
+    Alcotest.fail "longer open interval should raise the DC plateau"
+
+let test_sample_hold_regime () =
+  (* when the switch is open for many RC, the held segments form a pulse
+     train of i.i.d. kT/C samples of width (1-d)T, whose DC PSD is
+     var * T * (1-d)^2; the conducting interval contributes only the
+     (much smaller) live RC noise *)
+  let t_over_rc = 2000.0 in
+  let duty = 0.5 in
+  let t = make ~t_over_rc ~duty () in
+  let var = Switched_rc.variance t in
+  let period = t.Switched_rc.period in
+  let s0 = Switched_rc.psd t 0.0 in
+  let expected = var *. period *. ((1.0 -. duty) ** 2.0) in
+  if abs_float (s0 -. expected) > 0.02 *. expected then
+    Alcotest.failf "sample-hold regime: %g vs %g" s0 expected
+
+let test_psd_even_and_positive () =
+  let t = make ~duty:0.25 ~t_over_rc:20.0 () in
+  Array.iter
+    (fun f ->
+      let s = Switched_rc.psd t f in
+      if s < 0.0 then Alcotest.failf "negative PSD at %g" f;
+      check_close ~eps:1e-10 "even" s (Switched_rc.psd t (-.f)))
+    (Grid.logspace 1.0 1e8 50)
+
+let test_psd_parseval () =
+  let t = make ~t_over_rc:5.0 () in
+  let fmax = 3000.0 /. t.Switched_rc.period in
+  let freqs = Grid.linspace 0.0 fmax 300_000 in
+  let s = Array.map (Switched_rc.psd t) freqs in
+  let integral = 2.0 *. Grid.trapezoid freqs s in
+  let var = Switched_rc.variance t in
+  if abs_float (integral -. var) > 0.02 *. var then
+    Alcotest.failf "Parseval: ∫S = %g vs kT/C = %g" integral var
+
+let test_make_validation () =
+  Alcotest.check_raises "duty" (Invalid_argument "Switched_rc.make: need 0 < duty < 1")
+    (fun () ->
+      ignore (Switched_rc.make ~r:1.0 ~c:1.0 ~period:1.0 ~duty:1.0 ()))
+
+(* --- Ideal_sc --- *)
+
+let test_kt_over_c () =
+  check_close "kT/C" (Const.kt () /. 1e-12) (Ideal_sc.kt_over_c 1e-12)
+
+let test_sample_hold_nulls () =
+  let s = Ideal_sc.sample_hold_psd ~var:1.0 ~period:1e-3 in
+  check_close "dc" 1e-3 (s 0.0);
+  check_close ~eps:1e-12 "null at 1/T" 0.0 (s 1e3);
+  check_close ~eps:1e-12 "null at 2/T" 0.0 (s 2e3)
+
+let test_sample_hold_parseval () =
+  let var = 2.5 and period = 1e-3 in
+  let freqs = Grid.linspace 0.0 5e6 2_000_000 in
+  let s = Array.map (Ideal_sc.sample_hold_psd ~var ~period) freqs in
+  let integral = 2.0 *. Grid.trapezoid freqs s in
+  if abs_float (integral -. var) > 0.01 *. var then
+    Alcotest.failf "Parseval: %g vs %g" integral var
+
+let test_first_order_dt () =
+  let var = 1.0 and period = 1e-3 and pole = 0.5 in
+  (* at DC: hold * 1/(1-pole)^2 *)
+  check_close "dc gain"
+    (1e-3 /. ((1.0 -. pole) ** 2.0))
+    (Ideal_sc.first_order_dt_psd ~var ~period ~pole 0.0);
+  check_close "total noise" (1.0 /. 0.75)
+    (Ideal_sc.total_noise_first_order ~var ~pole);
+  Alcotest.check_raises "pole bound"
+    (Invalid_argument "Ideal_sc.first_order_dt_psd: |pole| >= 1") (fun () ->
+      ignore (Ideal_sc.first_order_dt_psd ~var ~period ~pole:1.0 0.0))
+
+let prop_switched_rc_bounded_by_lti_at_high_f =
+  (* far above both the clock and the RC corner, the sampled component
+     dies as 1/f^2 faster than the direct one: S <= 2 * LTI envelope *)
+  QCheck.Test.make ~count:50 ~name:"high-frequency tail bounded"
+    QCheck.(float_range 10.0 50.0)
+    (fun mult ->
+      let t = make ~t_over_rc:5.0 () in
+      let f = mult /. (2.0 *. Float.pi *. 1e-6) in
+      Switched_rc.psd t f <= 2.0 *. Switched_rc.lti_limit t f +. 1e-30)
+
+let () =
+  Alcotest.run "analytic"
+    [
+      ( "lti",
+        [
+          Alcotest.test_case "dc" `Quick test_rc_psd_dc;
+          Alcotest.test_case "corner" `Quick test_rc_psd_corner;
+          Alcotest.test_case "parseval" `Slow test_rc_total_noise_parseval;
+          Alcotest.test_case "sinc" `Quick test_sinc;
+          Alcotest.test_case "lorentzian" `Quick test_lorentzian;
+        ] );
+      ( "switched_rc",
+        [
+          Alcotest.test_case "variance" `Quick test_variance_is_kt_over_c;
+          Alcotest.test_case "duty->1" `Quick test_duty_to_one_approaches_lti;
+          Alcotest.test_case "hold raises DC" `Quick test_dc_value_increases_with_open_time;
+          Alcotest.test_case "sample-hold regime" `Quick test_sample_hold_regime;
+          Alcotest.test_case "even & positive" `Quick test_psd_even_and_positive;
+          Alcotest.test_case "parseval" `Slow test_psd_parseval;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          QCheck_alcotest.to_alcotest prop_switched_rc_bounded_by_lti_at_high_f;
+        ] );
+      ( "ideal_sc",
+        [
+          Alcotest.test_case "kT/C" `Quick test_kt_over_c;
+          Alcotest.test_case "sinc nulls" `Quick test_sample_hold_nulls;
+          Alcotest.test_case "parseval" `Slow test_sample_hold_parseval;
+          Alcotest.test_case "first order" `Quick test_first_order_dt;
+        ] );
+    ]

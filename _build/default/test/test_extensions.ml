@@ -1,0 +1,393 @@
+(* Tests for the LPTV transfer-function engine, the frequency-domain
+   noise baseline, and the instantaneous-PSD / integrated-noise
+   extensions of the core engine. *)
+
+module Mat = Scnoise_linalg.Mat
+module Cx = Scnoise_linalg.Cx
+module Db = Scnoise_util.Db
+module Grid = Scnoise_util.Grid
+module Const = Scnoise_util.Const
+module Clock = Scnoise_circuit.Clock
+module Netlist = Scnoise_circuit.Netlist
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+module Psd = Scnoise_core.Psd
+module Transfer = Scnoise_core.Transfer
+module Fd = Scnoise_noise.Freq_domain
+module A_src = Scnoise_analytic.Switched_rc
+module SRC = Scnoise_circuits.Switched_rc
+module LP = Scnoise_circuits.Sc_lowpass
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let driven_rc r c =
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "vin" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource ~name:"Vin" nl vin (fun _ -> 0.0);
+  Netlist.resistor ~name:"R" nl vin out r;
+  Netlist.capacitor nl out Netlist.ground c;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  (sys, Pwl.observable sys "out")
+
+(* --- Transfer --- *)
+
+let test_transfer_lti_gain () =
+  let r = 1e3 and c = 1e-9 in
+  let sys, out = driven_rc r c in
+  let tr = Transfer.prepare ~samples_per_phase:64 sys ~output:out in
+  List.iter
+    (fun f ->
+      let h = Transfer.gain tr ~input:0 ~f in
+      let w_rc = 2.0 *. Float.pi *. f *. r *. c in
+      let expected_mag = 1.0 /. sqrt (1.0 +. (w_rc *. w_rc)) in
+      (* 1e-4: the engine mixes an exact-exponential homogeneous part
+         with a trapezoidal particular part, leaving an O(h^2) floor *)
+      check_close ~eps:1e-4 (Printf.sprintf "|H| at %g" f) expected_mag
+        (Cx.modulus h);
+      let expected_phase = -.atan w_rc in
+      check_close ~eps:1e-4 (Printf.sprintf "arg H at %g" f) expected_phase
+        (Cx.arg h))
+    [ 0.0; 1e4; 1.59155e5; 1e6 ]
+
+let test_transfer_lti_no_harmonics () =
+  (* a time-invariant circuit has no frequency translation *)
+  let sys, out = driven_rc 1e3 1e-9 in
+  let tr = Transfer.prepare ~samples_per_phase:64 sys ~output:out in
+  let h = Transfer.harmonics tr ~input:0 ~f:1e4 ~k_range:3 in
+  Alcotest.(check int) "7 harmonics" 7 (Array.length h);
+  Array.iteri
+    (fun idx hk ->
+      let k = idx - 3 in
+      if k <> 0 && Cx.modulus hk > 1e-4 then
+        Alcotest.failf "H_%d should vanish for LTI, got %g" k (Cx.modulus hk))
+    h
+
+let test_transfer_lowpass_baseband_gain () =
+  (* the continuous-time average gain of the SC low-pass at DC is 1.5:
+     the output sits at (C1/C3) Vin = 3 Vin during the integrating phase
+     and droops to ~0 during the sampling phase (verified against
+     large-signal simulation) *)
+  let b = LP.build LP.default in
+  let tr = Transfer.prepare ~samples_per_phase:384 b.LP.sys ~output:b.LP.output in
+  check_close ~eps:2e-3 "baseband dc gain" 1.5
+    (Cx.modulus (Transfer.gain tr ~input:0 ~f:1.0))
+
+let test_transfer_lowpass_has_harmonics () =
+  (* the switched filter translates frequencies: k != 0 harmonics exist *)
+  let b = LP.build LP.default in
+  let tr = Transfer.prepare ~samples_per_phase:96 b.LP.sys ~output:b.LP.output in
+  let h = Transfer.harmonics tr ~input:0 ~f:100.0 ~k_range:2 in
+  let h1 = Cx.modulus h.(3) in
+  if h1 < 0.01 then
+    Alcotest.failf "expected a substantial first harmonic, got %g" h1
+
+let test_transfer_input_validation () =
+  let sys, out = driven_rc 1e3 1e-9 in
+  let tr = Transfer.prepare sys ~output:out in
+  Alcotest.(check int) "inputs" 1 (Transfer.n_inputs tr);
+  (match Transfer.gain tr ~input:5 ~f:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad input index accepted");
+  match Transfer.harmonics tr ~input:0 ~f:1.0 ~k_range:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative k_range accepted"
+
+let test_transfer_cap_coupled_highpass () =
+  (* vin -C- out (R to ground): H = jwRC/(1+jwRC); the source couples
+     only through Edot (du/dt), so this exercises the derivative path *)
+  let r = 1e4 and c = 1e-9 in
+  let nl = Netlist.create () in
+  let vin = Netlist.node nl "vin" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource ~name:"Vin" nl vin (fun _ -> 0.0);
+  Netlist.capacitor ~name:"C" nl vin out c;
+  Netlist.resistor ~name:"R" ~noisy:false nl out Netlist.ground r;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  let tr = Transfer.prepare ~samples_per_phase:64 sys ~output:(Pwl.observable sys "out") in
+  List.iter
+    (fun f ->
+      let w_rc = 2.0 *. Float.pi *. f *. r *. c in
+      let expected = w_rc /. sqrt (1.0 +. (w_rc *. w_rc)) in
+      check_close ~eps:2e-4 (Printf.sprintf "|H| highpass at %g" f) expected
+        (Cx.modulus (Transfer.gain tr ~input:0 ~f)))
+    [ 1e3; 1.59155e4; 1e5 ]
+
+(* --- Freq_domain --- *)
+
+let switched_rc () = SRC.build (SRC.with_ratio ~t_over_rc:5.0 ~duty:0.5 ())
+
+let analytic (b : SRC.built) =
+  let p = b.SRC.params in
+  A_src.make ~r:p.SRC.r ~c:p.SRC.c ~period:p.SRC.period ~duty:p.SRC.duty ()
+
+let test_fd_converges_to_closed_form () =
+  let b = switched_rc () in
+  let a = analytic b in
+  let fd = Fd.prepare ~samples_per_phase:96 b.SRC.sys ~output:b.SRC.output in
+  let f = 1e4 in
+  let err k =
+    abs_float (Db.of_power (Fd.psd fd ~f ~k_max:k) -. Db.of_power (A_src.psd a f))
+  in
+  let e0 = err 0 and e5 = err 5 and e20 = err 20 in
+  if not (e0 > e5 && e5 > e20) then
+    Alcotest.failf "truncation error should fall with K: %g %g %g" e0 e5 e20;
+  if e20 > 0.15 then Alcotest.failf "K=20 should be within 0.15 dB, got %g" e20
+
+let test_fd_k0_underestimates () =
+  (* the baseband term alone misses all aliased noise *)
+  let b = switched_rc () in
+  let a = analytic b in
+  let fd = Fd.prepare ~samples_per_phase:64 b.SRC.sys ~output:b.SRC.output in
+  if Fd.psd fd ~f:1e4 ~k_max:0 >= A_src.psd a 1e4 then
+    Alcotest.fail "K=0 must underestimate the full spectrum"
+
+let test_fd_matches_mft_lti () =
+  (* single-phase circuit: k = 0 is exact and equals the MFT PSD *)
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.resistor ~name:"R" nl out Netlist.ground 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-9;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  let output = Pwl.observable sys "out" in
+  let fd = Fd.prepare ~samples_per_phase:64 sys ~output in
+  let eng = Psd.prepare ~samples_per_phase:64 sys ~output in
+  List.iter
+    (fun f ->
+      let d =
+        abs_float
+          (Db.of_power (Fd.psd fd ~f ~k_max:0) -. Db.of_power (Psd.psd eng ~f))
+      in
+      if d > 0.01 then Alcotest.failf "LTI fd vs mft at %g: %g dB" f d)
+    [ 0.0; 1e5; 1e6 ]
+
+let test_fd_per_source () =
+  let b = switched_rc () in
+  let fd = Fd.prepare b.SRC.sys ~output:b.SRC.output in
+  (match Fd.source_labels fd with
+  | [ "S1" ] -> ()
+  | other ->
+      Alcotest.failf "labels: %s" (String.concat "," other));
+  match Fd.psd_per_source fd ~f:1e4 ~k_max:3 with
+  | [ ("S1", s) ] ->
+      check_close ~eps:1e-12 "per-source sums to total" s
+        (Fd.psd fd ~f:1e4 ~k_max:3)
+  | _ -> Alcotest.fail "expected one source"
+
+(* --- instantaneous PSD & integrated noise --- *)
+
+let test_instantaneous_average_is_psd () =
+  let b = switched_rc () in
+  let eng = Psd.prepare b.SRC.sys ~output:b.SRC.output in
+  let f = 5e4 in
+  let times, values = Psd.instantaneous eng ~f in
+  let period = b.SRC.sys.Pwl.period in
+  check_close ~eps:1e-12 "average of instantaneous = psd" (Psd.psd eng ~f)
+    (Grid.trapezoid times values /. period)
+
+let test_instantaneous_time_varying () =
+  (* cyclostationarity: the instantaneous PSD varies over the period *)
+  let b = switched_rc () in
+  let eng = Psd.prepare b.SRC.sys ~output:b.SRC.output in
+  let _, values = Psd.instantaneous eng ~f:5e4 in
+  let mn = Array.fold_left min infinity values in
+  let mx = Array.fold_left max neg_infinity values in
+  if mx -. mn < 0.1 *. mx then
+    Alcotest.fail "switched circuit should have a time-varying spectrum"
+
+let test_instantaneous_constant_for_lti () =
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.resistor ~name:"R" nl out Netlist.ground 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-9;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  let output = Pwl.observable sys "out" in
+  let eng = Psd.prepare sys ~output in
+  let _, values = Psd.instantaneous eng ~f:1e5 in
+  let mn = Array.fold_left min infinity values in
+  let mx = Array.fold_left max neg_infinity values in
+  if (mx -. mn) /. mx > 1e-4 then
+    Alcotest.failf "stationary spectrum should be time-constant: %g .. %g" mn mx
+
+let test_integrated_noise_parseval () =
+  (* integrating the plain-RC PSD over a wide band recovers kT/C *)
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.resistor ~name:"R" nl out Netlist.ground 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-9;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  let output = Pwl.observable sys "out" in
+  let eng = Psd.prepare sys ~output in
+  let fc = 1.0 /. (2.0 *. Float.pi *. 1e-6) in
+  let total =
+    Psd.integrated_noise ~points:4000 eng ~fmin:0.0 ~fmax:(300.0 *. fc)
+  in
+  let expected = Const.kt () /. 1e-9 in
+  if abs_float (total -. expected) > 0.01 *. expected then
+    Alcotest.failf "band noise %g vs kT/C %g" total expected
+
+let test_integrated_noise_validation () =
+  let b = switched_rc () in
+  let eng = Psd.prepare b.SRC.sys ~output:b.SRC.output in
+  match Psd.integrated_noise eng ~fmin:10.0 ~fmax:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fmax <= fmin accepted"
+
+(* --- flicker (1/f) noise sources --- *)
+
+let flicker_rc ?(spd = 3) ?(fmin = 1.0) ?(fmax = 1e6) () =
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.resistor ~name:"R" ~noisy:false nl out Netlist.ground 1e5;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  Netlist.flicker_isource ~name:"IF" ~sections_per_decade:spd nl out
+    Netlist.ground ~psd_1hz:1e-12 ~fmin ~fmax;
+  let sys = Compile.compile nl (Clock.make [ 1e-7 ]) in
+  (sys, Pwl.observable sys "out")
+
+let test_flicker_one_over_f_slope () =
+  let sys, output = flicker_rc () in
+  let eng = Psd.prepare ~samples_per_phase:32 sys ~output in
+  (* inside the band and below the RC corner: S = psd_1hz/f * R^2 *)
+  List.iter
+    (fun f ->
+      let ideal = 1e-12 /. f *. (1e5 ** 2.0) in
+      let ratio = Psd.psd eng ~f /. ideal in
+      if ratio < 0.9 || ratio > 1.1 then
+        Alcotest.failf "1/f fit at %g: ratio %.3f" f ratio)
+    [ 10.0; 100.0; 1e3; 1e4 ]
+
+let test_flicker_state_count () =
+  let sys, _ = flicker_rc ~spd:2 ~fmin:1.0 ~fmax:1e4 () in
+  (* 4 decades x 2 per decade + 1 = 9 sections + 1 capacitor state *)
+  Alcotest.(check int) "states" 10 sys.Pwl.nstates
+
+let test_flicker_sections_improve_fit () =
+  let worst spd =
+    let sys, output = flicker_rc ~spd () in
+    let eng = Psd.prepare ~samples_per_phase:32 sys ~output in
+    List.fold_left
+      (fun acc f ->
+        let ideal = 1e-12 /. f *. (1e5 ** 2.0) in
+        max acc (abs_float (log (Psd.psd eng ~f /. ideal))))
+      0.0
+      [ 30.0; 300.0; 3e3 ]
+  in
+  if worst 4 >= worst 1 then
+    Alcotest.fail "more sections per decade should fit 1/f better"
+
+let test_flicker_labels_in_contrib () =
+  let sys, _ = flicker_rc ~spd:1 ~fmin:1.0 ~fmax:100.0 () in
+  let labels = Scnoise_core.Contrib.source_labels sys in
+  if not (List.mem "IF.0" labels) then
+    Alcotest.failf "missing section labels: %s" (String.concat "," labels)
+
+let test_flicker_validation () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Alcotest.check_raises "band"
+    (Invalid_argument "Netlist.flicker_isource: need 0 < fmin < fmax")
+    (fun () ->
+      Netlist.flicker_isource nl a Netlist.ground ~psd_1hz:1e-12 ~fmin:10.0
+        ~fmax:1.0)
+
+let test_flicker_in_switched_circuit () =
+  (* a flicker source on the switched RC: the circuit still compiles,
+     remains stable, and low-frequency noise rises with the 1/f source *)
+  let build with_flicker =
+    let nl = Netlist.create () in
+    let out = Netlist.node nl "out" in
+    Netlist.switch ~name:"S" ~closed_in:[ 0 ] nl out Netlist.ground 1e3;
+    Netlist.capacitor nl out Netlist.ground 1e-9;
+    if with_flicker then
+      Netlist.flicker_isource ~name:"IF" ~sections_per_decade:2 nl out
+        Netlist.ground ~psd_1hz:1e-18 ~fmin:10.0 ~fmax:1e5;
+    let sys = Compile.compile nl (Clock.duty ~period:5e-6 ~duty:0.5) in
+    (sys, Pwl.observable sys "out")
+  in
+  let sys_f, out_f = build true in
+  let sys_w, out_w = build false in
+  if not (Pwl.is_stable sys_f) then Alcotest.fail "stable with flicker";
+  let s_f = Psd.psd (Psd.prepare ~samples_per_phase:48 sys_f ~output:out_f) ~f:100.0 in
+  let s_w = Psd.psd (Psd.prepare ~samples_per_phase:48 sys_w ~output:out_w) ~f:100.0 in
+  if s_f <= s_w then Alcotest.fail "flicker should add low-frequency noise"
+
+(* --- Report --- *)
+
+let test_report_stable_circuit () =
+  let b = SRC.build (SRC.with_ratio ~t_over_rc:5.0 ~duty:0.5 ()) in
+  let module Report = Scnoise_core.Report in
+  let r =
+    Report.analyze ~samples_per_phase:48 ~band:(0.0, 1e6)
+      ~title:"switched rc" b.SRC.sys ~output:b.SRC.output
+  in
+  if not r.Report.stable then Alcotest.fail "stable";
+  check_close ~eps:1e-6 "variance kT/C" (Const.kt () /. 1e-9)
+    r.Report.variance_avg;
+  (match r.Report.band with
+  | Some (_, _, v) ->
+      (* 1 MHz band captures most of the kT/C power *)
+      if v < 0.9 *. r.Report.variance_avg || v > r.Report.variance_avg then
+        Alcotest.failf "band noise %g vs variance %g" v r.Report.variance_avg
+  | None -> Alcotest.fail "band requested");
+  (match r.Report.contributions with
+  | [ { label = "S1"; share; _ } ] ->
+      check_close ~eps:1e-9 "single source share" 1.0 share
+  | _ -> Alcotest.fail "contributions");
+  let s = Report.to_string r in
+  if String.length s < 200 then Alcotest.fail "report text too short"
+
+let test_report_unstable_circuit () =
+  let module INT = Scnoise_circuits.Sc_integrator in
+  let b = INT.build { INT.default with INT.cd = 0.0 } in
+  let module Report = Scnoise_core.Report in
+  let r = Report.analyze ~samples_per_phase:16 b.INT.sys ~output:b.INT.output in
+  if r.Report.stable then Alcotest.fail "marginal circuit reported stable";
+  if not (Float.is_nan r.Report.variance_avg) then
+    Alcotest.fail "unstable report should carry nan variance";
+  ignore (Report.to_string r)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "transfer",
+        [
+          Alcotest.test_case "lti gain" `Quick test_transfer_lti_gain;
+          Alcotest.test_case "lti no harmonics" `Quick test_transfer_lti_no_harmonics;
+          Alcotest.test_case "lowpass baseband" `Quick test_transfer_lowpass_baseband_gain;
+          Alcotest.test_case "lowpass harmonics" `Quick test_transfer_lowpass_has_harmonics;
+          Alcotest.test_case "validation" `Quick test_transfer_input_validation;
+          Alcotest.test_case "cap-coupled highpass" `Quick test_transfer_cap_coupled_highpass;
+        ] );
+      ( "freq_domain",
+        [
+          Alcotest.test_case "converges with K" `Slow test_fd_converges_to_closed_form;
+          Alcotest.test_case "K=0 underestimates" `Quick test_fd_k0_underestimates;
+          Alcotest.test_case "LTI exact" `Quick test_fd_matches_mft_lti;
+          Alcotest.test_case "per source" `Quick test_fd_per_source;
+        ] );
+      ( "flicker",
+        [
+          Alcotest.test_case "1/f slope" `Quick test_flicker_one_over_f_slope;
+          Alcotest.test_case "state count" `Quick test_flicker_state_count;
+          Alcotest.test_case "sections improve fit" `Quick test_flicker_sections_improve_fit;
+          Alcotest.test_case "contrib labels" `Quick test_flicker_labels_in_contrib;
+          Alcotest.test_case "validation" `Quick test_flicker_validation;
+          Alcotest.test_case "switched circuit" `Quick test_flicker_in_switched_circuit;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "stable" `Quick test_report_stable_circuit;
+          Alcotest.test_case "unstable" `Quick test_report_unstable_circuit;
+        ] );
+      ( "instantaneous",
+        [
+          Alcotest.test_case "average = psd" `Quick test_instantaneous_average_is_psd;
+          Alcotest.test_case "time varying" `Quick test_instantaneous_time_varying;
+          Alcotest.test_case "constant for LTI" `Quick test_instantaneous_constant_for_lti;
+          Alcotest.test_case "parseval" `Slow test_integrated_noise_parseval;
+          Alcotest.test_case "validation" `Quick test_integrated_noise_validation;
+        ] );
+    ]

@@ -1,0 +1,692 @@
+module Vec = Scnoise_linalg.Vec
+module Mat = Scnoise_linalg.Mat
+module Lu = Scnoise_linalg.Lu
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Cmat = Scnoise_linalg.Cmat
+module Clu = Scnoise_linalg.Clu
+module Expm = Scnoise_linalg.Expm
+module Kron = Scnoise_linalg.Kron
+module Lyapunov = Scnoise_linalg.Lyapunov
+module Vanloan = Scnoise_linalg.Vanloan
+module Eig = Scnoise_linalg.Eig
+module Chol = Scnoise_linalg.Chol
+
+let check_close ?(eps = 1e-10) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let check_mat_close ?(eps = 1e-10) msg expected actual =
+  let d = Mat.max_abs_diff expected actual in
+  let scale = 1.0 +. Mat.max_abs expected in
+  if d > eps *. scale then
+    Alcotest.failf "%s: max abs diff %g (scale %g)" msg d scale
+
+let mat_of rows = Mat.of_arrays (Array.of_list (List.map Array.of_list rows))
+
+(* deterministic pseudo-random matrices for property-ish unit tests *)
+let rand_state = Random.State.make [| 20260704 |]
+
+let random_mat n =
+  Mat.init n n (fun _ _ -> Random.State.float rand_state 2.0 -. 1.0)
+
+let random_stable_mat n =
+  (* diag-dominant negative-definite-ish: A = M - (n + spectral slack) I *)
+  let m = random_mat n in
+  Mat.sub m (Mat.scale (float_of_int n +. 1.0) (Mat.identity n))
+
+(* --- Vec --- *)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_close "dot" 32.0 (Vec.dot a b);
+  check_close "norm2" (sqrt 14.0) (Vec.norm2 a);
+  check_close "norm_inf" 3.0 (Vec.norm_inf a);
+  let c = Vec.add a b in
+  check_close "add" 9.0 c.(2);
+  let d = Vec.sub b a in
+  check_close "sub" 3.0 d.(0);
+  let y = Vec.copy b in
+  Vec.axpy 2.0 a y;
+  check_close "axpy" 6.0 y.(0);
+  check_close "max_abs_diff" 3.0 (Vec.max_abs_diff a b)
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: length mismatch")
+    (fun () -> ignore (Vec.dot [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* --- Mat --- *)
+
+let test_mat_mul_identity () =
+  let a = random_mat 5 in
+  check_mat_close "A I = A" a (Mat.mul a (Mat.identity 5));
+  check_mat_close "I A = A" a (Mat.mul (Mat.identity 5) a)
+
+let test_mat_transpose_involution () =
+  let a = random_mat 4 in
+  check_mat_close "transpose involution" a (Mat.transpose (Mat.transpose a))
+
+let test_mat_mul_assoc () =
+  let a = random_mat 4 and b = random_mat 4 and c = random_mat 4 in
+  check_mat_close "associativity"
+    (Mat.mul (Mat.mul a b) c)
+    (Mat.mul a (Mat.mul b c))
+
+let test_mat_mul_vec () =
+  let a = mat_of [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let v = [| 1.0; 1.0 |] in
+  let r = Mat.mul_vec a v in
+  check_close "r0" 3.0 r.(0);
+  check_close "r1" 7.0 r.(1);
+  let rt = Mat.mul_transpose_vec a v in
+  check_close "rt0" 4.0 rt.(0);
+  check_close "rt1" 6.0 rt.(1)
+
+let test_mat_submatrix_cat () =
+  let a = mat_of [ [ 1.0; 2.0; 3.0 ]; [ 4.0; 5.0; 6.0 ]; [ 7.0; 8.0; 9.0 ] ] in
+  let s = Mat.submatrix a ~rows:[ 0; 2 ] ~cols:[ 1 ] in
+  check_close "s00" 2.0 (Mat.get s 0 0);
+  check_close "s10" 8.0 (Mat.get s 1 0);
+  let h = Mat.hcat a a in
+  Alcotest.(check int) "hcat cols" 6 (Mat.cols h);
+  check_close "hcat" 1.0 (Mat.get h 0 3);
+  let v = Mat.vcat a a in
+  Alcotest.(check int) "vcat rows" 6 (Mat.rows v);
+  check_close "vcat" 1.0 (Mat.get v 3 0)
+
+let test_mat_norms () =
+  let a = mat_of [ [ 1.0; -2.0 ]; [ 3.0; 4.0 ] ] in
+  check_close "norm_inf" 7.0 (Mat.norm_inf a);
+  check_close "norm_fro" (sqrt 30.0) (Mat.norm_fro a);
+  check_close "max_abs" 4.0 (Mat.max_abs a)
+
+let test_mat_symmetrize () =
+  let a = mat_of [ [ 1.0; 2.0 ]; [ 0.0; 3.0 ] ] in
+  let s = Mat.symmetrize a in
+  check_close "off" 1.0 (Mat.get s 0 1);
+  check_close "off sym" 1.0 (Mat.get s 1 0)
+
+(* --- Lu --- *)
+
+let test_lu_solve_known () =
+  let a = mat_of [ [ 2.0; 1.0 ]; [ 1.0; 3.0 ] ] in
+  let x = Lu.solve_dense a [| 5.0; 10.0 |] in
+  check_close "x0" 1.0 x.(0);
+  check_close "x1" 3.0 x.(1)
+
+let test_lu_det () =
+  let a = mat_of [ [ 2.0; 1.0 ]; [ 1.0; 3.0 ] ] in
+  check_close "det" 5.0 (Lu.det (Lu.factor a));
+  (* permutation parity *)
+  let p = mat_of [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ] in
+  check_close "det of swap" (-1.0) (Lu.det (Lu.factor p))
+
+let test_lu_inverse () =
+  let a = random_mat 6 in
+  let inv = Lu.inverse (Lu.factor a) in
+  check_mat_close ~eps:1e-8 "A A^{-1} = I" (Mat.identity 6) (Mat.mul a inv)
+
+let test_lu_singular () =
+  let a = mat_of [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+  match Lu.factor a with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_lu_random_roundtrip () =
+  for _ = 1 to 20 do
+    let n = 1 + Random.State.int rand_state 8 in
+    let a = Mat.add (random_mat n) (Mat.scale (float_of_int n) (Mat.identity n)) in
+    let x = Array.init n (fun _ -> Random.State.float rand_state 2.0 -. 1.0) in
+    let b = Mat.mul_vec a x in
+    let x' = Lu.solve_dense a b in
+    if Vec.max_abs_diff x x' > 1e-9 then Alcotest.fail "solve roundtrip"
+  done
+
+let test_lu_solve_mat () =
+  let a = Mat.add (random_mat 4) (Mat.scale 5.0 (Mat.identity 4)) in
+  let b = random_mat 4 in
+  let x = Lu.solve_mat (Lu.factor a) b in
+  check_mat_close ~eps:1e-9 "A X = B" b (Mat.mul a x)
+
+let test_lu_rcond () =
+  let good = Mat.identity 3 in
+  if Lu.rcond_estimate (Lu.factor good) < 0.9 then Alcotest.fail "I rcond";
+  let bad = mat_of [ [ 1.0; 0.0 ]; [ 0.0; 1e-14 ] ] in
+  if Lu.rcond_estimate (Lu.factor bad) > 1e-10 then Alcotest.fail "bad rcond"
+
+(* --- complex --- *)
+
+let test_cx_arith () =
+  let open Cx in
+  let z = make 3.0 4.0 in
+  check_close "modulus" 5.0 (modulus z);
+  let w = z *: conj z in
+  check_close "z conj z re" 25.0 w.re;
+  check_close "z conj z im" 0.0 w.im;
+  let e = cis (Float.pi /. 2.0) in
+  check_close ~eps:1e-12 "cis re" 0.0 e.re;
+  check_close "cis im" 1.0 e.im;
+  if not (is_finite z) then Alcotest.fail "finite";
+  if is_finite (make nan 0.0) then Alcotest.fail "nan not finite"
+
+let test_cvec () =
+  let a = Cvec.init 3 (fun i -> Cx.make (float_of_int i) 1.0) in
+  check_close "norm2" (sqrt (0.0 +. 1.0 +. 1.0 +. 1.0 +. 4.0 +. 1.0))
+    (Cvec.norm2 a);
+  let r = Cvec.real a in
+  check_close "real part" 2.0 r.(2);
+  let s = Cvec.scale (Cx.make 0.0 1.0) a in
+  check_close "i*(0+1i) = -1" (-1.0) s.(0).Cx.re
+
+let test_clu_roundtrip () =
+  let n = 5 in
+  let a =
+    Cmat.init n n (fun i j ->
+        let d = if i = j then 6.0 else 0.0 in
+        Cx.make
+          (d +. Random.State.float rand_state 1.0)
+          (Random.State.float rand_state 1.0))
+  in
+  let x = Cvec.init n (fun _ -> Cx.make (Random.State.float rand_state 1.0) 0.5) in
+  let b = Cmat.mul_vec a x in
+  let x' = Clu.solve_dense a b in
+  if Cvec.max_abs_diff x x' > 1e-9 then Alcotest.fail "complex solve roundtrip"
+
+let test_clu_inverse_det () =
+  let a = Cmat.of_real (Mat.identity 3) in
+  Cmat.set a 0 1 (Cx.make 0.0 2.0);
+  let f = Clu.factor a in
+  let d = Clu.det f in
+  check_close "det re" 1.0 d.Cx.re;
+  check_close "det im" 0.0 d.Cx.im;
+  let inv = Clu.inverse f in
+  let prod = Cmat.mul a inv in
+  if Cmat.max_abs_diff prod (Cmat.identity 3) > 1e-10 then
+    Alcotest.fail "A A^{-1} = I (complex)"
+
+let test_cmat_hermitian () =
+  let a = Cmat.create 2 2 in
+  Cmat.set a 0 0 (Cx.re 1.0);
+  Cmat.set a 1 1 (Cx.re 2.0);
+  Cmat.set a 0 1 (Cx.make 1.0 3.0);
+  Cmat.set a 1 0 (Cx.make 1.0 (-3.0));
+  if not (Cmat.is_hermitian a) then Alcotest.fail "hermitian";
+  Cmat.set a 1 0 (Cx.make 1.0 3.0);
+  if Cmat.is_hermitian a then Alcotest.fail "not hermitian"
+
+(* --- Expm --- *)
+
+let test_expm_zero () =
+  check_mat_close "expm 0 = I" (Mat.identity 4) (Expm.expm (Mat.create 4 4))
+
+let test_expm_diag () =
+  let a = Mat.diag [| 1.0; -2.0; 0.5 |] in
+  let e = Expm.expm a in
+  check_close "e^1" (exp 1.0) (Mat.get e 0 0);
+  check_close "e^-2" (exp (-2.0)) (Mat.get e 1 1);
+  check_close "e^0.5" (exp 0.5) (Mat.get e 2 2);
+  check_close "off-diag" 0.0 (Mat.get e 0 1)
+
+let test_expm_nilpotent () =
+  let a = mat_of [ [ 0.0; 1.0 ]; [ 0.0; 0.0 ] ] in
+  let e = Expm.expm a in
+  check_mat_close "expm nilpotent" (mat_of [ [ 1.0; 1.0 ]; [ 0.0; 1.0 ] ]) e
+
+let test_expm_rotation () =
+  let w = 3.0 in
+  let a = mat_of [ [ 0.0; -.w ]; [ w; 0.0 ] ] in
+  let t = 0.7 in
+  let e = Expm.expm_scaled a t in
+  let c = cos (w *. t) and s = sin (w *. t) in
+  check_mat_close "rotation" (mat_of [ [ c; -.s ]; [ s; c ] ]) e
+
+let test_expm_inverse_property () =
+  let a = random_mat 5 in
+  let e1 = Expm.expm a in
+  let e2 = Expm.expm (Mat.scale (-1.0) a) in
+  check_mat_close ~eps:1e-8 "e^A e^{-A} = I" (Mat.identity 5) (Mat.mul e1 e2)
+
+let test_expm_large_norm () =
+  (* exercises scaling-and-squaring: stiff decay rate *)
+  let a = Mat.diag [| -1e6; -2e6 |] in
+  let e = Expm.expm_scaled a 1e-5 in
+  check_close ~eps:1e-9 "stiff decay" (exp (-10.0)) (Mat.get e 0 0);
+  check_close ~eps:1e-9 "stiff decay 2" (exp (-20.0)) (Mat.get e 1 1)
+
+let test_expm_semigroup () =
+  let a = random_mat 4 in
+  let half = Expm.expm_scaled a 0.5 in
+  let full = Expm.expm a in
+  check_mat_close ~eps:1e-8 "e^{A} = (e^{A/2})²" full (Mat.mul half half)
+
+(* --- Kron --- *)
+
+let test_kron_identity () =
+  let a = random_mat 3 in
+  check_mat_close "I1 ⊗ A" a (Kron.kron (Mat.identity 1) a)
+
+let test_vec_unvec_roundtrip () =
+  let a = Mat.init 3 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  check_mat_close "unvec ∘ vec" a (Kron.unvec 3 4 (Kron.vec a))
+
+let test_kron_vec_identity () =
+  (* vec(A X B) = (Bᵀ ⊗ A) vec X *)
+  let a = random_mat 3 and x = random_mat 3 and b = random_mat 3 in
+  let lhs = Kron.vec (Mat.mul a (Mat.mul x b)) in
+  let rhs = Mat.mul_vec (Kron.kron (Mat.transpose b) a) (Kron.vec x) in
+  if Vec.max_abs_diff lhs rhs > 1e-10 then Alcotest.fail "kron-vec identity"
+
+(* --- Eig --- *)
+
+let sort_complex zs =
+  let l = Array.to_list zs in
+  List.sort
+    (fun (a : Cx.t) (b : Cx.t) ->
+      match compare a.re b.re with 0 -> compare a.im b.im | c -> c)
+    l
+
+let check_spectrum ?(eps = 1e-8) msg expected actual =
+  let e = sort_complex expected and a = sort_complex actual in
+  if List.length e <> List.length a then Alcotest.failf "%s: count" msg;
+  List.iter2
+    (fun (x : Cx.t) (y : Cx.t) ->
+      if Cx.modulus (Cx.( -: ) x y) > eps *. (1.0 +. Cx.modulus x) then
+        Alcotest.failf "%s: eigenvalue mismatch (%g%+gi) vs (%g%+gi)" msg x.re
+          x.im y.re y.im)
+    e a
+
+let test_eig_diag () =
+  let a = Mat.diag [| 3.0; -1.0; 7.0 |] in
+  check_spectrum "diag"
+    [| Cx.re 3.0; Cx.re (-1.0); Cx.re 7.0 |]
+    (Eig.eigenvalues a)
+
+let test_eig_triangular () =
+  let a = mat_of [ [ 2.0; 5.0; 1.0 ]; [ 0.0; -3.0; 2.0 ]; [ 0.0; 0.0; 4.0 ] ] in
+  check_spectrum "triangular"
+    [| Cx.re 2.0; Cx.re (-3.0); Cx.re 4.0 |]
+    (Eig.eigenvalues a)
+
+let test_eig_rotation () =
+  let a = mat_of [ [ 0.0; -1.0 ]; [ 1.0; 0.0 ] ] in
+  check_spectrum "rotation"
+    [| Cx.make 0.0 1.0; Cx.make 0.0 (-1.0) |]
+    (Eig.eigenvalues a)
+
+let test_eig_ring_oscillator () =
+  (* Linear 3-stage ring oscillator from the source paper: per stage
+     dV_i/dt = (1/RC)(-V_i - 2 V_{i-1}); eigenvalues -3/RC and
+     ±j·sqrt(3)/RC. *)
+  let rc = 2e-9 in
+  let g = 1.0 /. rc in
+  let a =
+    mat_of
+      [
+        [ -.g; 0.0; -2.0 *. g ];
+        [ -2.0 *. g; -.g; 0.0 ];
+        [ 0.0; -2.0 *. g; -.g ];
+      ]
+  in
+  let s3 = sqrt 3.0 in
+  check_spectrum ~eps:1e-6 "ring oscillator"
+    [| Cx.re (-3.0 *. g); Cx.make 0.0 (s3 *. g); Cx.make 0.0 (-.s3 *. g) |]
+    (Eig.eigenvalues a)
+
+let test_eig_trace_det () =
+  for _ = 1 to 10 do
+    let n = 2 + Random.State.int rand_state 6 in
+    let a = random_mat n in
+    let eigs = Eig.eigenvalues a in
+    let tr = ref 0.0 in
+    for i = 0 to n - 1 do
+      tr := !tr +. Mat.get a i i
+    done;
+    let sum = Array.fold_left Cx.( +: ) Cx.zero eigs in
+    check_close ~eps:1e-7 "trace = sum of eigenvalues" !tr sum.Cx.re;
+    if abs_float sum.Cx.im > 1e-7 then Alcotest.fail "eig sum not real";
+    let det = Lu.det (Lu.factor a) in
+    let prod = Array.fold_left Cx.( *: ) Cx.one eigs in
+    check_close ~eps:1e-6 "det = product of eigenvalues" det prod.Cx.re
+  done
+
+let test_eig_spectral_radius () =
+  let a = mat_of [ [ 0.5; 0.4 ]; [ 0.0; -0.3 ] ] in
+  check_close "radius" 0.5 (Eig.spectral_radius a);
+  if not (Eig.is_schur_stable a) then Alcotest.fail "schur stable";
+  check_close "abscissa" 0.5 (Eig.spectral_abscissa a)
+
+let test_hessenberg_structure_and_spectrum () =
+  let a = random_mat 6 in
+  let h = Eig.hessenberg a in
+  (* zero below the first subdiagonal *)
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if i > j + 1 && abs_float (Mat.get h i j) > 1e-12 then
+        Alcotest.failf "H(%d,%d) = %g not annihilated" i j (Mat.get h i j)
+    done
+  done;
+  (* similarity: same spectrum *)
+  check_spectrum ~eps:1e-7 "hessenberg similarity" (Eig.eigenvalues a)
+    (Eig.eigenvalues h)
+
+let test_eig_companion () =
+  (* companion of p(x) = x³ - 6x² + 11x - 6 = (x-1)(x-2)(x-3) *)
+  let a =
+    mat_of [ [ 6.0; -11.0; 6.0 ]; [ 1.0; 0.0; 0.0 ]; [ 0.0; 1.0; 0.0 ] ]
+  in
+  check_spectrum ~eps:1e-7 "companion"
+    [| Cx.re 1.0; Cx.re 2.0; Cx.re 3.0 |]
+    (Eig.eigenvalues a)
+
+(* --- Lyapunov --- *)
+
+let test_lyap_continuous_scalar () =
+  let a = mat_of [ [ -2.0 ] ] and q = mat_of [ [ 4.0 ] ] in
+  let x = Lyapunov.solve_continuous a q in
+  check_close "scalar lyap" 1.0 (Mat.get x 0 0)
+
+let test_lyap_continuous_residual () =
+  let a = random_stable_mat 5 in
+  let b = random_mat 5 in
+  let q = Mat.mul b (Mat.transpose b) in
+  let x = Lyapunov.solve_continuous a q in
+  let resid =
+    Mat.add (Mat.add (Mat.mul a x) (Mat.mul x (Mat.transpose a))) q
+  in
+  if Mat.max_abs resid > 1e-8 *. (1.0 +. Mat.max_abs q) then
+    Alcotest.fail "continuous lyapunov residual"
+
+let test_lyap_discrete_kron_vs_doubling () =
+  let phi = Mat.scale 0.4 (random_mat 5) in
+  let b = random_mat 5 in
+  let q = Mat.mul b (Mat.transpose b) in
+  let x1 = Lyapunov.solve_discrete_kron phi q in
+  let x2 = Lyapunov.solve_discrete_doubling phi q in
+  check_mat_close ~eps:1e-10 "kron vs doubling" x1 x2;
+  check_close ~eps:1e-9 "residual kron" 0.0
+    (Lyapunov.residual_discrete phi q x1);
+  check_close ~eps:1e-9 "residual doubling" 0.0
+    (Lyapunov.residual_discrete phi q x2)
+
+let test_lyap_discrete_unstable () =
+  let phi = Mat.scale 1.5 (Mat.identity 3) in
+  let q = Mat.identity 3 in
+  match Lyapunov.solve_discrete_doubling phi q with
+  | exception Lyapunov.Not_stable _ -> ()
+  | _ -> Alcotest.fail "expected Not_stable"
+
+(* --- Van Loan --- *)
+
+let test_vanloan_scalar_rc () =
+  (* dx = a x dt + sqrt(q0) dW: Phi = e^{a tau},
+     Qd = q0 (e^{2 a tau} - 1)/(2a). *)
+  let a0 = -3.0 and q0 = 2.0 and tau = 0.4 in
+  let d =
+    Vanloan.discretize ~a:(mat_of [ [ a0 ] ]) ~q:(mat_of [ [ q0 ] ]) ~tau
+  in
+  check_close "phi" (exp (a0 *. tau)) (Mat.get d.Vanloan.phi 0 0);
+  check_close "qd"
+    (q0 *. ((exp (2.0 *. a0 *. tau) -. 1.0) /. (2.0 *. a0)))
+    (Mat.get d.Vanloan.qd 0 0)
+
+let test_vanloan_zero_tau () =
+  let d =
+    Vanloan.discretize ~a:(random_mat 3) ~q:(Mat.identity 3) ~tau:0.0
+  in
+  check_mat_close "phi = I" (Mat.identity 3) d.Vanloan.phi;
+  check_close "qd = 0" 0.0 (Mat.max_abs d.Vanloan.qd)
+
+let test_vanloan_compose () =
+  (* Discretising over tau must equal two successive tau/2 steps. *)
+  let a = random_stable_mat 4 in
+  let b = random_mat 4 in
+  let q = Mat.mul b (Mat.transpose b) in
+  let full = Vanloan.discretize ~a ~q ~tau:0.3 in
+  let half = Vanloan.discretize ~a ~q ~tau:0.15 in
+  let phi2 = Mat.mul half.Vanloan.phi half.Vanloan.phi in
+  check_mat_close ~eps:1e-9 "phi composes" full.Vanloan.phi phi2;
+  let qd2 = Vanloan.propagate half half.Vanloan.qd in
+  check_mat_close ~eps:1e-9 "qd composes" full.Vanloan.qd qd2
+
+let test_vanloan_stationary_limit () =
+  (* For stable A, the discrete steady state over any tau equals the
+     continuous Lyapunov solution. *)
+  let a = random_stable_mat 4 in
+  let b = random_mat 4 in
+  let q = Mat.mul b (Mat.transpose b) in
+  let k_inf = Lyapunov.solve_continuous a q in
+  let d = Vanloan.discretize ~a ~q ~tau:0.7 in
+  let k_dis = Lyapunov.solve_discrete_kron d.Vanloan.phi d.Vanloan.qd in
+  check_mat_close ~eps:1e-7 "continuous vs discrete steady state" k_inf k_dis
+
+let test_vanloan_stiff_path_matches_chunked () =
+  (* above the stiffness threshold the implementation switches to the
+     stationary form; it must agree with composing many safe augmented
+     steps *)
+  let a = Mat.diag [| -1e8; -3e7 |] in
+  let b = mat_of [ [ 1.0; 0.2 ]; [ 0.0; 0.5 ] ] in
+  let q = Mat.mul b (Mat.transpose b) in
+  let tau = 1e-5 in
+  (* stiffness 1e3 >> threshold *)
+  assert (Mat.norm_inf a *. tau > Vanloan.stiff_threshold);
+  let d = Vanloan.discretize ~a ~q ~tau in
+  let chunks = 200 in
+  let step = Vanloan.discretize ~a ~q ~tau:(tau /. float_of_int chunks) in
+  let phi = ref (Mat.identity 2) and qd = ref (Mat.create 2 2) in
+  for _ = 1 to chunks do
+    phi := Mat.mul step.Vanloan.phi !phi;
+    qd := Vanloan.propagate step !qd
+  done;
+  check_mat_close ~eps:1e-9 "phi stiff" !phi d.Vanloan.phi;
+  check_mat_close ~eps:1e-9 "qd stiff" !qd d.Vanloan.qd
+
+let test_vanloan_marginal_chunked_fallback () =
+  (* A = 0 (lossless): qd must be exactly Q tau, via the chunked
+     fallback when the scaled norm is large *)
+  let q = mat_of [ [ 2.0; 0.5 ]; [ 0.5; 1.0 ] ] in
+  let d = Vanloan.discretize ~a:(Mat.create 2 2) ~q ~tau:0.7 in
+  check_mat_close "phi = I" (Mat.identity 2) d.Vanloan.phi;
+  check_mat_close ~eps:1e-12 "qd = Q tau" (Mat.scale 0.7 q) d.Vanloan.qd;
+  (* and a marginal-but-large-norm case takes the chunked path *)
+  let a = mat_of [ [ 0.0; 1e6 ]; [ -1e6; 0.0 ] ] in
+  (* pure rotation: Lyapunov operator singular *)
+  let d2 = Vanloan.discretize ~a ~q:(Mat.identity 2) ~tau:1e-3 in
+  (* the transition must stay orthogonal (energy preserved) *)
+  let gram = Mat.mul (Mat.transpose d2.Vanloan.phi) d2.Vanloan.phi in
+  check_mat_close ~eps:1e-9 "orthogonal phi" (Mat.identity 2) gram;
+  (* and the accumulated noise of an isotropic rotation is tau I *)
+  check_mat_close ~eps:1e-9 "qd rotation" (Mat.scale 1e-3 (Mat.identity 2))
+    d2.Vanloan.qd
+
+let test_vanloan_discretize_b () =
+  let a = mat_of [ [ -1.0; 0.0 ]; [ 0.0; -2.0 ] ] in
+  let b = mat_of [ [ 1.0; 1.0 ]; [ 0.0; 1.0 ] ] in
+  let d1 = Vanloan.discretize_b ~a ~b ~tau:0.2 in
+  let d2 =
+    Vanloan.discretize ~a ~q:(Mat.mul b (Mat.transpose b)) ~tau:0.2
+  in
+  check_mat_close "b wrapper" d2.Vanloan.qd d1.Vanloan.qd
+
+(* --- Chol --- *)
+
+let test_chol_known () =
+  let m = mat_of [ [ 4.0; 2.0 ]; [ 2.0; 5.0 ] ] in
+  let l = Chol.factor m in
+  check_mat_close "L Lt = M" m (Mat.mul l (Mat.transpose l));
+  check_close "l00" 2.0 (Mat.get l 0 0);
+  check_close "upper zero" 0.0 (Mat.get l 0 1)
+
+let test_chol_solve () =
+  let m = mat_of [ [ 4.0; 2.0 ]; [ 2.0; 5.0 ] ] in
+  let l = Chol.factor m in
+  let x = [| 1.0; -2.0 |] in
+  let b = Mat.mul_vec m x in
+  let x' = Chol.solve l b in
+  if Vec.max_abs_diff x x' > 1e-12 then Alcotest.fail "chol solve"
+
+let test_chol_random_spd () =
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int rand_state 6 in
+    let g = random_mat n in
+    let m = Mat.add (Mat.mul g (Mat.transpose g)) (Mat.scale 0.1 (Mat.identity n)) in
+    let l = Chol.factor m in
+    check_mat_close ~eps:1e-9 "random spd" m (Mat.mul l (Mat.transpose l))
+  done
+
+let test_chol_semidefinite () =
+  (* rank-1 PSD matrix: factorisation must not fail *)
+  let v = [| 1.0; 2.0; 3.0 |] in
+  let m = Mat.init 3 3 (fun i j -> v.(i) *. v.(j)) in
+  let l = Chol.factor m in
+  check_mat_close ~eps:1e-6 "rank-1" m (Mat.mul l (Mat.transpose l))
+
+let test_chol_is_psd () =
+  if not (Chol.is_psd (Mat.identity 3)) then Alcotest.fail "I is psd";
+  let indef = mat_of [ [ 1.0; 2.0 ]; [ 2.0; 1.0 ] ] in
+  if Chol.is_psd indef then Alcotest.fail "indefinite accepted"
+
+let test_chol_indefinite_raises () =
+  let indef = mat_of [ [ -1.0; 0.0 ]; [ 0.0; -1.0 ] ] in
+  match Chol.factor indef with
+  | exception Chol.Not_psd _ -> ()
+  | _ -> Alcotest.fail "negative definite accepted"
+
+(* --- qcheck properties --- *)
+
+let small_mat_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    list_repeat (n * n) (float_range (-2.0) 2.0) >|= fun xs ->
+    (n, Array.of_list xs))
+
+let small_mat_arb =
+  QCheck.make
+    ~print:(fun (n, d) ->
+      Printf.sprintf "n=%d [%s]" n
+        (String.concat ";" (Array.to_list (Array.map string_of_float d))))
+    small_mat_gen
+
+let mat_of_flat (n, d) = Mat.init n n (fun i j -> d.((i * n) + j))
+
+let prop_expm_det =
+  (* det e^A = e^{tr A} *)
+  QCheck.Test.make ~count:50 ~name:"det expm = exp trace" small_mat_arb
+    (fun (n, d) ->
+      let a = mat_of_flat (n, d) in
+      let e = Expm.expm a in
+      let tr = ref 0.0 in
+      for i = 0 to n - 1 do
+        tr := !tr +. Mat.get a i i
+      done;
+      let det = Lu.det (Lu.factor e) in
+      abs_float (det -. exp !tr) <= 1e-6 *. (1.0 +. exp !tr))
+
+let prop_lu_solve =
+  QCheck.Test.make ~count:50 ~name:"lu solves diagonally dominated systems"
+    small_mat_arb (fun (n, d) ->
+      let a =
+        Mat.add (mat_of_flat (n, d))
+          (Mat.scale (3.0 *. float_of_int n) (Mat.identity n))
+      in
+      let x = Array.init n (fun i -> float_of_int i +. 0.5) in
+      let b = Mat.mul_vec a x in
+      let x' = Lu.solve_dense a b in
+      Vec.max_abs_diff x x' <= 1e-8)
+
+let prop_eig_count =
+  QCheck.Test.make ~count:50 ~name:"eigenvalue count = n" small_mat_arb
+    (fun (n, d) -> Array.length (Eig.eigenvalues (mat_of_flat (n, d))) = n)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "mismatch" `Quick test_vec_mismatch;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul identity" `Quick test_mat_mul_identity;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose_involution;
+          Alcotest.test_case "mul assoc" `Quick test_mat_mul_assoc;
+          Alcotest.test_case "mul_vec" `Quick test_mat_mul_vec;
+          Alcotest.test_case "submatrix/cat" `Quick test_mat_submatrix_cat;
+          Alcotest.test_case "norms" `Quick test_mat_norms;
+          Alcotest.test_case "symmetrize" `Quick test_mat_symmetrize;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve known" `Quick test_lu_solve_known;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "random roundtrip" `Quick test_lu_random_roundtrip;
+          Alcotest.test_case "solve_mat" `Quick test_lu_solve_mat;
+          Alcotest.test_case "rcond" `Quick test_lu_rcond;
+          QCheck_alcotest.to_alcotest prop_lu_solve;
+        ] );
+      ( "complex",
+        [
+          Alcotest.test_case "cx arith" `Quick test_cx_arith;
+          Alcotest.test_case "cvec" `Quick test_cvec;
+          Alcotest.test_case "clu roundtrip" `Quick test_clu_roundtrip;
+          Alcotest.test_case "clu inverse/det" `Quick test_clu_inverse_det;
+          Alcotest.test_case "hermitian" `Quick test_cmat_hermitian;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "zero" `Quick test_expm_zero;
+          Alcotest.test_case "diag" `Quick test_expm_diag;
+          Alcotest.test_case "nilpotent" `Quick test_expm_nilpotent;
+          Alcotest.test_case "rotation" `Quick test_expm_rotation;
+          Alcotest.test_case "inverse" `Quick test_expm_inverse_property;
+          Alcotest.test_case "stiff" `Quick test_expm_large_norm;
+          Alcotest.test_case "semigroup" `Quick test_expm_semigroup;
+          QCheck_alcotest.to_alcotest prop_expm_det;
+        ] );
+      ( "kron",
+        [
+          Alcotest.test_case "identity" `Quick test_kron_identity;
+          Alcotest.test_case "vec roundtrip" `Quick test_vec_unvec_roundtrip;
+          Alcotest.test_case "vec(AXB)" `Quick test_kron_vec_identity;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "diag" `Quick test_eig_diag;
+          Alcotest.test_case "triangular" `Quick test_eig_triangular;
+          Alcotest.test_case "rotation" `Quick test_eig_rotation;
+          Alcotest.test_case "ring oscillator" `Quick test_eig_ring_oscillator;
+          Alcotest.test_case "trace/det" `Quick test_eig_trace_det;
+          Alcotest.test_case "spectral radius" `Quick test_eig_spectral_radius;
+          Alcotest.test_case "companion" `Quick test_eig_companion;
+          Alcotest.test_case "hessenberg" `Quick test_hessenberg_structure_and_spectrum;
+          QCheck_alcotest.to_alcotest prop_eig_count;
+        ] );
+      ( "chol",
+        [
+          Alcotest.test_case "known" `Quick test_chol_known;
+          Alcotest.test_case "solve" `Quick test_chol_solve;
+          Alcotest.test_case "random spd" `Quick test_chol_random_spd;
+          Alcotest.test_case "semidefinite" `Quick test_chol_semidefinite;
+          Alcotest.test_case "is_psd" `Quick test_chol_is_psd;
+          Alcotest.test_case "indefinite" `Quick test_chol_indefinite_raises;
+        ] );
+      ( "lyapunov",
+        [
+          Alcotest.test_case "continuous scalar" `Quick test_lyap_continuous_scalar;
+          Alcotest.test_case "continuous residual" `Quick test_lyap_continuous_residual;
+          Alcotest.test_case "kron vs doubling" `Quick test_lyap_discrete_kron_vs_doubling;
+          Alcotest.test_case "unstable raises" `Quick test_lyap_discrete_unstable;
+        ] );
+      ( "vanloan",
+        [
+          Alcotest.test_case "scalar rc" `Quick test_vanloan_scalar_rc;
+          Alcotest.test_case "zero tau" `Quick test_vanloan_zero_tau;
+          Alcotest.test_case "composition" `Quick test_vanloan_compose;
+          Alcotest.test_case "stationary limit" `Quick test_vanloan_stationary_limit;
+          Alcotest.test_case "b wrapper" `Quick test_vanloan_discretize_b;
+          Alcotest.test_case "stiff path" `Quick test_vanloan_stiff_path_matches_chunked;
+          Alcotest.test_case "marginal fallback" `Quick test_vanloan_marginal_chunked_fallback;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+module Db = Scnoise_util.Db
+module Const = Scnoise_util.Const
+module Clock = Scnoise_circuit.Clock
+module Netlist = Scnoise_circuit.Netlist
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+module Psd = Scnoise_core.Psd
+module Esd = Scnoise_noise.Esd_transient
+module Mc = Scnoise_noise.Monte_carlo
+module A_src = Scnoise_analytic.Switched_rc
+module C_src = Scnoise_circuits.Switched_rc
+module Lti = Scnoise_analytic.Lti
+
+let check_db ?(tol = 0.05) msg expected actual =
+  let d = abs_float (Db.of_power expected -. Db.of_power actual) in
+  if d > tol then
+    Alcotest.failf "%s: %g vs %g differ by %.3f dB (tol %.3f)" msg expected
+      actual d tol
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let switched_rc ?(t_over_rc = 5.0) ?(duty = 0.5) () =
+  C_src.build (C_src.with_ratio ~t_over_rc ~duty ())
+
+let plain_rc r c =
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.resistor ~name:"R" nl out Netlist.ground r;
+  Netlist.capacitor nl out Netlist.ground c;
+  let sys = Compile.compile nl (Clock.make [ 1e-6 ]) in
+  (sys, Pwl.observable sys "out")
+
+(* --- brute-force engine --- *)
+
+let test_esd_matches_analytic () =
+  let b = switched_rc () in
+  let a =
+    A_src.make ~r:b.C_src.params.C_src.r ~c:b.C_src.params.C_src.c
+      ~period:b.C_src.params.C_src.period ~duty:b.C_src.params.C_src.duty ()
+  in
+  List.iter
+    (fun f ->
+      let r = Esd.psd ~tol_db:0.01 b.C_src.sys ~output:b.C_src.output ~f in
+      (* convergence tolerance dominates the error budget *)
+      check_db ~tol:0.1 (Printf.sprintf "f=%g" f) (A_src.psd a f) r.Esd.psd)
+    [ 1e3; 1e5; 5e5 ]
+
+let test_esd_matches_mft () =
+  let b = switched_rc ~t_over_rc:20.0 ~duty:0.25 () in
+  let eng = Psd.prepare b.C_src.sys ~output:b.C_src.output in
+  List.iter
+    (fun f ->
+      let r = Esd.psd ~tol_db:0.01 b.C_src.sys ~output:b.C_src.output ~f in
+      check_db ~tol:0.1 (Printf.sprintf "f=%g" f) (Psd.psd eng ~f) r.Esd.psd)
+    [ 1e3; 2e5 ]
+
+let test_esd_history_monotone_time () =
+  let b = switched_rc () in
+  let r = Esd.psd b.C_src.sys ~output:b.C_src.output ~f:1e4 in
+  let times = Array.map fst r.Esd.history in
+  for i = 1 to Array.length times - 1 do
+    if times.(i) <= times.(i - 1) then Alcotest.fail "history times not increasing"
+  done;
+  Alcotest.(check int) "history length = periods" r.Esd.periods
+    (Array.length r.Esd.history)
+
+let test_esd_convergence_tightens () =
+  (* a tighter tolerance cannot converge in fewer periods *)
+  let b = switched_rc () in
+  let loose = Esd.psd ~tol_db:0.5 b.C_src.sys ~output:b.C_src.output ~f:1e4 in
+  let tight = Esd.psd ~tol_db:0.01 b.C_src.sys ~output:b.C_src.output ~f:1e4 in
+  if tight.Esd.periods < loose.Esd.periods then
+    Alcotest.fail "tighter tolerance converged faster";
+  (* and the tight run is closer to the mft value *)
+  let eng = Psd.prepare b.C_src.sys ~output:b.C_src.output in
+  let exact = Psd.psd eng ~f:1e4 in
+  let err r = abs_float (Db.of_power r.Esd.psd -. Db.of_power exact) in
+  if err tight > err loose +. 0.01 then
+    Alcotest.fail "tighter tolerance ended farther from the reference"
+
+let test_esd_max_periods () =
+  let b = switched_rc () in
+  match
+    Esd.psd ~tol_db:1e-9 ~max_periods:3 b.C_src.sys ~output:b.C_src.output
+      ~f:1e4
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected max_periods failure"
+
+let test_esd_sweep () =
+  let b = switched_rc () in
+  let s = Esd.sweep b.C_src.sys ~output:b.C_src.output [| 1e3; 1e5 |] in
+  Alcotest.(check int) "two points" 2 (Array.length s);
+  if s.(0) <= s.(1) then Alcotest.fail "spectrum should fall with frequency here"
+
+let test_esd_lti () =
+  let r = 1e3 and c = 1e-9 in
+  let sys, out = plain_rc r c in
+  (* starting from zero initial conditions the running estimate carries
+     an O(1/t) startup deficit; 0.3 dB reflects the method's honest
+     accuracy at this stopping tolerance *)
+  let res = Esd.psd ~tol_db:0.01 sys ~output:out ~f:0.0 in
+  check_db ~tol:0.3 "2kTR" (2.0 *. Const.kt () *. r) res.Esd.psd
+
+let test_esd_periodic_init_reduces_bias () =
+  (* starting from the periodic covariance removes the covariance part of
+     the startup deficit (the cross-spectral density still starts from
+     zero): at equal stopping tolerance the `Periodic run must land at
+     least as close to the reference as the `Zero run *)
+  let r = 1e3 and c = 1e-9 in
+  let sys, out = plain_rc r c in
+  let reference = 2.0 *. Const.kt () *. r in
+  let err init =
+    let res = Esd.psd ~tol_db:0.01 ~init sys ~output:out ~f:0.0 in
+    abs_float (Db.of_power res.Esd.psd -. Db.of_power reference)
+  in
+  let e_zero = err `Zero and e_per = err `Periodic in
+  if e_per > e_zero +. 0.005 then
+    Alcotest.failf "periodic init worse: %g vs %g dB" e_per e_zero;
+  if e_per > 0.2 then
+    Alcotest.failf "periodic init should be within 0.2 dB, got %g dB" e_per
+
+(* --- Monte-Carlo engine --- *)
+
+let test_mc_plain_rc () =
+  let r = 1e3 and c = 1e-9 in
+  let sys, out = plain_rc r c in
+  let est =
+    Mc.estimate ~seed:7L ~paths:8 ~segments_per_path:8 sys ~output:out
+      ~freqs:[| 0.0; 1.59155e5 |]
+  in
+  check_close ~eps:0.03 "variance kT/C" (Const.kt () /. c) est.Mc.variance;
+  check_db ~tol:0.7 "DC PSD" (Lti.rc_lowpass_psd ~r ~c 0.0) est.Mc.psd.(0);
+  check_db ~tol:0.7 "corner PSD"
+    (Lti.rc_lowpass_psd ~r ~c 1.59155e5)
+    est.Mc.psd.(1)
+
+let test_mc_switched_rc () =
+  let b = switched_rc () in
+  let a =
+    A_src.make ~r:b.C_src.params.C_src.r ~c:b.C_src.params.C_src.c
+      ~period:b.C_src.params.C_src.period ~duty:b.C_src.params.C_src.duty ()
+  in
+  let freqs = [| 1e4; 1e5 |] in
+  let est =
+    Mc.estimate ~seed:11L ~paths:12 ~segments_per_path:12 b.C_src.sys
+      ~output:b.C_src.output ~freqs
+  in
+  Array.iteri
+    (fun i f ->
+      check_db ~tol:0.8 (Printf.sprintf "f=%g" f) (A_src.psd a f) est.Mc.psd.(i))
+    freqs;
+  check_close ~eps:0.05 "variance" (A_src.variance a) est.Mc.variance
+
+let test_mc_deterministic_given_seed () =
+  let b = switched_rc () in
+  let run () =
+    (Mc.estimate ~seed:3L ~paths:2 ~segments_per_path:2 b.C_src.sys
+       ~output:b.C_src.output ~freqs:[| 1e4 |])
+      .Mc.psd.(0)
+  in
+  if run () <> run () then Alcotest.fail "same seed must reproduce"
+
+let test_mc_seed_variation () =
+  let b = switched_rc () in
+  let run seed =
+    (Mc.estimate ~seed ~paths:2 ~segments_per_path:2 b.C_src.sys
+       ~output:b.C_src.output ~freqs:[| 1e4 |])
+      .Mc.psd.(0)
+  in
+  if run 1L = run 2L then Alcotest.fail "different seeds should differ"
+
+let test_mc_segment_count () =
+  let b = switched_rc () in
+  let est =
+    Mc.estimate ~paths:3 ~segments_per_path:4 b.C_src.sys
+      ~output:b.C_src.output ~freqs:[| 1e4 |]
+  in
+  Alcotest.(check int) "segments" 12 est.Mc.segments
+
+let () =
+  Alcotest.run "noise"
+    [
+      ( "esd_transient",
+        [
+          Alcotest.test_case "matches analytic" `Quick test_esd_matches_analytic;
+          Alcotest.test_case "matches mft" `Quick test_esd_matches_mft;
+          Alcotest.test_case "history" `Quick test_esd_history_monotone_time;
+          Alcotest.test_case "tolerance" `Quick test_esd_convergence_tightens;
+          Alcotest.test_case "max periods" `Quick test_esd_max_periods;
+          Alcotest.test_case "sweep" `Quick test_esd_sweep;
+          Alcotest.test_case "lti" `Quick test_esd_lti;
+          Alcotest.test_case "periodic init" `Quick test_esd_periodic_init_reduces_bias;
+        ] );
+      ( "monte_carlo",
+        [
+          Alcotest.test_case "plain rc" `Slow test_mc_plain_rc;
+          Alcotest.test_case "switched rc" `Slow test_mc_switched_rc;
+          Alcotest.test_case "deterministic" `Quick test_mc_deterministic_given_seed;
+          Alcotest.test_case "seed variation" `Quick test_mc_seed_variation;
+          Alcotest.test_case "segment count" `Quick test_mc_segment_count;
+        ] );
+    ]

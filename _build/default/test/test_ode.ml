@@ -1,0 +1,248 @@
+module Vec = Scnoise_linalg.Vec
+module Mat = Scnoise_linalg.Mat
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Rk4 = Scnoise_ode.Rk4
+module Rkf45 = Scnoise_ode.Rkf45
+module Trapezoid = Scnoise_ode.Trapezoid
+module Ctrapezoid = Scnoise_ode.Ctrapezoid
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let mat_of rows = Mat.of_arrays (Array.of_list (List.map Array.of_list rows))
+
+(* --- RK4 --- *)
+
+let test_rk4_exponential () =
+  let f _ x = [| -2.0 *. x.(0) |] in
+  let x = Rk4.integrate f ~t0:0.0 ~t1:1.0 ~steps:200 [| 1.0 |] in
+  check_close ~eps:1e-8 "e^{-2}" (exp (-2.0)) x.(0)
+
+let test_rk4_harmonic_oscillator () =
+  let w = 3.0 in
+  let f _ x = [| x.(1); -.w *. w *. x.(0) |] in
+  let x = Rk4.integrate f ~t0:0.0 ~t1:2.0 ~steps:2000 [| 1.0; 0.0 |] in
+  check_close ~eps:1e-7 "cos(wt)" (cos (w *. 2.0)) x.(0);
+  check_close ~eps:1e-7 "-w sin(wt)" (-.w *. sin (w *. 2.0)) x.(1)
+
+let test_rk4_forced () =
+  (* dx/dt = t: x(1) = 1/2, exact for polynomial order <= 3 *)
+  let f t _ = [| t |] in
+  let x = Rk4.integrate f ~t0:0.0 ~t1:1.0 ~steps:3 [| 0.0 |] in
+  check_close ~eps:1e-12 "t integral" 0.5 x.(0)
+
+let test_rk4_trajectory () =
+  let f _ x = [| -.x.(0) |] in
+  let tr = Rk4.trajectory f ~t0:0.0 ~t1:1.0 ~steps:10 [| 1.0 |] in
+  Alcotest.(check int) "samples" 11 (Array.length tr);
+  let t5, x5 = tr.(5) in
+  check_close ~eps:1e-6 "midpoint time" 0.5 t5;
+  check_close ~eps:1e-6 "midpoint value" (exp (-0.5)) x5.(0)
+
+let test_rk4_order () =
+  (* halving the step should reduce error by ~16x (4th order) *)
+  let f _ x = [| -.x.(0) |] in
+  let err steps =
+    let x = Rk4.integrate f ~t0:0.0 ~t1:1.0 ~steps [| 1.0 |] in
+    abs_float (x.(0) -. exp (-1.0))
+  in
+  let e1 = err 10 and e2 = err 20 in
+  let ratio = e1 /. e2 in
+  if ratio < 12.0 || ratio > 20.0 then
+    Alcotest.failf "expected ~16x error reduction, got %g" ratio
+
+(* --- RKF45 --- *)
+
+let test_rkf45_exponential () =
+  let f _ x = [| -2.0 *. x.(0) |] in
+  let x, stats = Rkf45.integrate f ~t0:0.0 ~t1:1.0 [| 1.0 |] in
+  check_close ~eps:1e-7 "e^{-2}" (exp (-2.0)) x.(0);
+  if stats.Rkf45.steps_accepted <= 0 then Alcotest.fail "no steps?"
+
+let test_rkf45_tolerance_effect () =
+  let f _ x = [| x.(1); -25.0 *. x.(0) |] in
+  let solve rtol =
+    let x, _ = Rkf45.integrate ~rtol f ~t0:0.0 ~t1:1.0 [| 1.0; 0.0 |] in
+    abs_float (x.(0) -. cos 5.0)
+  in
+  let loose = solve 1e-4 and tight = solve 1e-10 in
+  if tight > loose then Alcotest.fail "tighter tolerance should not be worse"
+
+let test_rkf45_zero_span () =
+  let f _ x = [| -.x.(0) |] in
+  let x, stats = Rkf45.integrate f ~t0:1.0 ~t1:1.0 [| 5.0 |] in
+  check_close "no-op" 5.0 x.(0);
+  Alcotest.(check int) "no steps" 0 stats.Rkf45.steps_accepted
+
+let test_rkf45_sample () =
+  let f _ x = [| -.x.(0) |] in
+  let tr = Rkf45.sample f ~t0:0.0 ~t1:2.0 ~n:4 [| 1.0 |] in
+  Alcotest.(check int) "samples" 5 (Array.length tr);
+  let t, x = tr.(4) in
+  check_close "last time" 2.0 t;
+  check_close ~eps:1e-7 "last value" (exp (-2.0)) x.(0)
+
+(* --- Trapezoid --- *)
+
+let test_trapezoid_homogeneous_accuracy () =
+  let a = mat_of [ [ -3.0 ] ] in
+  let x =
+    Trapezoid.integrate ~a
+      ~forcing:(fun _ -> [| 0.0 |])
+      ~t0:0.0 ~t1:1.0 ~steps:2000 [| 1.0 |]
+  in
+  check_close ~eps:1e-6 "e^{-3}" (exp (-3.0)) x.(0)
+
+let test_trapezoid_forced_constant () =
+  (* dx/dt = -x + 1 -> steady state 1; trapezoid is exact at steady state *)
+  let a = mat_of [ [ -1.0 ] ] in
+  let x =
+    Trapezoid.integrate ~a
+      ~forcing:(fun _ -> [| 1.0 |])
+      ~t0:0.0 ~t1:40.0 ~steps:800 [| 0.0 |]
+  in
+  check_close ~eps:1e-9 "steady state" 1.0 x.(0)
+
+let test_trapezoid_a_stability () =
+  (* very stiff system with a large step must not blow up *)
+  let a = mat_of [ [ -1e9 ] ] in
+  let st = Trapezoid.make ~a ~h:1.0 in
+  let x = ref [| 1.0 |] in
+  for _ = 1 to 100 do
+    x := Trapezoid.step_homogeneous st !x
+  done;
+  if abs_float !x.(0) > 1.0 then Alcotest.fail "trapezoidal A-stability violated"
+
+let test_trapezoid_second_order () =
+  let a = mat_of [ [ -2.0 ] ] in
+  let err steps =
+    let x =
+      Trapezoid.integrate ~a
+        ~forcing:(fun _ -> [| 0.0 |])
+        ~t0:0.0 ~t1:1.0 ~steps [| 1.0 |]
+    in
+    abs_float (x.(0) -. exp (-2.0))
+  in
+  let ratio = err 50 /. err 100 in
+  if ratio < 3.3 || ratio > 4.7 then
+    Alcotest.failf "expected ~4x error reduction, got %g" ratio
+
+let test_trapezoid_trajectory () =
+  let a = mat_of [ [ 0.0 ] ] in
+  let tr =
+    Trapezoid.trajectory ~a
+      ~forcing:(fun t -> [| t |])
+      ~t0:0.0 ~t1:1.0 ~steps:100 [| 0.0 |]
+  in
+  let _, last = tr.(100) in
+  (* trapezoid integrates t exactly *)
+  check_close ~eps:1e-12 "∫t dt" 0.5 last.(0)
+
+let test_backward_euler_step () =
+  let a = mat_of [ [ -1.0 ] ] in
+  let x = Trapezoid.backward_euler_step ~a ~h:0.1 ~x:[| 1.0 |] ~f1:[| 0.0 |] in
+  check_close "be step" (1.0 /. 1.1) x.(0)
+
+(* --- complex trapezoid --- *)
+
+let test_ctrapezoid_matches_real () =
+  (* zero shift on a real system must reproduce the real stepper *)
+  let a = mat_of [ [ -1.5; 0.3 ]; [ 0.0; -0.7 ] ] in
+  let st_r = Trapezoid.make ~a ~h:0.01 in
+  let st_c = Ctrapezoid.make ~a ~shift:Cx.zero ~h:0.01 in
+  let xr = ref [| 1.0; -0.5 |] in
+  let xc = ref (Cvec.of_real !xr) in
+  for _ = 1 to 100 do
+    xr := Trapezoid.step st_r ~x:!xr ~f0:[| 0.1; 0.2 |] ~f1:[| 0.1; 0.2 |];
+    let f = Cvec.of_real [| 0.1; 0.2 |] in
+    xc := Ctrapezoid.step st_c ~p:!xc ~k0:f ~k1:f
+  done;
+  if Vec.max_abs_diff !xr (Cvec.real !xc) > 1e-12 then
+    Alcotest.fail "complex stepper with zero shift diverged from real";
+  if Vec.norm_inf (Cvec.imag !xc) > 1e-12 then
+    Alcotest.fail "imaginary part should stay zero"
+
+let test_ctrapezoid_shift_analytic () =
+  (* dP/dt = (-a - jw) P, P(0)=1: |P(t)| = e^{-at}, arg = -wt *)
+  let a0 = 2.0 and w = 5.0 in
+  let a = mat_of [ [ -.a0 ] ] in
+  let h = 1e-4 in
+  let st = Ctrapezoid.make ~a ~shift:(Cx.make 0.0 w) ~h in
+  let p = ref [| Cx.one |] in
+  let steps = 10_000 in
+  for _ = 1 to steps do
+    p := Ctrapezoid.step_homogeneous st !p
+  done;
+  let t = h *. float_of_int steps in
+  let expected = Cx.( *: ) (Cx.re (exp (-.a0 *. t))) (Cx.cis (-.w *. t)) in
+  if Cx.modulus (Cx.( -: ) !p.(0) expected) > 1e-4 then
+    Alcotest.failf "shifted decay wrong: got %g%+gi, want %g%+gi"
+      !p.(0).Cx.re !p.(0).Cx.im expected.Cx.re expected.Cx.im
+
+let test_ctrapezoid_trajectory_steady_state () =
+  (* dP/dt = (-a - jw)P + k: steady state k/(a + jw) *)
+  let a0 = 3.0 and w = 7.0 and k = 2.0 in
+  let a = mat_of [ [ -.a0 ] ] in
+  let traj =
+    Ctrapezoid.trajectory ~a ~shift:(Cx.make 0.0 w)
+      ~forcing:(fun _ -> [| Cx.re k |])
+      ~h:1e-3 ~steps:20_000 [| Cx.zero |]
+  in
+  let expected = Cx.( /: ) (Cx.re k) (Cx.make a0 w) in
+  let last = traj.(20_000).(0) in
+  if Cx.modulus (Cx.( -: ) last expected) > 1e-5 then
+    Alcotest.fail "complex steady state wrong"
+
+let prop_trapezoid_linear_in_ic =
+  QCheck.Test.make ~count:50 ~name:"trapezoid step linear in the state"
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (x1, x2) ->
+      let a = mat_of [ [ -1.0; 0.5 ]; [ 0.0; -2.0 ] ] in
+      let st = Trapezoid.make ~a ~h:0.01 in
+      let zero = [| 0.0; 0.0 |] in
+      let s v = Trapezoid.step st ~x:v ~f0:zero ~f1:zero in
+      let lhs = s [| x1; x2 |] in
+      let rhs =
+        Vec.add
+          (Vec.scale x1 (s [| 1.0; 0.0 |]))
+          (Vec.scale x2 (s [| 0.0; 1.0 |]))
+      in
+      Vec.max_abs_diff lhs rhs <= 1e-10)
+
+let () =
+  Alcotest.run "ode"
+    [
+      ( "rk4",
+        [
+          Alcotest.test_case "exponential" `Quick test_rk4_exponential;
+          Alcotest.test_case "harmonic" `Quick test_rk4_harmonic_oscillator;
+          Alcotest.test_case "forced" `Quick test_rk4_forced;
+          Alcotest.test_case "trajectory" `Quick test_rk4_trajectory;
+          Alcotest.test_case "order" `Quick test_rk4_order;
+        ] );
+      ( "rkf45",
+        [
+          Alcotest.test_case "exponential" `Quick test_rkf45_exponential;
+          Alcotest.test_case "tolerance" `Quick test_rkf45_tolerance_effect;
+          Alcotest.test_case "zero span" `Quick test_rkf45_zero_span;
+          Alcotest.test_case "sample" `Quick test_rkf45_sample;
+        ] );
+      ( "trapezoid",
+        [
+          Alcotest.test_case "homogeneous" `Quick test_trapezoid_homogeneous_accuracy;
+          Alcotest.test_case "forced" `Quick test_trapezoid_forced_constant;
+          Alcotest.test_case "A-stability" `Quick test_trapezoid_a_stability;
+          Alcotest.test_case "2nd order" `Quick test_trapezoid_second_order;
+          Alcotest.test_case "trajectory" `Quick test_trapezoid_trajectory;
+          Alcotest.test_case "backward euler" `Quick test_backward_euler_step;
+          QCheck_alcotest.to_alcotest prop_trapezoid_linear_in_ic;
+        ] );
+      ( "ctrapezoid",
+        [
+          Alcotest.test_case "matches real" `Quick test_ctrapezoid_matches_real;
+          Alcotest.test_case "shifted decay" `Quick test_ctrapezoid_shift_analytic;
+          Alcotest.test_case "steady state" `Quick test_ctrapezoid_trajectory_steady_state;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+module Xoshiro = Scnoise_prng.Xoshiro
+module Gaussian = Scnoise_prng.Gaussian
+
+let test_determinism () =
+  let a = Xoshiro.create 42L and b = Xoshiro.create 42L in
+  for _ = 1 to 100 do
+    if Xoshiro.next a <> Xoshiro.next b then
+      Alcotest.fail "same seed must give identical streams"
+  done
+
+let test_seed_sensitivity () =
+  let a = Xoshiro.create 1L and b = Xoshiro.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Xoshiro.next a = Xoshiro.next b then incr same
+  done;
+  if !same > 2 then Alcotest.fail "different seeds should diverge"
+
+let test_copy_independent () =
+  let a = Xoshiro.create 7L in
+  ignore (Xoshiro.next a);
+  let b = Xoshiro.copy a in
+  let xa = Xoshiro.next a in
+  let xb = Xoshiro.next b in
+  if xa <> xb then Alcotest.fail "copy must continue the same stream";
+  ignore (Xoshiro.next a);
+  (* and mutating a must not touch b *)
+  let xa2 = Xoshiro.next a and xb2 = Xoshiro.next b in
+  ignore xa2;
+  ignore xb2
+
+let test_float01_range () =
+  let g = Xoshiro.create 99L in
+  for _ = 1 to 10_000 do
+    let x = Xoshiro.float01 g in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float01 out of range: %g" x
+  done
+
+let test_float01_mean () =
+  let g = Xoshiro.create 5L in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Xoshiro.float01 g
+  done;
+  let mean = !acc /. float_of_int n in
+  if abs_float (mean -. 0.5) > 0.01 then
+    Alcotest.failf "uniform mean should be ~0.5, got %g" mean
+
+let test_jump_changes_stream () =
+  let a = Xoshiro.create 11L in
+  let b = Xoshiro.copy a in
+  Xoshiro.jump b;
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Xoshiro.next a = Xoshiro.next b then incr same
+  done;
+  if !same > 2 then Alcotest.fail "jumped stream should not overlap"
+
+let test_gaussian_moments () =
+  let g = Gaussian.create 123L in
+  let n = 200_000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 and sum4 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Gaussian.sample g in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x);
+    sum4 := !sum4 +. (x *. x *. x *. x)
+  done;
+  let nf = float_of_int n in
+  let mean = !sum /. nf in
+  let var = (!sum2 /. nf) -. (mean *. mean) in
+  let kurt = !sum4 /. nf /. (var *. var) in
+  if abs_float mean > 0.02 then Alcotest.failf "mean %g too far from 0" mean;
+  if abs_float (var -. 1.0) > 0.02 then Alcotest.failf "variance %g" var;
+  if abs_float (kurt -. 3.0) > 0.1 then Alcotest.failf "kurtosis %g" kurt
+
+let test_gaussian_scaled () =
+  let g = Gaussian.create 321L in
+  let n = 100_000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Gaussian.sample_scaled g ~mean:3.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let nf = float_of_int n in
+  let mean = !sum /. nf in
+  let var = (!sum2 /. nf) -. (mean *. mean) in
+  if abs_float (mean -. 3.0) > 0.05 then Alcotest.failf "mean %g" mean;
+  if abs_float (var -. 4.0) > 0.1 then Alcotest.failf "var %g" var
+
+let test_fill () =
+  let g = Gaussian.create 55L in
+  let arr = Array.make 1000 nan in
+  Gaussian.fill g arr;
+  Array.iter
+    (fun x -> if Float.is_nan x then Alcotest.fail "fill left a nan")
+    arr
+
+let prop_float01_in_range =
+  QCheck.Test.make ~count:100 ~name:"float01 in [0,1) for any seed"
+    QCheck.int64 (fun seed ->
+      let g = Xoshiro.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Xoshiro.float01 g in
+        if x < 0.0 || x >= 1.0 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "xoshiro",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "float01 range" `Quick test_float01_range;
+          Alcotest.test_case "float01 mean" `Quick test_float01_mean;
+          Alcotest.test_case "jump" `Quick test_jump_changes_stream;
+          QCheck_alcotest.to_alcotest prop_float01_in_range;
+        ] );
+      ( "gaussian",
+        [
+          Alcotest.test_case "moments" `Slow test_gaussian_moments;
+          Alcotest.test_case "scaled" `Quick test_gaussian_scaled;
+          Alcotest.test_case "fill" `Quick test_fill;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
+module Fft = Scnoise_spectral.Fft
+module Welch = Scnoise_spectral.Welch
+module Grid = Scnoise_util.Grid
+module Db = Scnoise_util.Db
+module Psd = Scnoise_core.Psd
+module Mc = Scnoise_noise.Monte_carlo
+module SRC = Scnoise_circuits.Switched_rc
+module Gaussian = Scnoise_prng.Gaussian
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+(* naive O(n^2) DFT reference *)
+let dft x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref Cx.zero in
+      for j = 0 to n - 1 do
+        let ph = -2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+        acc := Cx.( +: ) !acc (Cx.( *: ) x.(j) (Cx.cis ph))
+      done;
+      !acc)
+
+let test_pow2_helpers () =
+  if not (Fft.is_pow2 64) then Alcotest.fail "64";
+  if Fft.is_pow2 48 then Alcotest.fail "48";
+  Alcotest.(check int) "next" 64 (Fft.next_pow2 33);
+  Alcotest.(check int) "exact" 32 (Fft.next_pow2 32);
+  Alcotest.(check int) "one" 1 (Fft.next_pow2 1)
+
+let test_fft_matches_dft () =
+  let rng = Gaussian.create 7L in
+  let x = Cvec.init 64 (fun _ -> Cx.make (Gaussian.sample rng) (Gaussian.sample rng)) in
+  let a = Fft.transform x and b = dft x in
+  if Cvec.max_abs_diff a b > 1e-9 then Alcotest.fail "fft vs naive dft"
+
+let test_fft_roundtrip () =
+  let rng = Gaussian.create 11L in
+  let x = Cvec.init 128 (fun _ -> Cx.make (Gaussian.sample rng) 0.0) in
+  let y = Fft.inverse (Fft.transform x) in
+  if Cvec.max_abs_diff x y > 1e-10 then Alcotest.fail "roundtrip"
+
+let test_fft_impulse () =
+  let x = Cvec.create 16 in
+  x.(0) <- Cx.one;
+  let y = Fft.transform x in
+  Array.iter
+    (fun (z : Cx.t) ->
+      if Cx.modulus (Cx.( -: ) z Cx.one) > 1e-12 then
+        Alcotest.fail "impulse -> all-ones")
+    y
+
+let test_fft_sine_bin () =
+  let n = 64 in
+  let k0 = 5 in
+  let x =
+    Array.init n (fun j ->
+        cos (2.0 *. Float.pi *. float_of_int (k0 * j) /. float_of_int n))
+  in
+  let y = Fft.real_transform x in
+  check_close ~eps:1e-9 "peak bin" (float_of_int n /. 2.0) (Cx.modulus y.(k0));
+  check_close ~eps:1e-9 "mirror bin" (float_of_int n /. 2.0)
+    (Cx.modulus y.(n - k0));
+  (* other bins empty *)
+  Array.iteri
+    (fun k (z : Cx.t) ->
+      if k <> k0 && k <> n - k0 && Cx.modulus z > 1e-9 then
+        Alcotest.failf "leakage in bin %d" k)
+    y
+
+let test_fft_parseval () =
+  let rng = Gaussian.create 13L in
+  let x = Array.init 256 (fun _ -> Gaussian.sample rng) in
+  let y = Fft.real_transform x in
+  let time_energy = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x in
+  let freq_energy =
+    Array.fold_left (fun a z -> a +. (Cx.modulus z ** 2.0)) 0.0 y
+    /. float_of_int 256
+  in
+  check_close ~eps:1e-9 "parseval" time_energy freq_energy
+
+let test_fft_invalid_length () =
+  match Fft.transform (Cvec.create 48) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-pow2 accepted"
+
+(* --- Welch --- *)
+
+let test_welch_white_level () =
+  (* white samples of variance v sampled at dt: density v*dt *)
+  let rng = Gaussian.create 17L in
+  let dt = 1e-5 in
+  let record = Array.init 65536 (fun _ -> 2.0 *. Gaussian.sample rng) in
+  let _, psd = Welch.estimate ~dt ~segment:1024 record in
+  (* average the interior bins *)
+  let n = Array.length psd in
+  let avg = ref 0.0 in
+  for i = 2 to n - 3 do
+    avg := !avg +. psd.(i)
+  done;
+  let avg = !avg /. float_of_int (n - 4) in
+  check_close ~eps:0.05 "white level" (4.0 *. dt) avg
+
+let test_welch_sine_peak_location () =
+  let dt = 1e-4 in
+  let f0 = 1000.0 in
+  let record =
+    Array.init 16384 (fun i ->
+        sin (2.0 *. Float.pi *. f0 *. dt *. float_of_int i))
+  in
+  let freqs, psd = Welch.estimate ~dt ~segment:2048 record in
+  let imax = ref 0 in
+  Array.iteri (fun i v -> if v > psd.(!imax) then imax := i) psd;
+  check_close ~eps:0.01 "peak frequency" f0 freqs.(!imax)
+
+let test_welch_validation () =
+  (match Welch.estimate ~dt:1.0 ~segment:100 (Array.make 1000 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-pow2 segment accepted");
+  match Welch.periodogram ~dt:0.0 (Array.make 16 0.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dt = 0 accepted"
+
+(* --- Monte-Carlo full spectrum vs MFT --- *)
+
+let test_full_spectrum_matches_mft () =
+  let b = SRC.build (SRC.with_ratio ~t_over_rc:5.0 ~duty:0.5 ()) in
+  let eng = Psd.prepare b.SRC.sys ~output:b.SRC.output in
+  let freqs, psd =
+    Mc.full_spectrum ~seed:3L ~paths:12 ~samples_per_phase:32
+      ~record_periods:512 ~segment_periods:32 b.SRC.sys ~output:b.SRC.output
+  in
+  (* compare interior bins well below the sampling Nyquist: the Welch
+     estimate sees the *sampled* process, whose spectrum folds the
+     continuous tail back near Nyquist *)
+  let n = Array.length freqs in
+  List.iter
+    (fun idx ->
+      let f = freqs.(idx) in
+      let d = abs_float (Db.delta psd.(idx) (Psd.psd eng ~f)) in
+      if d > 1.0 then Alcotest.failf "bin %d (f=%g): %g dB" idx f d)
+    [ n / 16; n / 8; n / 4 ]
+
+let test_full_spectrum_rejects_unequal_phases () =
+  let b = SRC.build (SRC.with_ratio ~t_over_rc:5.0 ~duty:0.25 ()) in
+  match Mc.full_spectrum ~paths:1 b.SRC.sys ~output:b.SRC.output with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unequal phases accepted"
+
+let () =
+  Alcotest.run "spectral"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "pow2" `Quick test_pow2_helpers;
+          Alcotest.test_case "matches dft" `Quick test_fft_matches_dft;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "sine bin" `Quick test_fft_sine_bin;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "invalid length" `Quick test_fft_invalid_length;
+        ] );
+      ( "welch",
+        [
+          Alcotest.test_case "white level" `Quick test_welch_white_level;
+          Alcotest.test_case "sine peak" `Quick test_welch_sine_peak_location;
+          Alcotest.test_case "validation" `Quick test_welch_validation;
+        ] );
+      ( "full spectrum",
+        [
+          Alcotest.test_case "matches mft" `Slow test_full_spectrum_matches_mft;
+          Alcotest.test_case "unequal phases" `Quick test_full_spectrum_rejects_unequal_phases;
+        ] );
+    ]

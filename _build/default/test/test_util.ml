@@ -1,0 +1,264 @@
+module Const = Scnoise_util.Const
+module Db = Scnoise_util.Db
+module Grid = Scnoise_util.Grid
+module Table = Scnoise_util.Table
+
+let check_close ?(eps = 1e-12) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1.0 +. abs_float expected) then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+(* --- Const --- *)
+
+let test_thermal_psd () =
+  let r = 1000.0 in
+  let psd = Const.thermal_current_psd r in
+  check_close "2kT/R at 300K" (2.0 *. 1.380649e-23 *. 300.0 /. r) psd;
+  let psd_350 = Const.thermal_current_psd ~temperature:350.0 r in
+  check_close "scales with T" (psd *. 350.0 /. 300.0) psd_350
+
+let test_thermal_psd_invalid () =
+  Alcotest.check_raises "r = 0" (Invalid_argument "Const.thermal_current_psd: r <= 0")
+    (fun () -> ignore (Const.thermal_current_psd 0.0))
+
+let test_thermal_voltage () =
+  let vt = Const.thermal_voltage () in
+  if vt < 0.0258 || vt > 0.0259 then
+    Alcotest.failf "kT/q at 300K should be ~25.85mV, got %g" vt
+
+(* --- Db --- *)
+
+let test_db_roundtrip () =
+  List.iter
+    (fun p -> check_close "of_power/to_power" p (Db.to_power (Db.of_power p)))
+    [ 1e-12; 1.0; 42.0; 1e9 ]
+
+let test_db_known () =
+  check_close "10x power = 10dB" 10.0 (Db.of_power 10.0);
+  check_close "amplitude 10 = 20dB" 20.0 (Db.of_amplitude 10.0);
+  check_close "delta" 3.0103 ~eps:1e-4 (Db.delta 2.0 1.0)
+
+let test_db_nonpositive () =
+  if Db.of_power 0.0 <> neg_infinity then Alcotest.fail "0 power";
+  if Db.of_power (-1.0) <> neg_infinity then Alcotest.fail "neg power";
+  if Db.of_amplitude 0.0 <> neg_infinity then Alcotest.fail "0 amp"
+
+(* --- Grid --- *)
+
+let test_linspace () =
+  let g = Grid.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_close "first" 0.0 g.(0);
+  check_close "last" 1.0 g.(4);
+  check_close "step" 0.25 g.(1)
+
+let test_linspace_single () =
+  let g = Grid.linspace 3.0 9.0 1 in
+  Alcotest.(check int) "length" 1 (Array.length g);
+  check_close "value" 3.0 g.(0)
+
+let test_logspace () =
+  let g = Grid.logspace 1.0 1000.0 4 in
+  check_close "g0" 1.0 g.(0);
+  check_close "g1" 10.0 g.(1);
+  check_close "g3" 1000.0 g.(3)
+
+let test_logspace_invalid () =
+  Alcotest.check_raises "bounds" (Invalid_argument "Grid.logspace: bounds must be > 0")
+    (fun () -> ignore (Grid.logspace 0.0 1.0 3))
+
+let test_arange () =
+  let g = Grid.arange 0.0 1.0 0.25 in
+  Alcotest.(check int) "length" 4 (Array.length g);
+  check_close "g3" 0.75 g.(3)
+
+let test_trapezoid_exact_linear () =
+  (* trapezoid is exact on affine functions *)
+  let xs = Grid.linspace 0.0 2.0 7 in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 1.0) xs in
+  check_close "∫(3x+1) over [0,2]" 8.0 (Grid.trapezoid xs ys)
+
+let test_trapezoid_uniform_matches () =
+  let xs = Grid.linspace 0.0 1.0 101 in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let a = Grid.trapezoid xs ys in
+  let b = Grid.trapezoid_uniform 0.01 ys in
+  check_close ~eps:1e-10 "uniform = general" a b
+
+let test_simpson_exact_cubic () =
+  (* Simpson is exact on cubics (odd sample count). *)
+  let n = 11 in
+  let h = 1.0 /. float_of_int (n - 1) in
+  let ys =
+    Array.init n (fun i ->
+        let x = h *. float_of_int i in
+        x *. x *. x)
+  in
+  check_close ~eps:1e-12 "∫x³ over [0,1]" 0.25 (Grid.simpson_uniform h ys)
+
+let test_simpson_even_count () =
+  let n = 10 in
+  let h = 1.0 /. float_of_int (n - 1) in
+  let ys = Array.init n (fun i -> h *. float_of_int i) in
+  check_close ~eps:1e-12 "∫x over [0,1] (even count)" 0.5
+    (Grid.simpson_uniform h ys)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  (match lines with
+  | header :: _ ->
+      if not (String.length header >= String.length "name   value") then
+        Alcotest.fail "header not padded"
+  | [] -> Alcotest.fail "empty render")
+
+let test_table_pad_short_row () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  ignore (Table.render t)
+
+let test_table_reject_long_row () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_table_csv () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  Table.add_row t [ "qu\"ote"; "2" ];
+  let csv = Table.to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  (match lines with
+  | header :: row1 :: row2 :: _ ->
+      Alcotest.(check string) "header" "a,b" header;
+      Alcotest.(check string) "quoted comma" "\"x,y\",plain" row1;
+      Alcotest.(check string) "escaped quote" "\"qu\"\"ote\",2" row2
+  | _ -> Alcotest.fail "csv shape");
+  let path = Filename.temp_file "scnoise" ".csv" in
+  Table.save_csv t path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  if len <= 0 then Alcotest.fail "csv file empty"
+
+let test_series_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Table.series: length mismatch") (fun () ->
+      ignore (Table.series [| 1.0; 2.0 |] [ [| 1.0 |] ]))
+
+(* --- Ascii_plot --- *)
+
+let test_plot_renders () =
+  let module P = Scnoise_util.Ascii_plot in
+  let xs = Grid.linspace 0.0 10.0 50 in
+  let ys = Array.map (fun x -> sin x) xs in
+  let s = P.render ~width:40 ~height:10 xs ys in
+  let lines = String.split_on_char '\n' s in
+  (* label + 10 grid rows + axis + x annotation + trailing *)
+  if List.length lines < 13 then Alcotest.fail "plot too short";
+  if not (String.exists (fun c -> c = '*') s) then Alcotest.fail "no markers"
+
+let test_plot_log_axis_drops_nonpositive () =
+  let module P = Scnoise_util.Ascii_plot in
+  let xs = [| 0.0; 1.0; 10.0; 100.0 |] in
+  let ys = [| 1.0; 2.0; 3.0; 4.0 |] in
+  (* x = 0 dropped silently on a log axis *)
+  ignore (P.render ~x_log:true xs ys)
+
+let test_plot_validation () =
+  let module P = Scnoise_util.Ascii_plot in
+  (match P.render [| 1.0 |] [| 1.0; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  match P.render ~x_log:true [| -1.0; 0.0 |] [| 1.0; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no usable points accepted"
+
+let test_plot_flat_series () =
+  let module P = Scnoise_util.Ascii_plot in
+  (* constant y must not divide by zero *)
+  ignore (P.render (Grid.linspace 0.0 1.0 10) (Array.make 10 5.0))
+
+(* --- qcheck properties --- *)
+
+let prop_db_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"db roundtrip on positive powers"
+    QCheck.(float_range 1e-20 1e20)
+    (fun p -> abs_float (Db.to_power (Db.of_power p) -. p) <= 1e-9 *. p)
+
+let prop_linspace_monotone =
+  QCheck.Test.make ~count:200 ~name:"linspace monotone when a < b"
+    QCheck.(pair (float_range (-1e6) 1e6) (int_range 2 200))
+    (fun (a, n) ->
+      let b = a +. 1.0 in
+      let g = Grid.linspace a b n in
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if g.(i + 1) <= g.(i) then ok := false
+      done;
+      !ok)
+
+let prop_trapezoid_linearity =
+  QCheck.Test.make ~count:100 ~name:"trapezoid is linear in the integrand"
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range (-10.) 10.))
+    (fun ys ->
+      let ys = Array.of_list ys in
+      let n = Array.length ys in
+      let xs = Grid.linspace 0.0 1.0 n in
+      let a = Grid.trapezoid xs (Array.map (fun y -> 2.0 *. y) ys) in
+      let b = 2.0 *. Grid.trapezoid xs ys in
+      abs_float (a -. b) <= 1e-9 *. (1.0 +. abs_float b))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "const",
+        [
+          Alcotest.test_case "thermal psd" `Quick test_thermal_psd;
+          Alcotest.test_case "thermal psd invalid" `Quick test_thermal_psd_invalid;
+          Alcotest.test_case "thermal voltage" `Quick test_thermal_voltage;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "known values" `Quick test_db_known;
+          Alcotest.test_case "non-positive" `Quick test_db_nonpositive;
+          QCheck_alcotest.to_alcotest prop_db_roundtrip;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "linspace single" `Quick test_linspace_single;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "logspace invalid" `Quick test_logspace_invalid;
+          Alcotest.test_case "arange" `Quick test_arange;
+          Alcotest.test_case "trapezoid linear" `Quick test_trapezoid_exact_linear;
+          Alcotest.test_case "trapezoid uniform" `Quick test_trapezoid_uniform_matches;
+          Alcotest.test_case "simpson cubic" `Quick test_simpson_exact_cubic;
+          Alcotest.test_case "simpson even" `Quick test_simpson_even_count;
+          QCheck_alcotest.to_alcotest prop_linspace_monotone;
+          QCheck_alcotest.to_alcotest prop_trapezoid_linearity;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pad short row" `Quick test_table_pad_short_row;
+          Alcotest.test_case "reject long row" `Quick test_table_reject_long_row;
+          Alcotest.test_case "series mismatch" `Quick test_series_mismatch;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "renders" `Quick test_plot_renders;
+          Alcotest.test_case "log axis" `Quick test_plot_log_axis_drops_nonpositive;
+          Alcotest.test_case "validation" `Quick test_plot_validation;
+          Alcotest.test_case "flat" `Quick test_plot_flat_series;
+        ] );
+    ]
