@@ -22,9 +22,19 @@ module SRC = Scnoise_circuits.Switched_rc
 module LP = Scnoise_circuits.Sc_lowpass
 module BP = Scnoise_circuits.Sc_bandpass
 module INT = Scnoise_circuits.Sc_integrator
+module Obs = Scnoise_obs.Obs
+module Clock = Scnoise_obs.Clock
+module Export = Scnoise_obs.Export
 
 let header title =
   Printf.printf "\n================ %s ================\n%!" title
+
+(* Wall-clock milliseconds for one call of [f] (monotonic, unlike
+   [Sys.time], which reports CPU time and skews under load). *)
+let wall_ms f =
+  let t0 = Clock.now () in
+  f ();
+  1000.0 *. Clock.elapsed t0
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel helpers                                                     *)
@@ -492,16 +502,18 @@ let exp_t4 () =
   List.iter
     (fun n ->
       let k = ref (Mat.create sys.Pwl.nstates sys.Pwl.nstates) in
-      let t0 = Sys.time () in
-      for _ = 1 to n do
-        k :=
-          Mat.symmetrize
-            (Mat.add (Mat.mul phi (Mat.mul !k (Mat.transpose phi))) q)
-      done;
+      let ms =
+        wall_ms (fun () ->
+            for _ = 1 to n do
+              k :=
+                Mat.symmetrize
+                  (Mat.add (Mat.mul phi (Mat.mul !k (Mat.transpose phi))) q)
+            done)
+      in
       Table.add_row t
         [
           Printf.sprintf "iterate x%d (naive)" n;
-          Printf.sprintf "%.4f" (1000.0 *. (Sys.time () -. t0));
+          Printf.sprintf "%.4f" ms;
           Printf.sprintf "%.2e" (Mat.max_abs_diff k_ref !k);
         ])
     [ 64; 512 ];
@@ -561,9 +573,9 @@ let exp_t5 () =
   in
   List.iter
     (fun k ->
-      let t0 = Sys.time () in
-      let s = Fd.psd fd ~f ~k_max:k in
-      let dt = 1000.0 *. (Sys.time () -. t0) in
+      let s = ref 0.0 in
+      let dt = wall_ms (fun () -> s := Fd.psd fd ~f ~k_max:k) in
+      let s = !s in
       Table.add_row t
         [
           string_of_int k;
@@ -585,9 +597,9 @@ let exp_t5 () =
   let t2 = Table.create [ "K"; "solves/source"; "error_dB"; "time_s" ] in
   List.iter
     (fun k ->
-      let t0 = Sys.time () in
-      let s = Fd.psd fdl ~f:100.0 ~k_max:k in
-      let dt = Sys.time () -. t0 in
+      let s = ref 0.0 in
+      let dt = wall_ms (fun () -> s := Fd.psd fdl ~f:100.0 ~k_max:k) /. 1000.0 in
+      let s = !s in
       Table.add_row t2
         [
           string_of_int k;
@@ -621,15 +633,10 @@ let exp_t6 () =
       let sys = b.LAD.sys and output = b.LAD.output in
       let spp = 48 in
       let time f =
-        (* medians of a few repetitions with Sys.time *)
+        (* median wall time of a few repetitions *)
         let reps = 3 in
-        let samples =
-          List.init reps (fun _ ->
-              let t0 = Sys.time () in
-              f ();
-              Sys.time () -. t0)
-        in
-        1000.0 *. List.nth (List.sort compare samples) (reps / 2)
+        let samples = List.init reps (fun _ -> wall_ms f) in
+        List.nth (List.sort compare samples) (reps / 2)
       in
       let eng = ref None in
       let prep =
@@ -704,6 +711,24 @@ let experiments =
     ("t7", exp_t7);
   ]
 
+(* Run one experiment with span recording on, print its counter/span
+   summary next to the Bechamel numbers, and (when BENCH_METRICS_DIR is
+   set) drop a machine-readable BENCH_<name>.json run record. *)
+let run_instrumented name f =
+  Obs.reset ();
+  Obs.enable ();
+  let ms = wall_ms f in
+  Obs.disable ();
+  let snap = Obs.snapshot () in
+  Printf.printf "\n---- %s observability (%.1f ms wall) ----\n" name ms;
+  Export.print_summary snap;
+  match Sys.getenv_opt "BENCH_METRICS_DIR" with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+      Export.write_file path snap;
+      Printf.printf "(wrote %s)\n" path
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -713,7 +738,7 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_instrumented name f
       | None ->
           Printf.eprintf "unknown experiment %S (have: %s)\n" name
             (String.concat ", " (List.map fst experiments));

@@ -26,6 +26,8 @@ module INT = Scnoise_circuits.Sc_integrator
 module LAD = Scnoise_circuits.Sc_ladder
 module DS = Scnoise_circuits.Sc_delta_sigma
 module A_src = Scnoise_analytic.Switched_rc
+module Obs = Scnoise_obs.Obs
+module Export = Scnoise_obs.Export
 
 open Cmdliner
 
@@ -118,6 +120,70 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
   | other ->
       Error (Printf.sprintf "unknown circuit %S (choose: %s)" other circuits_doc)
 
+(* ---- observability options ---- *)
+
+(* Verbosity: -v (info) / -vv (debug) / --quiet, with SCNOISE_LOG as the
+   environment default (debug|info|warning|error|quiet).  -q stays the
+   band-pass quality factor, so quiet is long-form only.  Evaluates to ()
+   after configuring the Logs reporter and level. *)
+let setup_term =
+  let verbose_arg =
+    let doc = "Increase log verbosity (repeatable: -v info, -vv debug)." in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Silence all log output; takes over $(b,-v) and SCNOISE_LOG." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let env_level () =
+    match Option.map String.lowercase_ascii (Sys.getenv_opt "SCNOISE_LOG") with
+    | Some "debug" -> Some Logs.Debug
+    | Some "info" -> Some Logs.Info
+    | Some "warning" -> Some Logs.Warning
+    | Some "error" -> Some Logs.Error
+    | Some "quiet" -> None
+    | Some _ | None -> Some Logs.Warning
+  in
+  let setup quiet verbose =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    let level =
+      if quiet then None
+      else
+        match List.length verbose with
+        | 0 -> env_level ()
+        | 1 -> Some Logs.Info
+        | _ -> Some Logs.Debug
+    in
+    Logs.set_level level
+  in
+  Term.(const setup $ quiet_arg $ verbose_arg)
+
+let metrics_arg =
+  let doc =
+    "Record run metrics (counters and nested wall-time spans) and write \
+     them as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+(* Run [f] with span recording enabled when a metrics file was requested,
+   then dump the registry snapshot.  The summary table also goes to stderr
+   at info verbosity and above, so `-v --metrics out.json` shows where the
+   time went without opening the file. *)
+let with_obs metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.reset ();
+      Obs.enable ();
+      let code = f () in
+      Obs.disable ();
+      let snap = Obs.snapshot () in
+      Export.write_file path snap;
+      if Logs.level () >= Some Logs.Info then Export.print_summary ~oc:stderr snap;
+      Printf.printf "# metrics: wrote %s\n" path;
+      code
+
 (* ---- common options ---- *)
 
 let circuit_arg =
@@ -176,7 +242,7 @@ let list_cmd =
     0
   in
   let doc = "List the bundled evaluation circuits." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ setup_term)
 
 (* ---- info ---- *)
 
@@ -208,8 +274,9 @@ let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc)
     Term.(
-      const (with_circuit run)
-      $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      const (fun () -> with_circuit run)
+      $ setup_term $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
 
 (* ---- psd ---- *)
 
@@ -324,14 +391,18 @@ let psd_cmd =
     (Cmd.info "psd" ~doc)
     Term.(
       const
-        (fun engine fmin fmax points log compare spp seed csv plot name duty r
-             f0 q stages ->
+        (fun () metrics engine fmin fmax points log compare spp seed csv plot
+             name duty r f0 q stages ->
           with_circuit
-            (run engine fmin fmax points log compare spp seed csv plot)
+            (fun picked ->
+              with_obs metrics (fun () ->
+                  run engine fmin fmax points log compare spp seed csv plot
+                    picked))
             name duty r f0 q stages)
-      $ engine_arg $ fmin_arg $ fmax_arg $ points_arg $ log_arg $ compare_arg
-      $ spp_arg $ seed_arg $ csv_arg $ plot_arg $ circuit_arg $ duty_arg
-      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ engine_arg $ fmin_arg $ fmax_arg
+      $ points_arg $ log_arg $ compare_arg $ spp_arg $ seed_arg $ csv_arg
+      $ plot_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
 
 (* ---- variance ---- *)
 
@@ -359,10 +430,12 @@ let variance_cmd =
   Cmd.v
     (Cmd.info "variance" ~doc)
     Term.(
-      const (fun spp name duty r f0 q stages ->
-          with_circuit (run spp) name duty r f0 q stages)
-      $ spp_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
-      $ stages_arg)
+      const (fun () metrics spp name duty r f0 q stages ->
+          with_circuit
+            (fun picked -> with_obs metrics (fun () -> run spp picked))
+            name duty r f0 q stages)
+      $ setup_term $ metrics_arg $ spp_arg $ circuit_arg $ duty_arg
+      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- contrib ---- *)
 
@@ -398,10 +471,12 @@ let contrib_cmd =
   Cmd.v
     (Cmd.info "contrib" ~doc)
     Term.(
-      const (fun f spp name duty r f0 q stages ->
-          with_circuit (run f spp) name duty r f0 q stages)
-      $ f_arg $ spp_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
-      $ stages_arg)
+      const (fun () metrics f spp name duty r f0 q stages ->
+          with_circuit
+            (fun picked -> with_obs metrics (fun () -> run f spp picked))
+            name duty r f0 q stages)
+      $ setup_term $ metrics_arg $ f_arg $ spp_arg $ circuit_arg $ duty_arg
+      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- transfer ---- *)
 
@@ -466,10 +541,14 @@ let transfer_cmd =
   Cmd.v
     (Cmd.info "transfer" ~doc)
     Term.(
-      const (fun fmin fmax points spp k name duty r f0 q stages ->
-          with_circuit (run fmin fmax points spp k) name duty r f0 q stages)
-      $ fmin_arg $ fmax_arg $ points_arg $ spp_arg $ krange_arg $ circuit_arg
-      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      const (fun () metrics fmin fmax points spp k name duty r f0 q stages ->
+          with_circuit
+            (fun picked ->
+              with_obs metrics (fun () -> run fmin fmax points spp k picked))
+            name duty r f0 q stages)
+      $ setup_term $ metrics_arg $ fmin_arg $ fmax_arg $ points_arg $ spp_arg
+      $ krange_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
 
 (* ---- report ---- *)
 
@@ -496,14 +575,19 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(
-      const (fun spp fmin fmax name duty r f0 q stages ->
-          with_circuit (run spp fmin fmax) name duty r f0 q stages)
-      $ spp_arg $ fmin_arg $ fmax_arg $ circuit_arg $ duty_arg $ ratio_arg
-      $ f0_arg $ q_arg $ stages_arg)
+      const (fun () metrics spp fmin fmax name duty r f0 q stages ->
+          with_circuit
+            (fun picked ->
+              with_obs metrics (fun () -> run spp fmin fmax picked))
+            name duty r f0 q stages)
+      $ setup_term $ metrics_arg $ spp_arg $ fmin_arg $ fmax_arg $ circuit_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- main ---- *)
 
 let () =
+  (* defaults for paths that bypass a subcommand (help, errors); each
+     subcommand re-runs the setup with its parsed verbosity options *)
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);

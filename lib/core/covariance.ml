@@ -3,6 +3,13 @@ module Vec = Scnoise_linalg.Vec
 module Vanloan = Scnoise_linalg.Vanloan
 module Lyapunov = Scnoise_linalg.Lyapunov
 module Pwl = Scnoise_circuit.Pwl
+module Obs = Scnoise_obs.Obs
+
+let src = Logs.Src.create "scnoise.covariance" ~doc:"periodic covariance solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_samples = Obs.counter "covariance_samples"
 
 type solver = [ `Kron | `Doubling | `Iterate of int ]
 
@@ -82,31 +89,35 @@ let periodic_initial ?(solver = `Kron) ?samples_per_phase sys =
   solve_steady solver phi q
 
 let sample ?(solver = `Kron) ?samples_per_phase ?grid sys =
-  let g = discretized_grid ?samples_per_phase ?grid sys in
-  let n = sys.Pwl.nstates in
-  let phi_period, q_period = map_of_grid n g in
-  let k0 = solve_steady solver phi_period q_period in
-  let npts = Array.length g.g_times in
-  let ks = Array.make npts k0 in
-  let phis = Array.make npts (Mat.identity n) in
-  let k = ref k0 and phi = ref (Mat.identity n) in
-  for i = 1 to npts - 1 do
-    let d = g.g_disc.(i - 1) in
-    k := Vanloan.propagate d !k;
-    phi := Mat.mul d.Vanloan.phi !phi;
-    ks.(i) <- !k;
-    phis.(i) <- !phi
-  done;
-  {
-    sys;
-    times = g.g_times;
-    interval_phase = g.g_phase;
-    ks;
-    phis;
-    k0;
-    phi_period;
-    q_period;
-  }
+  Obs.with_span ~src "covariance.sample" (fun () ->
+      Obs.incr c_samples;
+      let g = discretized_grid ?samples_per_phase ?grid sys in
+      let n = sys.Pwl.nstates in
+      let phi_period, q_period = map_of_grid n g in
+      let k0 = solve_steady solver phi_period q_period in
+      let npts = Array.length g.g_times in
+      let ks = Array.make npts k0 in
+      let phis = Array.make npts (Mat.identity n) in
+      let k = ref k0 and phi = ref (Mat.identity n) in
+      for i = 1 to npts - 1 do
+        let d = g.g_disc.(i - 1) in
+        k := Vanloan.propagate d !k;
+        phi := Mat.mul d.Vanloan.phi !phi;
+        ks.(i) <- !k;
+        phis.(i) <- !phi
+      done;
+      Log.debug (fun m ->
+          m "sampling done: %d states, %d grid points over one period" n npts);
+      {
+        sys;
+        times = g.g_times;
+        interval_phase = g.g_phase;
+        ks;
+        phis;
+        k0;
+        phi_period;
+        q_period;
+      })
 
 let variance_trace s c =
   Array.map (fun k -> Vec.dot c (Mat.mul_vec k c)) s.ks

@@ -5,6 +5,17 @@ module Cmat = Scnoise_linalg.Cmat
 module Clu = Scnoise_linalg.Clu
 module Ctrapezoid = Scnoise_ode.Ctrapezoid
 module Pwl = Scnoise_circuit.Pwl
+module Obs = Scnoise_obs.Obs
+
+let src = Logs.Src.create "scnoise.bvp" ~doc:"periodic boundary-value solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_cache_hits = Obs.counter "stepper_cache_hits"
+
+let c_cache_misses = Obs.counter "stepper_cache_misses"
+
+let c_solves = Obs.counter "bvp_solves"
 
 type t = {
   sys : Pwl.t;
@@ -36,8 +47,11 @@ let make_stepper_cache t omega =
   in
   fun p h ->
     match Hashtbl.find_opt cache (p, h) with
-    | Some st -> st
+    | Some st ->
+        Obs.incr c_cache_hits;
+        st
     | None ->
+        Obs.incr c_cache_misses;
         let st = Ctrapezoid.make ~a:t.sys.Pwl.phases.(p).Pwl.a ~shift ~h in
         Hashtbl.add cache (p, h) st;
         st
@@ -68,17 +82,23 @@ let close_periodic t ~omega part =
         if i = j then Cx.( -: ) Cx.one p else Cx.neg p)
   in
   let p0 = Clu.solve_dense lhs part.(npts - 1) in
+  Log.debug (fun m ->
+      m "BVP closed: %d points, omega = %g rad/s" npts omega);
   Array.init npts (fun i ->
       let rot = Cx.cis (-.omega *. t.times.(i)) in
       let hom = Cmat.mul_vec (Cmat.of_real t.phis.(i)) p0 in
       Cvec.add (Cvec.scale rot hom) part.(i))
 
 let solve_piecewise t ~omega ~forcing =
-  close_periodic t ~omega (particular_piecewise t ~omega ~forcing)
+  Obs.with_span ~src "periodic_bvp.solve" (fun () ->
+      Obs.incr c_solves;
+      close_periodic t ~omega (particular_piecewise t ~omega ~forcing))
 
 let particular t ~omega ~forcing =
   particular_piecewise t ~omega ~forcing:(fun i ->
       (forcing i, forcing (i + 1)))
 
 let solve t ~omega ~forcing =
-  close_periodic t ~omega (particular t ~omega ~forcing)
+  Obs.with_span ~src "periodic_bvp.solve" (fun () ->
+      Obs.incr c_solves;
+      close_periodic t ~omega (particular t ~omega ~forcing))

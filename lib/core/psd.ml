@@ -4,6 +4,9 @@ module Cx = Scnoise_linalg.Cx
 module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
 module Grid = Scnoise_util.Grid
+module Obs = Scnoise_obs.Obs
+
+let c_points = Obs.counter "psd_points"
 
 type engine = {
   cov : Covariance.sampled;
@@ -23,8 +26,9 @@ let of_sampled cov ~output =
   { cov; bvp = Periodic_bvp.of_sampled cov; out_row = output; forcing }
 
 let prepare ?solver ?samples_per_phase ?grid sys ~output =
-  let cov = Covariance.sample ?solver ?samples_per_phase ?grid sys in
-  of_sampled cov ~output
+  Obs.with_span "psd.prepare" (fun () ->
+      let cov = Covariance.sample ?solver ?samples_per_phase ?grid sys in
+      of_sampled cov ~output)
 
 let output e = Vec.copy e.out_row
 
@@ -49,15 +53,18 @@ let instantaneous e ~f =
   (Periodic_bvp.times e.bvp, values)
 
 let psd e ~f =
+  Obs.incr c_points;
   let period = e.cov.Covariance.sys.Pwl.period in
   let times, values = instantaneous e ~f in
   Grid.trapezoid times values /. period
 
 let psd_db e ~f = Scnoise_util.Db.of_power (psd e ~f)
 
-let sweep e freqs = Array.map (fun f -> psd e ~f) freqs
+let sweep e freqs =
+  Obs.with_span "psd.sweep" (fun () -> Array.map (fun f -> psd e ~f) freqs)
 
-let sweep_db e freqs = Array.map (fun f -> psd_db e ~f) freqs
+let sweep_db e freqs =
+  Obs.with_span "psd.sweep" (fun () -> Array.map (fun f -> psd_db e ~f) freqs)
 
 let average_variance e = Covariance.average_variance e.cov e.out_row
 

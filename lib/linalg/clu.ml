@@ -1,9 +1,16 @@
+module Obs = Scnoise_obs.Obs
+
 type t = { n : int; lu : Cx.t array; piv : int array; sign : float }
 
 exception Singular of int
 
+let c_factorizations = Obs.counter "clu_factorizations"
+
+let c_solves = Obs.counter "clu_solves"
+
 let factor m =
   if Cmat.rows m <> Cmat.cols m then invalid_arg "Clu.factor: not square";
+  Obs.incr c_factorizations;
   let n = Cmat.rows m in
   let lu = Array.make (n * n) Cx.zero in
   for i = 0 to n - 1 do
@@ -50,6 +57,7 @@ let factor m =
 
 let solve t b =
   if Array.length b <> t.n then invalid_arg "Clu.solve: dimension mismatch";
+  Obs.incr c_solves;
   let n = t.n in
   let x = Array.init n (fun i -> b.(t.piv.(i))) in
   for i = 1 to n - 1 do

@@ -9,8 +9,11 @@ let pade13_coeffs =
 
 let theta13 = 5.371920351148152
 
+let c_calls = Scnoise_obs.Obs.counter "expm_calls"
+
 let expm a =
   if not (Mat.is_square a) then invalid_arg "Expm.expm: not square";
+  Scnoise_obs.Obs.incr c_calls;
   let n = Mat.rows a in
   if n = 0 then Mat.create 0 0
   else begin

@@ -1,3 +1,5 @@
+module Obs = Scnoise_obs.Obs
+
 type t = {
   n : int;
   lu : float array; (* row-major, L below diagonal (unit), U on/above *)
@@ -7,8 +9,13 @@ type t = {
 
 exception Singular of int
 
+let c_factorizations = Obs.counter "lu_factorizations"
+
+let c_solves = Obs.counter "lu_solves"
+
 let factor m =
   if not (Mat.is_square m) then invalid_arg "Lu.factor: not square";
+  Obs.incr c_factorizations;
   let n = Mat.rows m in
   let lu = Array.make (n * n) 0.0 in
   for i = 0 to n - 1 do
@@ -74,6 +81,7 @@ let solve_in_place t x =
 
 let solve t b =
   if Array.length b <> t.n then invalid_arg "Lu.solve: dimension mismatch";
+  Obs.incr c_solves;
   let x = Array.init t.n (fun i -> b.(t.piv.(i))) in
   solve_in_place t x;
   x

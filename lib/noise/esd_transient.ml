@@ -7,6 +7,7 @@ module Ctrapezoid = Scnoise_ode.Ctrapezoid
 module Covariance = Scnoise_core.Covariance
 module Pwl = Scnoise_circuit.Pwl
 module Db = Scnoise_util.Db
+module Obs = Scnoise_obs.Obs
 
 type result = {
   psd : float;
@@ -14,9 +15,16 @@ type result = {
   history : (float * float) array;
 }
 
+let c_cache_hits = Obs.counter "stepper_cache_hits"
+
+let c_cache_misses = Obs.counter "stepper_cache_misses"
+
+let c_periods = Obs.counter "esd_periods"
+
 let psd ?samples_per_phase ?grid ?(tol_db = 0.1) ?(window_periods = 3)
     ?(min_periods = 4) ?(max_periods = 20_000) ?(init = `Zero) (sys : Pwl.t)
     ~output ~f =
+  Obs.with_span "esd_transient.psd" @@ fun () ->
   let n = sys.Pwl.nstates in
   if Array.length output <> n then
     invalid_arg "Esd_transient.psd: output row length";
@@ -28,8 +36,11 @@ let psd ?samples_per_phase ?grid ?(tol_db = 0.1) ?(window_periods = 3)
   let cache : (int * float, Ctrapezoid.stepper) Hashtbl.t = Hashtbl.create 64 in
   let stepper p h =
     match Hashtbl.find_opt cache (p, h) with
-    | Some st -> st
+    | Some st ->
+        Obs.incr c_cache_hits;
+        st
     | None ->
+        Obs.incr c_cache_misses;
         let st = Ctrapezoid.make ~a:sys.Pwl.phases.(p).Pwl.a ~shift:Cx.zero ~h in
         Hashtbl.add cache (p, h) st;
         st
@@ -60,6 +71,7 @@ let psd ?samples_per_phase ?grid ?(tol_db = 0.1) ?(window_periods = 3)
   let rec run period =
     if period > max_periods then
       failwith "Esd_transient.psd: max_periods exceeded without convergence";
+    Obs.incr c_periods;
     let t_base = float_of_int (period - 1) *. sys.Pwl.period in
     let fprev = ref (forcing_at !k (t_base +. times.(0))) in
     let gprev = ref (integrand !k' (t_base +. times.(0))) in

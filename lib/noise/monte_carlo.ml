@@ -8,6 +8,13 @@ module Xoshiro = Scnoise_prng.Xoshiro
 
 module Welch = Scnoise_spectral.Welch
 module Fft = Scnoise_spectral.Fft
+module Obs = Scnoise_obs.Obs
+
+let src = Logs.Src.create "scnoise.mc" ~doc:"Monte-Carlo noise engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_trajectories = Obs.counter "mc_trajectories"
 
 type estimate = {
   freqs : float array;
@@ -19,6 +26,7 @@ type estimate = {
 let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
     ?(warmup_periods = 32) ?(periods_per_segment = 16) ?(segments_per_path = 8)
     (sys : Pwl.t) ~output ~freqs =
+  Obs.with_span ~src "mc.estimate" @@ fun () ->
   let n = sys.Pwl.nstates in
   if Array.length output <> n then
     invalid_arg "Monte_carlo.estimate: output row length";
@@ -45,7 +53,8 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   let var_acc = ref 0.0 and var_count = ref 0 in
   let total_segments = ref 0 in
   let master = Xoshiro.create seed in
-  for _path = 1 to paths do
+  for path = 1 to paths do
+    Obs.incr c_trajectories;
     let stream = Xoshiro.copy master in
     Xoshiro.jump master;
     let gauss = Gaussian.of_xoshiro stream in
@@ -103,7 +112,10 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
           psd_acc.(fi) +. (((!re *. !re) +. (!im *. !im)) /. wsum2)
       done;
       incr total_segments
-    done
+    done;
+    Log.debug (fun m ->
+        m "trajectory batch done: path %d/%d, %d segments so far" path paths
+          !total_segments)
   done;
   let segs = float_of_int !total_segments in
   {
@@ -116,6 +128,7 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
 let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
     ?(warmup_periods = 32) ?(record_periods = 256) ?(segment_periods = 32)
     (sys : Pwl.t) ~output =
+  Obs.with_span ~src "mc.full_spectrum" @@ fun () ->
   let n = sys.Pwl.nstates in
   if Array.length output <> n then
     invalid_arg "Monte_carlo.full_spectrum: output row length";
@@ -140,6 +153,7 @@ let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   let master = Xoshiro.create seed in
   let acc = ref None in
   for _path = 1 to paths do
+    Obs.incr c_trajectories;
     let stream = Xoshiro.copy master in
     Xoshiro.jump master;
     let gauss = Gaussian.of_xoshiro stream in

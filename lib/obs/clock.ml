@@ -1,0 +1,15 @@
+(* Wall-clock time source for all instrumentation.  [Unix.gettimeofday]
+   is not guaranteed monotonic (NTP slews, clock steps), so clamp it to
+   be non-decreasing: span durations and bench deltas must never come
+   out negative.  Resolution is ~1 us, plenty for the >= ms-scale
+   regions we time. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+(* Seconds elapsed since [t0] (a value previously returned by [now]). *)
+let elapsed t0 = now () -. t0

@@ -1,0 +1,148 @@
+(* Exporters for [Obs] snapshots: a machine-readable JSON document (for
+   `scnoise ... --metrics FILE` and bench trajectory records) and
+   human-readable summary tables built on [Scnoise_util.Table]. *)
+
+module Table = Scnoise_util.Table
+
+let schema = "scnoise.metrics/1"
+
+(* ---- JSON ---- *)
+
+let rec span_to_json (sp : Obs.span) =
+  Json.Obj
+    [
+      ("name", Json.Str sp.Obs.sp_name);
+      ("start_s", Json.Num sp.Obs.sp_start);
+      ("duration_s", Json.Num sp.Obs.sp_duration);
+      ("children", Json.List (List.map span_to_json sp.Obs.sp_children));
+    ]
+
+let to_json (snap : Obs.snapshot) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, Json.Num (float_of_int v)))
+             snap.Obs.snap_counters) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (name, total, count) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("total_s", Json.Num total);
+                     ("count", Json.Num (float_of_int count));
+                   ] ))
+             snap.Obs.snap_timers) );
+      ("spans", Json.List (List.map span_to_json snap.Obs.snap_spans));
+    ]
+
+let to_json_string snap = Json.to_string (to_json snap)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> raise (Json.Parse_error (Printf.sprintf "missing field %S" name))
+
+let rec span_of_json j =
+  {
+    Obs.sp_name = Json.to_string_exn (field "name" j);
+    sp_start = Json.to_float_exn (field "start_s" j);
+    sp_duration = Json.to_float_exn (field "duration_s" j);
+    sp_children = List.map span_of_json (Json.to_list_exn (field "children" j));
+  }
+
+(* Inverse of [to_json]; raises [Json.Parse_error] on schema mismatch.
+   Round-tripping is exercised by the test suite and is what makes the
+   emitted documents trustworthy as long-lived bench records. *)
+let of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> ()
+  | _ -> raise (Json.Parse_error "not a scnoise.metrics/1 document"));
+  {
+    Obs.snap_counters =
+      List.map
+        (fun (name, v) -> (name, int_of_float (Json.to_float_exn v)))
+        (Json.to_obj_exn (field "counters" j));
+    snap_timers =
+      List.map
+        (fun (name, v) ->
+          ( name,
+            Json.to_float_exn (field "total_s" v),
+            int_of_float (Json.to_float_exn (field "count" v)) ))
+        (Json.to_obj_exn (field "timers" j));
+    snap_spans = List.map span_of_json (Json.to_list_exn (field "spans" j));
+  }
+
+let of_json_string s = of_json (Json.of_string s)
+
+let write_file path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json_string snap);
+      output_char oc '\n')
+
+(* ---- human-readable summaries ---- *)
+
+let counter_table (snap : Obs.snapshot) =
+  let t = Table.create [ "counter"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Table.add_row t [ name; string_of_int v ])
+    snap.Obs.snap_counters;
+  t
+
+(* Aggregate the span forest by name: call count, inclusive total and
+   mean wall time.  Insertion-ordered so outer phases list first. *)
+let span_table (snap : Obs.snapshot) =
+  let totals : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  ignore
+    (Obs.fold_spans
+       (fun () (sp : Obs.span) ->
+         let total, count =
+           match Hashtbl.find_opt totals sp.Obs.sp_name with
+           | Some cell -> cell
+           | None ->
+               let cell = (ref 0.0, ref 0) in
+               Hashtbl.add totals sp.Obs.sp_name cell;
+               order := sp.Obs.sp_name :: !order;
+               cell
+         in
+         total := !total +. sp.Obs.sp_duration;
+         Stdlib.incr count)
+       () snap);
+  let t = Table.create [ "span"; "calls"; "total_ms"; "mean_ms" ] in
+  List.iter
+    (fun name ->
+      let total, count = Hashtbl.find totals name in
+      Table.add_row t
+        [
+          name;
+          string_of_int !count;
+          Printf.sprintf "%.3f" (1000.0 *. !total);
+          Printf.sprintf "%.3f" (1000.0 *. !total /. float_of_int !count);
+        ])
+    (List.rev !order);
+  t
+
+let print_summary ?(oc = stdout) snap =
+  let has_counters =
+    List.exists (fun (_, v) -> v <> 0) snap.Obs.snap_counters
+  in
+  if has_counters then begin
+    output_string oc "-- counters --\n";
+    output_string oc (Table.render (counter_table snap));
+    output_char oc '\n'
+  end;
+  if snap.Obs.snap_spans <> [] then begin
+    output_string oc "-- spans --\n";
+    output_string oc (Table.render (span_table snap));
+    output_char oc '\n'
+  end;
+  flush oc

@@ -1,0 +1,174 @@
+(* Process-wide instrumentation registry: named counters, accumulating
+   timers and nested wall-time spans.
+
+   Counters are plain [int ref]s behind a handle — incrementing one is a
+   single memory write, cheap enough to leave permanently enabled in the
+   numeric hot paths (LU factorisations, ODE steps, cache probes).
+   Spans carry real cost (two clock reads plus an allocation per region)
+   and therefore no-op unless [enable] has been called, so the default
+   build pays one branch per instrumented region.  Nothing here touches
+   the floating-point data flow: instrumented results are bit-identical
+   to uninstrumented ones. *)
+
+let obs_src = Logs.Src.create "scnoise.obs" ~doc:"instrumentation spans"
+
+module Log = (val Logs.src_log obs_src : Logs.LOG)
+
+(* ---- counters ---- *)
+
+type counter = { c_name : string; c_value : int ref }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = ref 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = Stdlib.incr c.c_value
+
+let add c n = c.c_value := !(c.c_value) + n
+
+let value c = !(c.c_value)
+
+let counter_name c = c.c_name
+
+(* Look a counter's current value up by name; 0 when never registered. *)
+let counter_value name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> !(c.c_value)
+  | None -> 0
+
+(* ---- accumulating timers ---- *)
+
+type timer = { t_name : string; t_total : float ref; t_count : int ref }
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+      let t = { t_name = name; t_total = ref 0.0; t_count = ref 0 } in
+      Hashtbl.add timers name t;
+      t
+
+let time t f =
+  let t0 = Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.t_total := !(t.t_total) +. Clock.elapsed t0;
+      Stdlib.incr t.t_count)
+    f
+
+let timer_total t = !(t.t_total)
+
+let timer_count t = !(t.t_count)
+
+(* ---- spans ---- *)
+
+type span = {
+  sp_name : string;
+  sp_start : float; (* seconds, relative to [reset] *)
+  sp_duration : float; (* seconds *)
+  sp_children : span list; (* in completion order *)
+}
+
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_children : span list; (* reversed *)
+}
+
+let enabled = ref false
+
+let epoch = ref 0.0
+
+let stack : frame list ref = ref []
+
+let roots : span list ref = ref [] (* reversed *)
+
+let enable () =
+  if not !enabled then epoch := Clock.now ();
+  enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+let with_span ?(src = obs_src) name f =
+  if not !enabled then f ()
+  else begin
+    let fr =
+      { f_name = name; f_start = Clock.now () -. !epoch; f_children = [] }
+    in
+    stack := fr :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = Clock.now () -. !epoch in
+        match !stack with
+        | top :: rest when top == fr ->
+            stack := rest;
+            let sp =
+              {
+                sp_name = name;
+                sp_start = fr.f_start;
+                sp_duration = stop -. fr.f_start;
+                sp_children = List.rev fr.f_children;
+              }
+            in
+            (match rest with
+            | parent :: _ -> parent.f_children <- sp :: parent.f_children
+            | [] -> roots := sp :: !roots);
+            let module L = (val Logs.src_log src : Logs.LOG) in
+            L.debug (fun m ->
+                m "span %s: %.3f ms" name (1000.0 *. sp.sp_duration))
+        | _ ->
+            (* unbalanced (an enclosing span escaped via exception and
+               already popped us); drop the record rather than corrupt
+               the tree *)
+            ())
+      f
+  end
+
+(* ---- reset / snapshot ---- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value := 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      t.t_total := 0.0;
+      t.t_count := 0)
+    timers;
+  stack := [];
+  roots := [];
+  epoch := Clock.now ()
+
+type snapshot = {
+  snap_counters : (string * int) list; (* sorted by name *)
+  snap_timers : (string * float * int) list; (* name, total s, count *)
+  snap_spans : span list; (* completed root spans, in order *)
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, !(c.c_value)) :: acc) counters []
+    |> List.sort compare
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name t acc -> (name, !(t.t_total), !(t.t_count)) :: acc)
+      timers []
+    |> List.sort compare
+  in
+  { snap_counters = cs; snap_timers = ts; snap_spans = List.rev !roots }
+
+(* Fold [f] over every span in the forest, parents before children. *)
+let rec fold_span f acc sp =
+  let acc = f acc sp in
+  List.fold_left (fold_span f) acc sp.sp_children
+
+let fold_spans f acc snap = List.fold_left (fold_span f) acc snap.snap_spans

@@ -4,11 +4,15 @@ module Clu = Scnoise_linalg.Clu
 module Mat = Scnoise_linalg.Mat
 module Cx = Scnoise_linalg.Cx
 
+module Obs = Scnoise_obs.Obs
+
 type stepper = {
   h : float;
   lhs : Clu.t; (* I - h/2 (A - sI) *)
   rhs : Cmat.t; (* I + h/2 (A - sI) *)
 }
+
+let c_steps = Obs.counter "ode_steps"
 
 let shifted_half a shift h =
   (* h/2 (A - shift I) as a complex matrix *)
@@ -27,6 +31,7 @@ let make ~a ~shift ~h =
   { h; lhs = Clu.factor (Cmat.sub ident half); rhs = Cmat.add ident half }
 
 let step st ~p ~k0 ~k1 =
+  Obs.incr c_steps;
   let b = Cmat.mul_vec st.rhs p in
   let w = Cx.re (0.5 *. st.h) in
   let b =
@@ -36,7 +41,9 @@ let step st ~p ~k0 ~k1 =
   in
   Clu.solve st.lhs b
 
-let step_homogeneous st p = Clu.solve st.lhs (Cmat.mul_vec st.rhs p)
+let step_homogeneous st p =
+  Obs.incr c_steps;
+  Clu.solve st.lhs (Cmat.mul_vec st.rhs p)
 
 let trajectory ~a ~shift ~forcing ~h ~steps p0 =
   if steps < 1 then invalid_arg "Ctrapezoid.trajectory: steps < 1";

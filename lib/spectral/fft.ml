@@ -7,9 +7,12 @@ let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
+let c_calls = Scnoise_obs.Obs.counter "fft_calls"
+
 (* Iterative in-place Cooley-Tukey with bit-reversal permutation;
    [sign] = -1 forward, +1 inverse (no scaling here). *)
 let fft_in_place sign (a : Cx.t array) =
+  Scnoise_obs.Obs.incr c_calls;
   let n = Array.length a in
   (* bit reversal *)
   let j = ref 0 in

@@ -1,0 +1,239 @@
+module Obs = Scnoise_obs.Obs
+module Json = Scnoise_obs.Json
+module Export = Scnoise_obs.Export
+module Psd = Scnoise_core.Psd
+module SRC = Scnoise_circuits.Switched_rc
+module Grid = Scnoise_util.Grid
+
+(* Every test starts from a clean, disabled registry. *)
+let fresh () =
+  Obs.disable ();
+  Obs.reset ()
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = Obs.counter "test.alpha" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  Alcotest.(check int) "incremented" 42 (Obs.value c);
+  Alcotest.(check int) "lookup by name" 42 (Obs.counter_value "test.alpha");
+  let c' = Obs.counter "test.alpha" in
+  Obs.incr c';
+  Alcotest.(check int) "same handle for same name" 43 (Obs.value c);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.value c);
+  Alcotest.(check int) "unknown name reads zero" 0
+    (Obs.counter_value "test.never-registered")
+
+let test_counters_count_when_disabled () =
+  fresh ();
+  let c = Obs.counter "test.disabled" in
+  Alcotest.(check bool) "disabled" false (Obs.is_enabled ());
+  Obs.incr c;
+  Alcotest.(check int) "counters are always on" 1 (Obs.value c)
+
+(* --- timers --- *)
+
+let test_timer_accumulates () =
+  fresh ();
+  let t = Obs.timer "test.timer" in
+  let x = Obs.time t (fun () -> 40 + 2) in
+  Alcotest.(check int) "returns body value" 42 x;
+  ignore (Obs.time t (fun () -> ()));
+  Alcotest.(check int) "two measurements" 2 (Obs.timer_count t);
+  Alcotest.(check bool) "non-negative total" true (Obs.timer_total t >= 0.0)
+
+(* --- spans --- *)
+
+let test_span_disabled_is_noop () =
+  fresh ();
+  let r = Obs.with_span "test.off" (fun () -> 7) in
+  Alcotest.(check int) "value passes through" 7 r;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "no spans recorded" 0
+    (List.length snap.Obs.snap_spans)
+
+let test_span_nesting () =
+  fresh ();
+  Obs.enable ();
+  let r =
+    Obs.with_span "outer" (fun () ->
+        let a = Obs.with_span "inner1" (fun () -> 1) in
+        let b = Obs.with_span "inner2" (fun () -> 2) in
+        a + b)
+  in
+  Obs.disable ();
+  Alcotest.(check int) "value" 3 r;
+  let snap = Obs.snapshot () in
+  match snap.Obs.snap_spans with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" outer.Obs.sp_name;
+      (match outer.Obs.sp_children with
+      | [ i1; i2 ] ->
+          Alcotest.(check string) "child order" "inner1" i1.Obs.sp_name;
+          Alcotest.(check string) "child order" "inner2" i2.Obs.sp_name;
+          Alcotest.(check bool) "children start after parent" true
+            (i1.Obs.sp_start >= outer.Obs.sp_start);
+          Alcotest.(check bool) "inner2 starts after inner1 ends" true
+            (i2.Obs.sp_start >= i1.Obs.sp_start +. i1.Obs.sp_duration -. 1e-9);
+          Alcotest.(check bool) "parent wall time covers children" true
+            (outer.Obs.sp_duration
+            >= i1.Obs.sp_duration +. i2.Obs.sp_duration -. 1e-9)
+      | l -> Alcotest.failf "expected 2 children, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root span, got %d" (List.length l)
+
+let test_span_survives_exception () =
+  fresh ();
+  Obs.enable ();
+  (try
+     Obs.with_span "outer" (fun () ->
+         Obs.with_span "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.disable ();
+  let snap = Obs.snapshot () in
+  let names =
+    Obs.fold_spans (fun acc sp -> sp.Obs.sp_name :: acc) [] snap
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "both spans closed despite the raise" [ "boom"; "outer" ] names
+
+(* --- JSON exporter --- *)
+
+let rec check_span_eq (a : Obs.span) (b : Obs.span) =
+  Alcotest.(check string) "span name" a.Obs.sp_name b.Obs.sp_name;
+  Alcotest.(check (float 0.0)) "span start" a.Obs.sp_start b.Obs.sp_start;
+  Alcotest.(check (float 0.0)) "span duration" a.Obs.sp_duration
+    b.Obs.sp_duration;
+  Alcotest.(check int) "span children" (List.length a.Obs.sp_children)
+    (List.length b.Obs.sp_children);
+  List.iter2 check_span_eq a.Obs.sp_children b.Obs.sp_children
+
+let test_json_roundtrip () =
+  fresh ();
+  Obs.enable ();
+  Obs.add (Obs.counter "test.json_counter") 17;
+  ignore (Obs.time (Obs.timer "test.json_timer") (fun () -> ()));
+  Obs.with_span "root" (fun () -> Obs.with_span "child" (fun () -> ()));
+  Obs.disable ();
+  let snap = Obs.snapshot () in
+  let back = Export.of_json_string (Export.to_json_string snap) in
+  Alcotest.(check int) "counter survives" 17
+    (List.assoc "test.json_counter" back.Obs.snap_counters);
+  Alcotest.(check int) "counter list equal"
+    (List.length snap.Obs.snap_counters)
+    (List.length back.Obs.snap_counters);
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) "counter name" n1 n2;
+      Alcotest.(check int) "counter value" v1 v2)
+    snap.Obs.snap_counters back.Obs.snap_counters;
+  List.iter2
+    (fun (n1, tot1, c1) (n2, tot2, c2) ->
+      Alcotest.(check string) "timer name" n1 n2;
+      Alcotest.(check (float 0.0)) "timer total" tot1 tot2;
+      Alcotest.(check int) "timer count" c1 c2)
+    snap.Obs.snap_timers back.Obs.snap_timers;
+  Alcotest.(check int) "span forest size"
+    (List.length snap.Obs.snap_spans)
+    (List.length back.Obs.snap_spans);
+  List.iter2 check_span_eq snap.Obs.snap_spans back.Obs.snap_spans
+
+let test_json_escaping () =
+  let j =
+    Json.Obj
+      [ ("weird \"key\"\n", Json.Str "tab\there \\ done"); ("n", Json.Num 1.5) ]
+  in
+  match Json.of_string (Json.to_string j) with
+  | Json.Obj [ (k, Json.Str v); (_, Json.Num x) ] ->
+      Alcotest.(check string) "key" "weird \"key\"\n" k;
+      Alcotest.(check string) "value" "tab\there \\ done" v;
+      Alcotest.(check (float 0.0)) "number" 1.5 x
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{} trailing"; "{\"a\" 1}" ]
+
+(* --- end-to-end: a PSD run drives the instrumented hot paths --- *)
+
+let test_psd_bumps_counters () =
+  fresh ();
+  let b = SRC.build SRC.default in
+  let eng = Psd.prepare ~samples_per_phase:32 b.SRC.sys ~output:b.SRC.output in
+  ignore (Psd.psd eng ~f:1e4);
+  Alcotest.(check bool) "lu_factorizations > 0" true
+    (Obs.counter_value "lu_factorizations" > 0);
+  Alcotest.(check bool) "ode_steps > 0" true
+    (Obs.counter_value "ode_steps" > 0);
+  Alcotest.(check bool) "clu_factorizations > 0" true
+    (Obs.counter_value "clu_factorizations" > 0);
+  Alcotest.(check bool) "expm_calls > 0" true
+    (Obs.counter_value "expm_calls" > 0);
+  Alcotest.(check bool) "psd_points > 0" true
+    (Obs.counter_value "psd_points" > 0)
+
+let test_instrumentation_does_not_perturb () =
+  (* the acceptance bar: sweeps with spans on and off are bit-identical *)
+  fresh ();
+  let b = SRC.build SRC.default in
+  let freqs = Grid.linspace 1e3 1e5 7 in
+  let run () =
+    let eng =
+      Psd.prepare ~samples_per_phase:32 b.SRC.sys ~output:b.SRC.output
+    in
+    Psd.sweep eng freqs
+  in
+  let off = run () in
+  Obs.reset ();
+  Obs.enable ();
+  let on = run () in
+  Obs.disable ();
+  Array.iteri
+    (fun i x ->
+      if x <> on.(i) then
+        Alcotest.failf "sweep differs at %d: %.17g vs %.17g" i x on.(i))
+    off;
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "spans were recorded on the enabled run" true
+    (snap.Obs.snap_spans <> [])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "always on" `Quick
+            test_counters_count_when_disabled;
+        ] );
+      ("timers", [ Alcotest.test_case "accumulates" `Quick test_timer_accumulates ]);
+      ( "spans",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_span_disabled_is_noop;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_survives_exception;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "psd bumps counters" `Quick
+            test_psd_bumps_counters;
+          Alcotest.test_case "numerics unperturbed" `Quick
+            test_instrumentation_does_not_perturb;
+        ] );
+    ]
