@@ -5,11 +5,23 @@
      scnoise info    -c bandpass
      scnoise psd     -c lowpass --fmin 100 --fmax 16e3 -n 40
      scnoise psd     -c switched-rc --engine bruteforce --compare
+     scnoise psd     examples/decks/switched_rc.scn
      scnoise variance -c integrator
      scnoise contrib -c bandpass -f 8e3
-*)
+     scnoise check   examples/decks/sc_integrator.scn
+
+   Anywhere a bundled circuit name is accepted, a path to a `.scn`
+   netlist deck is accepted too (either as the positional argument or
+   via -c); deck analysis directives (.psd, .contrib, ...) provide the
+   defaults that explicit command-line flags override. *)
 
 module Pwl = Scnoise_circuit.Pwl
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+module Compile = Scnoise_circuit.Compile
+module Deck = Scnoise_lang.Deck
+module Elab = Scnoise_lang.Elab
+module Diag = Scnoise_lang.Diag
 module Psd = Scnoise_core.Psd
 module Covariance = Scnoise_core.Covariance
 module Contrib = Scnoise_core.Contrib
@@ -36,14 +48,49 @@ type picked = {
   sys : Pwl.t;
   output : Scnoise_linalg.Vec.t;
   closed_form : (float -> float) option;
+  directives : Elab.analysis list;
+      (* deck analysis directives; [] for registry circuits *)
 }
 
 let circuits_doc =
   "switched-rc | lowpass | lowpass-single-stage | bandpass | integrator | \
-   ladder | delta-sigma"
+   ladder | delta-sigma | a path to a .scn netlist deck"
+
+(* Load, elaborate and compile a `.scn` deck into the same [picked]
+   shape as the registry circuits.  All front-end failures arrive as
+   rendered file:line:col diagnostics. *)
+let pick_deck path =
+  match Deck.load_file path with
+  | Error msg -> Error msg
+  | Ok loaded -> (
+      let e = loaded.Deck.elab in
+      match
+        Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
+          e.Elab.clock
+      with
+      | exception Compile.Error msg -> Error (path ^ ": " ^ msg)
+      | sys -> (
+          match Pwl.observable sys e.Elab.output_node with
+          | exception Not_found ->
+              Error
+                (Diag.render loaded.Deck.source e.Elab.output_loc
+                   (Printf.sprintf
+                      "output node %S is not an observable state (it is \
+                       resistive or source-driven)"
+                      e.Elab.output_node))
+          | output ->
+              Ok
+                {
+                  label = Printf.sprintf "deck %s" path;
+                  sys;
+                  output;
+                  closed_form = None;
+                  directives = e.Elab.analyses;
+                }))
 
 let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
-  match name with
+  if Deck.looks_like_path name then pick_deck name
+  else match name with
   | "switched-rc" ->
       let b = SRC.build (SRC.with_ratio ~duty ~t_over_rc ()) in
       let p = b.SRC.params in
@@ -57,6 +104,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
           sys = b.SRC.sys;
           output = b.SRC.output;
           closed_form = Some (A_src.psd a);
+          directives = [];
         }
   | "lowpass" ->
       let b = LP.build LP.default in
@@ -66,6 +114,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
           sys = b.LP.sys;
           output = b.LP.output;
           closed_form = None;
+          directives = [];
         }
   | "lowpass-single-stage" ->
       let b = LP.build LP.single_stage_variant in
@@ -75,6 +124,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
           sys = b.LP.sys;
           output = b.LP.output;
           closed_form = None;
+          directives = [];
         }
   | "bandpass" -> (
       match BP.design ~clock_hz:128e3 ~f0 ~q () with
@@ -86,6 +136,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
               sys = b.BP.sys;
               output = b.BP.output;
               closed_form = None;
+              directives = [];
             }
       | exception Invalid_argument msg -> Error msg)
   | "integrator" ->
@@ -96,6 +147,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
           sys = b.INT.sys;
           output = b.INT.output;
           closed_form = None;
+          directives = [];
         }
   | "delta-sigma" ->
       let b = DS.build DS.default in
@@ -105,6 +157,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
           sys = b.DS.sys;
           output = b.DS.output;
           closed_form = None;
+          directives = [];
         }
   | "ladder" -> (
       match LAD.build (LAD.with_stages stages) with
@@ -115,6 +168,7 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
               sys = b.LAD.sys;
               output = b.LAD.output;
               closed_form = None;
+              directives = [];
             }
       | exception Invalid_argument msg -> Error msg)
   | other ->
@@ -187,8 +241,19 @@ let with_obs metrics f =
 (* ---- common options ---- *)
 
 let circuit_arg =
-  let doc = "Bundled circuit to analyse: " ^ circuits_doc ^ "." in
+  let doc = "Circuit to analyse: " ^ circuits_doc ^ "." in
   Arg.(value & opt string "switched-rc" & info [ "c"; "circuit" ] ~doc)
+
+let target_arg =
+  let doc =
+    "Bundled circuit name or path to a $(b,.scn) netlist deck (takes over \
+     $(b,-c))."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"CIRCUIT|DECK")
+
+(* an explicit CLI flag beats a deck directive beats the builtin default *)
+let resolve cli directive default =
+  match cli with Some v -> v | None -> Option.value directive ~default
 
 let duty_arg =
   let doc = "Switch duty cycle (switched-rc)." in
@@ -214,7 +279,8 @@ let stages_arg =
   let doc = "Number of stages (ladder)." in
   Arg.(value & opt int 4 & info [ "stages" ] ~doc)
 
-let with_circuit f name duty t_over_rc f0 q stages =
+let with_circuit f name target duty t_over_rc f0 q stages =
+  let name = match target with Some t -> t | None -> name in
   match pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages with
   | Error msg ->
       Printf.eprintf "scnoise: %s\n" msg;
@@ -239,10 +305,95 @@ let list_cmd =
     Table.add_row t
       [ "delta-sigma"; "2nd-order delta-sigma loop filter (linearised)" ];
     Table.print t;
+    Printf.printf
+      "\nEvery analysis also accepts a path to a .scn netlist deck instead \
+       of a\nname (e.g. `scnoise psd examples/decks/switched_rc.scn`); see \
+       `scnoise\ncheck DECK` to validate a deck.\n";
     0
   in
   let doc = "List the bundled evaluation circuits." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ setup_term)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run metrics path =
+    with_obs metrics (fun () ->
+        match Deck.load_file path with
+        | Error msg ->
+            Printf.eprintf "scnoise: %s\n" msg;
+            1
+        | Ok loaded -> (
+            let e = loaded.Deck.elab in
+            let nl = e.Elab.netlist in
+            Printf.printf "%s: deck ok\n" path;
+            if e.Elab.params <> [] then begin
+              Printf.printf "parameters:\n";
+              List.iter
+                (fun (k, v) -> Printf.printf "  %s = %g\n" k v)
+                e.Elab.params
+            end;
+            Format.printf "%a@." Netlist.pp nl;
+            let durs =
+              Array.to_list (Clock.durations e.Elab.clock)
+              |> List.map (Printf.sprintf "%g")
+              |> String.concat "; "
+            in
+            Printf.printf "clock: %d phase(s), period %g s, durations [%s]\n"
+              (Clock.n_phases e.Elab.clock)
+              (Clock.period e.Elab.clock)
+              durs;
+            (match e.Elab.temperature with
+            | Some t -> Printf.printf "temperature: %g K\n" t
+            | None -> ());
+            Printf.printf "output: %s\n" e.Elab.output_node;
+            (match e.Elab.analyses with
+            | [] -> ()
+            | l ->
+                let describe = function
+                  | Elab.Psd _ -> "psd"
+                  | Elab.Variance -> "variance"
+                  | Elab.Contrib _ -> "contrib"
+                  | Elab.Transfer _ -> "transfer"
+                in
+                Printf.printf "directives: %s\n"
+                  (String.concat ", " (List.map describe l)));
+            (* compile too, so structural problems (floating nodes, output
+               not a state) surface here rather than at analysis time *)
+            match
+              Compile.compile ?temperature:e.Elab.temperature nl e.Elab.clock
+            with
+            | exception Compile.Error msg ->
+                Printf.eprintf "scnoise: %s: %s\n" path msg;
+                1
+            | sys -> (
+                match Pwl.observable sys e.Elab.output_node with
+                | exception Not_found ->
+                    Printf.eprintf "%s\n"
+                      (Diag.render loaded.Deck.source e.Elab.output_loc
+                         (Printf.sprintf
+                            "output node %S is not an observable state (it \
+                             is resistive or source-driven)"
+                            e.Elab.output_node));
+                    1
+                | _ ->
+                    Printf.printf "states: %d, stable: %b\n" sys.Pwl.nstates
+                      (Pwl.is_stable sys);
+                    0)))
+  in
+  let path_arg =
+    let doc = "Netlist deck to check." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"DECK")
+  in
+  let doc =
+    "Parse, elaborate and compile a .scn deck; report its nodes, elements, \
+     clock and directives without running an analysis."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const (fun () metrics path -> run metrics path)
+      $ setup_term $ metrics_arg $ path_arg)
 
 (* ---- info ---- *)
 
@@ -275,13 +426,31 @@ let info_cmd =
     (Cmd.info "info" ~doc)
     Term.(
       const (fun () -> with_circuit run)
-      $ setup_term $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
-      $ stages_arg)
+      $ setup_term $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
+      $ q_arg $ stages_arg)
 
 (* ---- psd ---- *)
 
 let psd_cmd =
   let run engine fmin fmax points log compare spp seed csv plot picked =
+    (* a .psd directive in the deck supplies the defaults *)
+    let dfmin, dfmax, dpoints, dlog, dengine =
+      match
+        List.find_map
+          (function
+            | Elab.Psd { fmin; fmax; points; log; engine } ->
+                Some (fmin, fmax, points, log, engine)
+            | _ -> None)
+          picked.directives
+      with
+      | Some d -> d
+      | None -> (None, None, None, false, None)
+    in
+    let engine = resolve engine dengine "mft" in
+    let fmin = resolve fmin dfmin 0.0 in
+    let fmax = resolve fmax dfmax 16e3 in
+    let points = resolve points dpoints 33 in
+    let log = log || dlog in
     if not (Pwl.is_stable picked.sys) then begin
       Printf.eprintf "scnoise: circuit is not stable; no steady-state noise\n";
       2
@@ -351,18 +520,29 @@ let psd_cmd =
     end
   in
   let engine_arg =
-    let doc = "PSD engine: mft (default), bruteforce, or montecarlo." in
-    Arg.(value & opt string "mft" & info [ "e"; "engine" ] ~doc)
+    let doc =
+      "PSD engine: mft (default), bruteforce, or montecarlo.  Unset options \
+       fall back to the deck's .psd directive, when one is present."
+    in
+    Arg.(value & opt (some string) None & info [ "e"; "engine" ] ~doc)
   in
   let fmin_arg =
-    Arg.(value & opt float 0.0 & info [ "fmin" ] ~doc:"Lowest frequency, Hz.")
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fmin" ] ~doc:"Lowest frequency, Hz (default 0).")
   in
   let fmax_arg =
     Arg.(
-      value & opt float 16e3 & info [ "fmax" ] ~doc:"Highest frequency, Hz.")
+      value
+      & opt (some float) None
+      & info [ "fmax" ] ~doc:"Highest frequency, Hz (default 16e3).")
   in
   let points_arg =
-    Arg.(value & opt int 33 & info [ "n"; "points" ] ~doc:"Number of points.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "points" ] ~doc:"Number of points (default 33).")
   in
   let log_arg =
     Arg.(value & flag & info [ "log" ] ~doc:"Logarithmic frequency grid.")
@@ -392,17 +572,17 @@ let psd_cmd =
     Term.(
       const
         (fun () metrics engine fmin fmax points log compare spp seed csv plot
-             name duty r f0 q stages ->
-          with_circuit
-            (fun picked ->
-              with_obs metrics (fun () ->
+             name target duty r f0 q stages ->
+          with_obs metrics (fun () ->
+              with_circuit
+                (fun picked ->
                   run engine fmin fmax points log compare spp seed csv plot
-                    picked))
-            name duty r f0 q stages)
+                    picked)
+                name target duty r f0 q stages))
       $ setup_term $ metrics_arg $ engine_arg $ fmin_arg $ fmax_arg
       $ points_arg $ log_arg $ compare_arg $ spp_arg $ seed_arg $ csv_arg
-      $ plot_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
-      $ stages_arg)
+      $ plot_arg $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
+      $ q_arg $ stages_arg)
 
 (* ---- variance ---- *)
 
@@ -430,17 +610,23 @@ let variance_cmd =
   Cmd.v
     (Cmd.info "variance" ~doc)
     Term.(
-      const (fun () metrics spp name duty r f0 q stages ->
-          with_circuit
-            (fun picked -> with_obs metrics (fun () -> run spp picked))
-            name duty r f0 q stages)
-      $ setup_term $ metrics_arg $ spp_arg $ circuit_arg $ duty_arg
-      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      const (fun () metrics spp name target duty r f0 q stages ->
+          with_obs metrics (fun () ->
+              with_circuit (fun picked -> run spp picked) name target duty r
+                f0 q stages))
+      $ setup_term $ metrics_arg $ spp_arg $ circuit_arg $ target_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- contrib ---- *)
 
 let contrib_cmd =
   let run f spp picked =
+    let df =
+      List.find_map
+        (function Elab.Contrib { f } -> f | _ -> None)
+        picked.directives
+    in
+    let f = resolve f df 1e3 in
     if not (Pwl.is_stable picked.sys) then begin
       Printf.eprintf "scnoise: circuit is not stable\n";
       2
@@ -465,23 +651,44 @@ let contrib_cmd =
   in
   let f_arg =
     Arg.(
-      value & opt float 1e3 & info [ "f"; "freq" ] ~doc:"Analysis frequency, Hz.")
+      value
+      & opt (some float) None
+      & info [ "f"; "freq" ]
+          ~doc:
+            "Analysis frequency, Hz (default 1e3, or the deck's .contrib \
+             directive).")
   in
   let doc = "Per-source decomposition of the output noise PSD." in
   Cmd.v
     (Cmd.info "contrib" ~doc)
     Term.(
-      const (fun () metrics f spp name duty r f0 q stages ->
-          with_circuit
-            (fun picked -> with_obs metrics (fun () -> run f spp picked))
-            name duty r f0 q stages)
-      $ setup_term $ metrics_arg $ f_arg $ spp_arg $ circuit_arg $ duty_arg
-      $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      const (fun () metrics f spp name target duty r f0 q stages ->
+          with_obs metrics (fun () ->
+              with_circuit (fun picked -> run f spp picked) name target duty r
+                f0 q stages))
+      $ setup_term $ metrics_arg $ f_arg $ spp_arg $ circuit_arg $ target_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- transfer ---- *)
 
 let transfer_cmd =
   let run fmin fmax points spp k_range picked =
+    let dfmin, dfmax, dpoints, dk =
+      match
+        List.find_map
+          (function
+            | Elab.Transfer { fmin; fmax; points; k } ->
+                Some (fmin, fmax, points, k)
+            | _ -> None)
+          picked.directives
+      with
+      | Some d -> d
+      | None -> (None, None, None, None)
+    in
+    let fmin = resolve fmin dfmin 1.0 in
+    let fmax = resolve fmax dfmax 2e3 in
+    let points = resolve points dpoints 21 in
+    let k_range = resolve k_range dk 0 in
     if Array.length picked.sys.Pwl.inputs = 0 then begin
       Printf.eprintf "scnoise: circuit has no signal inputs\n";
       2
@@ -523,17 +730,27 @@ let transfer_cmd =
     end
   in
   let fmin_arg =
-    Arg.(value & opt float 1.0 & info [ "fmin" ] ~doc:"Lowest frequency, Hz.")
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fmin" ] ~doc:"Lowest frequency, Hz (default 1).")
   in
   let fmax_arg =
-    Arg.(value & opt float 2e3 & info [ "fmax" ] ~doc:"Highest frequency, Hz.")
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fmax" ] ~doc:"Highest frequency, Hz (default 2e3).")
   in
   let points_arg =
-    Arg.(value & opt int 21 & info [ "n"; "points" ] ~doc:"Number of points.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "points" ] ~doc:"Number of points (default 21).")
   in
   let krange_arg =
     Arg.(
-      value & opt int 0
+      value
+      & opt (some int) None
       & info [ "k" ] ~doc:"Also print magnitudes of the first $(docv) \
                            frequency-translation harmonics.")
   in
@@ -541,14 +758,15 @@ let transfer_cmd =
   Cmd.v
     (Cmd.info "transfer" ~doc)
     Term.(
-      const (fun () metrics fmin fmax points spp k name duty r f0 q stages ->
-          with_circuit
-            (fun picked ->
-              with_obs metrics (fun () -> run fmin fmax points spp k picked))
-            name duty r f0 q stages)
+      const
+        (fun () metrics fmin fmax points spp k name target duty r f0 q stages ->
+          with_obs metrics (fun () ->
+              with_circuit
+                (fun picked -> run fmin fmax points spp k picked)
+                name target duty r f0 q stages))
       $ setup_term $ metrics_arg $ fmin_arg $ fmax_arg $ points_arg $ spp_arg
-      $ krange_arg $ circuit_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
-      $ stages_arg)
+      $ krange_arg $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
+      $ q_arg $ stages_arg)
 
 (* ---- report ---- *)
 
@@ -575,13 +793,13 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(
-      const (fun () metrics spp fmin fmax name duty r f0 q stages ->
-          with_circuit
-            (fun picked ->
-              with_obs metrics (fun () -> run spp fmin fmax picked))
-            name duty r f0 q stages)
+      const (fun () metrics spp fmin fmax name target duty r f0 q stages ->
+          with_obs metrics (fun () ->
+              with_circuit
+                (fun picked -> run spp fmin fmax picked)
+                name target duty r f0 q stages))
       $ setup_term $ metrics_arg $ spp_arg $ fmin_arg $ fmax_arg $ circuit_arg
-      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      $ target_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- main ---- *)
 
@@ -601,6 +819,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            list_cmd; info_cmd; psd_cmd; variance_cmd; contrib_cmd;
+            list_cmd; check_cmd; info_cmd; psd_cmd; variance_cmd; contrib_cmd;
             transfer_cmd; report_cmd;
           ]))

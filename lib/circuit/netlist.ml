@@ -72,6 +72,9 @@ let node t name =
       Hashtbl.add t.by_name name t.n_nodes;
       t.n_nodes
 
+let find_node t name =
+  if name = "0" then Some 0 else Hashtbl.find_opt t.by_name name
+
 let node_name t n =
   if n = 0 then "0"
   else if n < 0 || n > t.n_nodes then invalid_arg "Netlist.node_name: bad node"
@@ -85,13 +88,18 @@ let node_of_id t id =
   if id < 0 || id > t.n_nodes then invalid_arg "Netlist.node_of_id: bad id";
   id
 
-let check_node t n what =
-  if n < 0 || n > t.n_nodes then
-    invalid_arg (Printf.sprintf "Netlist.%s: unknown node" what)
+(* Every validation message names the element (e.g.
+   [Netlist.resistor "R3": r <= 0]) so both programmatic use and the
+   deck front end can identify the offender; default names are resolved
+   before validation for the same reason. *)
+let invalid what name msg =
+  invalid_arg (Printf.sprintf "Netlist.%s %S: %s" what name msg)
 
-let check_distinct n1 n2 what =
-  if n1 = n2 then
-    invalid_arg (Printf.sprintf "Netlist.%s: both terminals on the same node" what)
+let check_node t n what name =
+  if n < 0 || n > t.n_nodes then invalid what name "unknown node"
+
+let check_distinct n1 n2 what name =
+  if n1 = n2 then invalid what name "both terminals on the same node"
 
 let fresh_name t prefix =
   Printf.sprintf "%s%d" prefix (t.n_elements + 1)
@@ -100,104 +108,102 @@ let push t e =
   t.elements <- e :: t.elements;
   t.n_elements <- t.n_elements + 1
 
-let mark_driven t n driver =
-  if n = ground then
-    invalid_arg (Printf.sprintf "Netlist: %s cannot drive ground" driver);
+let mark_driven t n what name =
+  if n = ground then invalid what name "cannot drive ground";
   match List.assoc_opt n t.driven with
   | Some other ->
-      invalid_arg
-        (Printf.sprintf "Netlist: node %s driven by both %s and %s"
-           (node_name t n) other driver)
-  | None -> t.driven <- (n, driver) :: t.driven
+      invalid what name
+        (Printf.sprintf "node %s already driven by %s" (node_name t n) other)
+  | None -> t.driven <- (n, name) :: t.driven
 
 let resistor ?name ?(noisy = true) t n1 n2 r =
-  check_node t n1 "resistor";
-  check_node t n2 "resistor";
-  check_distinct n1 n2 "resistor";
-  if r <= 0.0 then invalid_arg "Netlist.resistor: r <= 0";
   let name = match name with Some s -> s | None -> fresh_name t "R" in
+  check_node t n1 "resistor" name;
+  check_node t n2 "resistor" name;
+  check_distinct n1 n2 "resistor" name;
+  if r <= 0.0 then invalid "resistor" name "r <= 0";
   push t (Resistor { name; n1; n2; r; noisy })
 
 let capacitor ?name t n1 n2 c =
-  check_node t n1 "capacitor";
-  check_node t n2 "capacitor";
-  check_distinct n1 n2 "capacitor";
-  if c <= 0.0 then invalid_arg "Netlist.capacitor: c <= 0";
   let name = match name with Some s -> s | None -> fresh_name t "C" in
+  check_node t n1 "capacitor" name;
+  check_node t n2 "capacitor" name;
+  check_distinct n1 n2 "capacitor" name;
+  if c <= 0.0 then invalid "capacitor" name "c <= 0";
   push t (Capacitor { name; n1; n2; c })
 
 let switch ?name ?(noisy = true) ~closed_in t n1 n2 r_on =
-  check_node t n1 "switch";
-  check_node t n2 "switch";
-  check_distinct n1 n2 "switch";
-  if r_on <= 0.0 then invalid_arg "Netlist.switch: r_on <= 0";
-  if closed_in = [] then invalid_arg "Netlist.switch: never closed";
-  List.iter
-    (fun p -> if p < 0 then invalid_arg "Netlist.switch: negative phase index")
-    closed_in;
   let name = match name with Some s -> s | None -> fresh_name t "S" in
+  check_node t n1 "switch" name;
+  check_node t n2 "switch" name;
+  check_distinct n1 n2 "switch" name;
+  if r_on <= 0.0 then invalid "switch" name "r_on <= 0";
+  if closed_in = [] then invalid "switch" name "never closed";
+  List.iter
+    (fun p -> if p < 0 then invalid "switch" name "negative phase index")
+    closed_in;
   push t (Switch { name; n1; n2; r_on; noisy; closed_in })
 
 let vsource ?name t n waveform =
-  check_node t n "vsource";
   let name = match name with Some s -> s | None -> fresh_name t "V" in
-  mark_driven t n name;
+  check_node t n "vsource" name;
+  mark_driven t n "vsource" name;
   push t (Vsource { name; n; waveform })
 
 let vsource_dc ?name t n v = vsource ?name t n (fun _ -> v)
 
 let isource ?name t n1 n2 waveform =
-  check_node t n1 "isource";
-  check_node t n2 "isource";
-  check_distinct n1 n2 "isource";
   let name = match name with Some s -> s | None -> fresh_name t "I" in
+  check_node t n1 "isource" name;
+  check_node t n2 "isource" name;
+  check_distinct n1 n2 "isource" name;
   push t (Isource { name; n1; n2; waveform })
 
 let noise_isource ?name t n1 n2 ~psd =
-  check_node t n1 "noise_isource";
-  check_node t n2 "noise_isource";
-  check_distinct n1 n2 "noise_isource";
-  if psd < 0.0 then invalid_arg "Netlist.noise_isource: psd < 0";
   let name = match name with Some s -> s | None -> fresh_name t "IN" in
+  check_node t n1 "noise_isource" name;
+  check_node t n2 "noise_isource" name;
+  check_distinct n1 n2 "noise_isource" name;
+  if psd < 0.0 then invalid "noise_isource" name "psd < 0";
   push t (Noise_isource { name; n1; n2; psd })
 
 let flicker_isource ?name ?(sections_per_decade = 2) t n1 n2 ~psd_1hz ~fmin
     ~fmax =
-  check_node t n1 "flicker_isource";
-  check_node t n2 "flicker_isource";
-  check_distinct n1 n2 "flicker_isource";
-  if psd_1hz <= 0.0 then invalid_arg "Netlist.flicker_isource: psd_1hz <= 0";
-  if fmin <= 0.0 || fmax <= fmin then
-    invalid_arg "Netlist.flicker_isource: need 0 < fmin < fmax";
-  if sections_per_decade < 1 then
-    invalid_arg "Netlist.flicker_isource: sections_per_decade < 1";
   let name = match name with Some s -> s | None -> fresh_name t "IF" in
+  check_node t n1 "flicker_isource" name;
+  check_node t n2 "flicker_isource" name;
+  check_distinct n1 n2 "flicker_isource" name;
+  if psd_1hz <= 0.0 then invalid "flicker_isource" name "psd_1hz <= 0";
+  if fmin <= 0.0 || fmax <= fmin then
+    invalid "flicker_isource" name "need 0 < fmin < fmax";
+  if sections_per_decade < 1 then
+    invalid "flicker_isource" name "sections_per_decade < 1";
   push t
     (Flicker_isource { name; n1; n2; psd_1hz; fmin; fmax; sections_per_decade })
 
 let opamp_integrator ?name ?(input_noise_psd = 0.0) t ~plus ~minus ~out ~ugf =
-  check_node t plus "opamp_integrator";
-  check_node t minus "opamp_integrator";
-  check_node t out "opamp_integrator";
-  if ugf <= 0.0 then invalid_arg "Netlist.opamp_integrator: ugf <= 0";
-  if input_noise_psd < 0.0 then
-    invalid_arg "Netlist.opamp_integrator: input_noise_psd < 0";
   let name = match name with Some s -> s | None -> fresh_name t "OA" in
-  mark_driven t out name;
+  check_node t plus "opamp_integrator" name;
+  check_node t minus "opamp_integrator" name;
+  check_node t out "opamp_integrator" name;
+  if ugf <= 0.0 then invalid "opamp_integrator" name "ugf <= 0";
+  if input_noise_psd < 0.0 then
+    invalid "opamp_integrator" name "input_noise_psd < 0";
+  mark_driven t out "opamp_integrator" name;
   push t (Opamp_integrator { name; plus; minus; out; ugf; input_noise_psd })
 
 let opamp_single_stage ?name ?(input_noise_psd = 0.0) t ~plus ~minus ~out ~gm
     ~rout ~cout =
-  check_node t plus "opamp_single_stage";
-  check_node t minus "opamp_single_stage";
-  check_node t out "opamp_single_stage";
-  if out = ground then invalid_arg "Netlist.opamp_single_stage: out is ground";
-  if gm <= 0.0 then invalid_arg "Netlist.opamp_single_stage: gm <= 0";
-  if rout <= 0.0 then invalid_arg "Netlist.opamp_single_stage: rout <= 0";
-  if cout <= 0.0 then invalid_arg "Netlist.opamp_single_stage: cout <= 0";
-  if input_noise_psd < 0.0 then
-    invalid_arg "Netlist.opamp_single_stage: input_noise_psd < 0";
   let name = match name with Some s -> s | None -> fresh_name t "OA" in
+  check_node t plus "opamp_single_stage" name;
+  check_node t minus "opamp_single_stage" name;
+  check_node t out "opamp_single_stage" name;
+  if out = ground then invalid "opamp_single_stage" name "out is ground";
+  if gm <= 0.0 then invalid "opamp_single_stage" name "gm <= 0";
+  if rout <= 0.0 then invalid "opamp_single_stage" name "rout <= 0";
+  if cout <= 0.0 then invalid "opamp_single_stage" name "cout <= 0";
+  if input_noise_psd < 0.0 then
+    invalid "opamp_single_stage" name "input_noise_psd < 0";
   push t
     (Opamp_single_stage
        { name; plus; minus; out; gm; rout; cout; input_noise_psd })

@@ -30,6 +30,9 @@ val ground : node
 val node : t -> string -> node
 (** [node t name] creates (or retrieves, by name) a node. *)
 
+val find_node : t -> string -> node option
+(** Lookup without creation; ["0"] is {!ground}. *)
+
 val node_name : t -> node -> string
 
 val n_nodes : t -> int

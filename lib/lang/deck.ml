@@ -1,0 +1,39 @@
+module Obs = Scnoise_obs.Obs
+
+let c_diags = Obs.counter "lang_diagnostics"
+
+type loaded = { source : Source.t; ast : Ast.deck; elab : Elab.t }
+
+let render_error source e =
+  match Diag.render_exn source e with
+  | Some msg ->
+      Obs.incr c_diags;
+      Error msg
+  | None -> raise e
+
+let parse_string ~name text =
+  let source = Source.of_string ~name text in
+  match Obs.with_span "lang.parse" (fun () -> Parser.parse source) with
+  | ast -> Ok (source, ast)
+  | exception (Diag.Error _ as e) -> render_error source e
+
+let load_ast source ast =
+  match Obs.with_span "lang.elaborate" (fun () -> Elab.elaborate ast) with
+  | elab -> Ok { source; ast; elab }
+  | exception (Diag.Error _ as e) -> render_error source e
+
+let load_string ~name text =
+  Result.bind (parse_string ~name text) (fun (source, ast) -> load_ast source ast)
+
+let load_file path =
+  match Source.of_file path with
+  | exception Sys_error msg -> Error msg
+  | source -> (
+      match Obs.with_span "lang.parse" (fun () -> Parser.parse source) with
+      | ast -> load_ast source ast
+      | exception (Diag.Error _ as e) -> render_error source e)
+
+let looks_like_path name =
+  Filename.check_suffix name ".scn"
+  || String.contains name '/'
+  || Sys.file_exists name

@@ -1,0 +1,25 @@
+(** One-stop `.scn` deck loading: read, lex, parse, elaborate, render
+    diagnostics.  The CLI front end goes through this module only.
+
+    Parse and elaboration are instrumented with {!Scnoise_obs} spans
+    ([lang.parse], [lang.elaborate]) and counters ([lang_tokens],
+    [lang_cards], [lang_diagnostics]) like every other pipeline phase. *)
+
+type loaded = {
+  source : Source.t;
+  ast : Ast.deck;
+  elab : Elab.t;
+}
+
+val parse_string : name:string -> string -> (Source.t * Ast.deck, string) result
+(** Lex + parse only; [Error] carries a rendered diagnostic. *)
+
+val load_string : name:string -> string -> (loaded, string) result
+
+val load_file : string -> (loaded, string) result
+(** [Error] also covers unreadable files ([Sys_error]). *)
+
+val looks_like_path : string -> bool
+(** Heuristic used by the CLI to route an argument to the deck loader
+    rather than the built-in circuit registry: a [.scn] suffix, a path
+    separator, or an existing file. *)

@@ -1,0 +1,19 @@
+exception Error of Loc.t * string
+
+let error loc fmt = Printf.ksprintf (fun m -> raise (Error (loc, m))) fmt
+
+let render source loc msg =
+  let head = Printf.sprintf "%s: %s" (Loc.to_string loc) msg in
+  match Source.line source loc.Loc.line with
+  | None -> head
+  | Some l ->
+      let caret = Buffer.create (loc.Loc.col + 1) in
+      for i = 0 to loc.Loc.col - 2 do
+        Buffer.add_char caret (if i < String.length l && l.[i] = '\t' then '\t' else ' ')
+      done;
+      Buffer.add_char caret '^';
+      Printf.sprintf "%s\n  %s\n  %s" head l (Buffer.contents caret)
+
+let render_exn source = function
+  | Error (loc, msg) -> Some (render source loc msg)
+  | _ -> None

@@ -1,0 +1,25 @@
+(** Source-located diagnostics shared by the lexer, parser and
+    elaborator.  Every front-end failure is an {!Error} carrying the
+    location of the offending token or card; {!render} turns it into the
+    classic [file:line:col: message] form followed by the quoted source
+    line and a caret. *)
+
+exception Error of Loc.t * string
+
+val error : Loc.t -> ('a, unit, string, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with the formatted message. *)
+
+val render : Source.t -> Loc.t -> string -> string
+(** [render source loc msg] is
+
+    {v
+file.scn:3:4: unknown node "vx"
+  S1 vx 0 1k closed=0
+     ^
+    v}
+
+    The caret line mirrors tabs in the quoted line so it stays aligned. *)
+
+val render_exn : Source.t -> exn -> string option
+(** [render_exn source e] renders {!Error} exceptions, [None] for
+    anything else. *)

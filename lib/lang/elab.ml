@@ -1,0 +1,293 @@
+open Ast
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+
+type analysis =
+  | Psd of {
+      fmin : float option;
+      fmax : float option;
+      points : int option;
+      log : bool;
+      engine : string option;
+    }
+  | Variance
+  | Contrib of { f : float option }
+  | Transfer of {
+      fmin : float option;
+      fmax : float option;
+      points : int option;
+      k : int option;
+    }
+
+type t = {
+  netlist : Netlist.t;
+  clock : Clock.t;
+  output_node : string;
+  output_loc : Loc.t;
+  temperature : float option;
+  analyses : analysis list;
+  params : (string * float) list;
+}
+
+(* ---- expression evaluation ---- *)
+
+let constants = [ ("pi", Float.pi) ]
+
+let rec eval env x =
+  match x.e with
+  | Num v -> v
+  | Ref name -> (
+      match Hashtbl.find_opt env name with
+      | Some v -> v
+      | None -> (
+          match List.assoc_opt (String.lowercase_ascii name) constants with
+          | Some v -> v
+          | None -> Diag.error x.eloc "unknown parameter %S" name))
+  | Neg a -> -.eval env a
+  | Bin (op, a, b) -> (
+      let va = eval env a and vb = eval env b in
+      match op with
+      | Add -> va +. vb
+      | Sub -> va -. vb
+      | Mul -> va *. vb
+      | Div ->
+          if vb = 0.0 then Diag.error x.eloc "division by zero";
+          va /. vb
+      | Pow -> Float.pow va vb)
+  | Call (f, args) -> (
+      let vs = List.map (eval env) args in
+      let arity n k =
+        if List.length vs <> n then
+          Diag.error x.eloc "%s expects %d argument(s), got %d" f n
+            (List.length vs)
+        else k
+      in
+      match (f, vs) with
+      | "sqrt", [ v ] -> sqrt v
+      | "exp", [ v ] -> exp v
+      | "log", [ v ] -> log v
+      | "log10", [ v ] -> log10 v
+      | "abs", [ v ] -> abs_float v
+      | "min", [ a; b ] -> Float.min a b
+      | "max", [ a; b ] -> Float.max a b
+      | "pow", [ a; b ] -> Float.pow a b
+      | ("sqrt" | "exp" | "log" | "log10" | "abs"), _ -> arity 1 nan
+      | ("min" | "max" | "pow"), _ -> arity 2 nan
+      | _ -> Diag.error x.eloc "unknown function %S" f)
+
+let eval_int env x what =
+  let v = eval env x in
+  let i = int_of_float v in
+  if float_of_int i <> v then
+    Diag.error x.eloc "%s must be an integer, got %s" what
+      (Printf.sprintf "%g" v);
+  i
+
+(* ---- waveforms ---- *)
+
+let eval_wave env loc = function
+  | Dc v ->
+      let x = eval env v in
+      fun _ -> x
+  | Sin { offset; amp; freq; phase_deg } ->
+      let o = eval env offset and a = eval env amp and f = eval env freq in
+      let ph =
+        match phase_deg with
+        | Some p -> eval env p *. Float.pi /. 180.0
+        | None -> 0.0
+      in
+      fun t -> o +. (a *. sin ((2.0 *. Float.pi *. f *. t) +. ph))
+  | Pwl pts ->
+      let pts = List.map (fun (t, v) -> (eval env t, eval env v)) pts in
+      let rec check = function
+        | (t1, _) :: ((t2, _) :: _ as rest) ->
+            if t2 <= t1 then
+              Diag.error loc "pwl breakpoint times must be strictly increasing";
+            check rest
+        | _ -> ()
+      in
+      check pts;
+      let arr = Array.of_list pts in
+      let n = Array.length arr in
+      fun t ->
+        if t <= fst arr.(0) then snd arr.(0)
+        else if t >= fst arr.(n - 1) then snd arr.(n - 1)
+        else begin
+          (* n >= 2 here; find the bracketing segment *)
+          let i = ref 0 in
+          while fst arr.(!i + 1) < t do incr i done;
+          let t1, v1 = arr.(!i) and t2, v2 = arr.(!i + 1) in
+          v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+        end
+
+(* ---- elaboration ---- *)
+
+(* Re-raise the [Netlist] builder's [Invalid_argument] at the card's
+   location; the message already names the element (e.g.
+   [Netlist.resistor "R3": r <= 0]). *)
+let located_invalid loc f = try f () with Invalid_argument m -> Diag.error loc "%s" m
+
+let elaborate (deck : Ast.deck) =
+  let nl = Netlist.create () in
+  let env : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let params = ref [] in
+  let clock = ref None in
+  let output = ref None in
+  let temperature = ref None in
+  let analyses = ref [] in
+  let switch_phases = ref [] in
+  (* (loc, name, phase list) for the post-clock range check *)
+  let n_cards = ref 0 in
+  let node n =
+    if n.nname = "0" then Netlist.ground else Netlist.node nl n.nname
+  in
+  let do_card loc = function
+    | Resistor { name; n1; n2; r; noisy } ->
+        let r = eval env r in
+        located_invalid loc (fun () ->
+            Netlist.resistor ~name ~noisy nl (node n1) (node n2) r)
+    | Capacitor { name; n1; n2; c } ->
+        let c = eval env c in
+        located_invalid loc (fun () ->
+            Netlist.capacitor ~name nl (node n1) (node n2) c)
+    | Switch { name; n1; n2; r_on; closed_in; noisy } ->
+        let r_on = eval env r_on in
+        switch_phases := (loc, name, closed_in) :: !switch_phases;
+        located_invalid loc (fun () ->
+            Netlist.switch ~name ~noisy ~closed_in nl (node n1) (node n2) r_on)
+    | Vsource { name; n; wave } ->
+        let w = eval_wave env loc wave in
+        located_invalid loc (fun () -> Netlist.vsource ~name nl (node n) w)
+    | Isource { name; n1; n2; wave } ->
+        let w = eval_wave env loc wave in
+        located_invalid loc (fun () ->
+            Netlist.isource ~name nl (node n1) (node n2) w)
+    | Noise { name; n1; n2; kind = White { psd } } ->
+        let psd = eval env psd in
+        located_invalid loc (fun () ->
+            Netlist.noise_isource ~name nl (node n1) (node n2) ~psd)
+    | Noise { name; n1; n2; kind = Flicker f } ->
+        let psd_1hz = eval env f.psd_1hz in
+        let fmin = eval env f.fmin in
+        let fmax = eval env f.fmax in
+        let spd =
+          Option.map
+            (fun e -> eval_int env e "sections per decade")
+            f.sections_per_decade
+        in
+        located_invalid loc (fun () ->
+            Netlist.flicker_isource ~name ?sections_per_decade:spd nl (node n1)
+              (node n2) ~psd_1hz ~fmin ~fmax)
+    | Opamp_integrator { name; plus; minus; out; ugf; noise } ->
+        let ugf = eval env ugf in
+        let psd = Option.map (eval env) noise in
+        located_invalid loc (fun () ->
+            Netlist.opamp_integrator ~name ?input_noise_psd:psd nl
+              ~plus:(node plus) ~minus:(node minus) ~out:(node out) ~ugf)
+    | Opamp_single_stage { name; plus; minus; out; gm; rout; cout; noise } ->
+        let gm = eval env gm in
+        let rout = eval env rout in
+        let cout = eval env cout in
+        let psd = Option.map (eval env) noise in
+        located_invalid loc (fun () ->
+            Netlist.opamp_single_stage ~name ?input_noise_psd:psd nl
+              ~plus:(node plus) ~minus:(node minus) ~out:(node out) ~gm ~rout
+              ~cout)
+  in
+  let do_clock loc = function
+    | Clock_duty { period; duty } ->
+        let period = eval env period and duty = eval env duty in
+        located_invalid loc (fun () -> Clock.duty ~period ~duty)
+    | Clock_two_phase { period; gap } ->
+        let period = eval env period in
+        let gap = Option.map (eval env) gap in
+        located_invalid loc (fun () ->
+            Clock.two_phase ?gap_fraction:gap ~period ())
+    | Clock_phases ds ->
+        let ds = List.map (eval env) ds in
+        located_invalid loc (fun () -> Clock.make ds)
+  in
+  let opt f = Option.map f in
+  let do_analysis = function
+    | Ast.Psd { fmin; fmax; points; log; engine } ->
+        Psd
+          {
+            fmin = opt (eval env) fmin;
+            fmax = opt (eval env) fmax;
+            points = opt (fun e -> eval_int env e "points") points;
+            log;
+            engine;
+          }
+    | Ast.Variance -> Variance
+    | Ast.Contrib { f } -> Contrib { f = opt (eval env) f }
+    | Ast.Transfer { fmin; fmax; points; k } ->
+        Transfer
+          {
+            fmin = opt (eval env) fmin;
+            fmax = opt (eval env) fmax;
+            points = opt (fun e -> eval_int env e "points") points;
+            k = opt (fun e -> eval_int env e "k") k;
+          }
+  in
+  List.iter
+    (fun { s; sloc } ->
+      match s with
+      | Param { pname; value } ->
+          if Hashtbl.mem env pname then
+            Diag.error sloc "parameter %S already defined" pname;
+          let v = eval env value in
+          Hashtbl.add env pname v;
+          params := (pname, v) :: !params
+      | Card c ->
+          incr n_cards;
+          do_card sloc c
+      | Clock spec ->
+          if !clock <> None then Diag.error sloc "duplicate .clock directive";
+          clock := Some (do_clock sloc spec)
+      | Output n ->
+          if !output <> None then Diag.error sloc "duplicate .output directive";
+          (match Netlist.find_node nl n.nname with
+          | Some _ -> ()
+          | None -> Diag.error n.nloc "unknown node %S" n.nname);
+          output := Some (n.nname, n.nloc)
+      | Temp e ->
+          if !temperature <> None then
+            Diag.error sloc "duplicate .temp directive";
+          let v = eval env e in
+          if v <= 0.0 then Diag.error e.eloc "temperature must be positive";
+          temperature := Some v
+      | Analysis a -> analyses := do_analysis a :: !analyses
+      | End -> ())
+    deck.stmts;
+  if !n_cards = 0 then Diag.error deck.eof "deck has no element cards";
+  let clock =
+    match !clock with
+    | Some c -> c
+    | None -> Diag.error deck.eof "missing .clock directive"
+  in
+  let output_node, output_loc =
+    match !output with
+    | Some o -> o
+    | None -> Diag.error deck.eof "missing .output directive"
+  in
+  (* switch phases must exist in the clock schedule *)
+  List.iter
+    (fun (loc, name, phases) ->
+      List.iter
+        (fun p ->
+          if p >= Clock.n_phases clock then
+            Diag.error loc
+              "switch %S: phase index %d out of range (clock has %d phase%s)"
+              name p (Clock.n_phases clock)
+              (if Clock.n_phases clock = 1 then "" else "s"))
+        phases)
+    (List.rev !switch_phases);
+  {
+    netlist = nl;
+    clock;
+    output_node;
+    output_loc;
+    temperature = !temperature;
+    analyses = List.rev !analyses;
+    params = List.rev !params;
+  }

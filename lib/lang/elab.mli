@@ -1,0 +1,47 @@
+(** Elaborator: located AST → {!Scnoise_circuit.Netlist.t} +
+    {!Scnoise_circuit.Clock.t} + evaluated analysis directives.
+
+    Every failure is a {!Diag.Error} located at the offending card,
+    node or expression: unknown parameters, bad element values (the
+    [Netlist] builder's [Invalid_argument] is re-raised with the card's
+    position), switch phases outside the clock schedule, an unknown
+    [.output] node, duplicate or missing [.clock]/[.output] directives.
+
+    Expressions know the constant [pi], the functions [sqrt exp log
+    log10 abs min max pow], and every [.param] defined {e above} the
+    point of use (strict top-to-bottom order). *)
+
+module Netlist = Scnoise_circuit.Netlist
+module Clock = Scnoise_circuit.Clock
+
+(** Analysis directives with their expressions evaluated; [None] fields
+    were omitted in the deck and fall back to CLI defaults. *)
+type analysis =
+  | Psd of {
+      fmin : float option;
+      fmax : float option;
+      points : int option;
+      log : bool;
+      engine : string option;
+    }
+  | Variance
+  | Contrib of { f : float option }
+  | Transfer of {
+      fmin : float option;
+      fmax : float option;
+      points : int option;
+      k : int option;
+    }
+
+type t = {
+  netlist : Netlist.t;
+  clock : Clock.t;
+  output_node : string;
+  output_loc : Loc.t;
+  temperature : float option;  (** from [.temp], kelvin *)
+  analyses : analysis list;  (** in deck order *)
+  params : (string * float) list;  (** evaluated [.param]s, deck order *)
+}
+
+val elaborate : Ast.deck -> t
+(** Raises {!Diag.Error}. *)

@@ -1,0 +1,205 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | DIRECTIVE of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | EQUALS
+  | COMMA
+  | EOL
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+let c_tokens = Scnoise_obs.Obs.counter "lang_tokens"
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = is_letter c || c = '_'
+
+let is_ident_char c = is_letter c || is_digit c || c = '_'
+
+(* SI suffix table, as a decimal exponent so the suffix can be spliced
+   into the literal and the value stays correctly rounded (10u lexes to
+   exactly 1e-5, not 10.0 *. 1e-6).  "meg" must be tried before the
+   single-letter "m". *)
+let suffix_exp loc letters =
+  let s = String.lowercase_ascii letters in
+  let starts p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  if s = "" then 0
+  else if starts "meg" then 6
+  else
+    match s.[0] with
+    | 't' -> 12
+    | 'g' -> 9
+    | 'k' -> 3
+    | 'm' -> -3
+    | 'u' -> -6
+    | 'n' -> -9
+    | 'p' -> -12
+    | 'f' -> -15
+    | _ -> Diag.error loc "unknown SI suffix %S on number" letters
+
+(* Lex the payload of one physical line (the continuation '+', if any,
+   already consumed) into [acc]. *)
+let lex_line ~file ~lineno ~start line acc =
+  let n = String.length line in
+  let acc = ref acc in
+  let pos = ref start in
+  let loc_at p = Loc.make ~file ~line:lineno ~col:(p + 1) in
+  let emit tok p = acc := { tok; loc = loc_at p } :: !acc in
+  let number p0 =
+    let p = ref p0 in
+    while !p < n && is_digit line.[!p] do incr p done;
+    if !p < n && line.[!p] = '.' then begin
+      incr p;
+      while !p < n && is_digit line.[!p] do incr p done
+    end;
+    (* exponent only when 'e'/'E' is followed by a (signed) digit;
+       otherwise the letters form an SI/unit tail *)
+    (if !p + 1 < n && (line.[!p] = 'e' || line.[!p] = 'E') then
+       let q = if line.[!p + 1] = '+' || line.[!p + 1] = '-' then !p + 2 else !p + 1 in
+       if q < n && is_digit line.[q] then begin
+         p := q;
+         while !p < n && is_digit line.[!p] do incr p done
+       end);
+    let mantissa = String.sub line p0 (!p - p0) in
+    let s0 = !p in
+    while !p < n && is_letter line.[!p] do incr p done;
+    let letters = String.sub line s0 (!p - s0) in
+    let v =
+      match float_of_string_opt mantissa with
+      | Some v -> v
+      | None -> Diag.error (loc_at p0) "malformed number %S" mantissa
+    in
+    let v =
+      match suffix_exp (loc_at s0) letters with
+      | 0 -> v
+      | se ->
+          let base, ex =
+            match
+              ( String.index_opt mantissa 'e',
+                String.index_opt mantissa 'E' )
+            with
+            | Some i, _ | None, Some i ->
+                ( String.sub mantissa 0 i,
+                  int_of_string
+                    (String.sub mantissa (i + 1)
+                       (String.length mantissa - i - 1)) )
+            | None, None -> (mantissa, 0)
+          in
+          float_of_string (Printf.sprintf "%se%d" base (ex + se))
+    in
+    emit (NUMBER v) p0;
+    pos := !p
+  in
+  while !pos < n do
+    let c = line.[!pos] in
+    if c = ' ' || c = '\t' then incr pos
+    else if c = ';' then pos := n (* inline comment *)
+    else if is_ident_start c then begin
+      let p0 = !pos in
+      while !pos < n && is_ident_char line.[!pos] do incr pos done;
+      emit (IDENT (String.sub line p0 (!pos - p0))) p0
+    end
+    else if is_digit c then number !pos
+    else if c = '.' && !pos + 1 < n && is_digit line.[!pos + 1] then number !pos
+    else if c = '.' && !pos + 1 < n && is_letter line.[!pos + 1] then begin
+      let p0 = !pos in
+      incr pos;
+      let s0 = !pos in
+      while !pos < n && is_ident_char line.[!pos] do incr pos done;
+      emit (DIRECTIVE (String.lowercase_ascii (String.sub line s0 (!pos - s0)))) p0
+    end
+    else begin
+      let tok =
+        match c with
+        | '{' -> LBRACE
+        | '}' -> RBRACE
+        | '(' -> LPAREN
+        | ')' -> RPAREN
+        | '+' -> PLUS
+        | '-' -> MINUS
+        | '*' -> STAR
+        | '/' -> SLASH
+        | '^' -> CARET
+        | '=' -> EQUALS
+        | ',' -> COMMA
+        | _ -> Diag.error (loc_at !pos) "illegal character %C" c
+      in
+      emit tok !pos;
+      incr pos
+    end
+  done;
+  !acc
+
+let first_non_blank line =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  let i = go 0 in
+  if i < n then Some (i, line.[i]) else None
+
+let tokenize source =
+  let file = Source.name source in
+  let nl = Source.n_lines source in
+  let acc = ref [] in
+  (* location at which the current logical line would end, if the next
+     content line is not a continuation *)
+  let pending_eol = ref None in
+  for li = 1 to nl do
+    let line = Option.get (Source.line source li) in
+    match first_non_blank line with
+    | None -> () (* blank: neither content nor a continuation break *)
+    | Some (_, '*') -> () (* full-line comment *)
+    | Some (i, '+') when !pending_eol <> None ->
+        (* continuation: swallow the '+' and keep the logical line open *)
+        acc := lex_line ~file ~lineno:li ~start:(i + 1) line !acc;
+        pending_eol := Some (Loc.make ~file ~line:li ~col:(String.length line + 1))
+    | Some (i, c) ->
+        if c = '+' then
+          Diag.error (Loc.make ~file ~line:li ~col:(i + 1))
+            "continuation line with nothing to continue";
+        (match !pending_eol with
+        | Some loc -> acc := { tok = EOL; loc } :: !acc
+        | None -> ());
+        acc := lex_line ~file ~lineno:li ~start:i line !acc;
+        pending_eol := Some (Loc.make ~file ~line:li ~col:(String.length line + 1))
+  done;
+  let eof_loc =
+    match !pending_eol with
+    | Some loc ->
+        acc := { tok = EOL; loc } :: !acc;
+        loc
+    | None -> Loc.make ~file ~line:(max nl 1) ~col:1
+  in
+  acc := { tok = EOF; loc = eof_loc } :: !acc;
+  let toks = List.rev !acc in
+  Scnoise_obs.Obs.add c_tokens (List.length toks);
+  toks
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER v -> Printf.sprintf "number %g" v
+  | DIRECTIVE d -> Printf.sprintf "directive .%s" d
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | EQUALS -> "'='"
+  | COMMA -> "','"
+  | EOL -> "end of line"
+  | EOF -> "end of deck"

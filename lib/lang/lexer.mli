@@ -1,0 +1,43 @@
+(** Hand-written lexer for `.scn` decks.
+
+    Lexical structure (SPICE-flavoured):
+
+    - a line whose first non-blank character is [*] is a comment;
+      [;] starts a comment that runs to the end of the physical line;
+    - a line whose first non-blank character is [+] continues the
+      previous logical line (no {!EOL} is emitted between them);
+    - numbers are decimal floats with an optional SI suffix
+      ([f p n u m k meg g t], case-insensitive); alphabetic unit tails
+      after the suffix are ignored, so [10kohm], [2.5pF] and [1meg] all
+      lex as expected.  An alphabetic tail that starts with no known
+      suffix (e.g. [10q]) is a lexical error;
+    - identifiers are [[A-Za-z_][A-Za-z0-9_]*]; a [.] followed by a
+      letter begins a directive name ([.clock], [.psd], ...).
+
+    All failures raise {!Diag.Error} with the offending position. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | DIRECTIVE of string  (** lowercased, without the dot *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | EQUALS
+  | COMMA
+  | EOL  (** end of a logical line *)
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+val tokenize : Source.t -> located list
+(** The token stream, always terminated by a single {!EOF}. *)
+
+val describe : token -> string
+(** Human form for syntax-error messages, e.g. ["number 10.5"]. *)

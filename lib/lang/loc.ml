@@ -1,0 +1,7 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+
+let dummy = { file = ""; line = 0; col = 0 }
+
+let to_string l = Printf.sprintf "%s:%d:%d" l.file l.line l.col

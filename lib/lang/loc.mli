@@ -1,0 +1,13 @@
+(** Source locations for `.scn` deck diagnostics.
+
+    Lines and columns are 1-based; {!dummy} (line 0) marks synthesised
+    nodes, e.g. after {!Ast.strip} normalisation for AST comparison. *)
+
+type t = { file : string; line : int; col : int }
+
+val make : file:string -> line:int -> col:int -> t
+
+val dummy : t
+
+val to_string : t -> string
+(** ["file:line:col"], the prefix of every rendered diagnostic. *)

@@ -1,0 +1,23 @@
+(** Canonical printer for the `.scn` AST.
+
+    The output is itself a valid deck, and printing is exact:
+    [parse (print (parse s))] equals [parse s] modulo locations (floats
+    are printed with enough digits to round-trip bit-exactly, negated
+    literals stay literals, and expressions are re-braced with minimal
+    parentheses). *)
+
+val float_str : float -> string
+(** Shortest of ["%g"] / ["%.17g"] that reparses to the same float. *)
+
+val expr : Ast.expr -> string
+(** Without braces. *)
+
+val value : Ast.expr -> string
+(** Card-value form: a bare (possibly negative) literal, or [{expr}]. *)
+
+val card : Ast.card -> string
+
+val stmt : Ast.stmt -> string
+
+val deck : Ast.deck -> string
+(** One statement per line, newline-terminated. *)

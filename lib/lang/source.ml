@@ -1,0 +1,28 @@
+type t = { name : string; lines : string array }
+
+let split_lines text =
+  (* keep trailing empty lines irrelevant; strip one \r for CRLF decks *)
+  let raw = String.split_on_char '\n' text in
+  let strip_cr s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+  in
+  Array.of_list (List.map strip_cr raw)
+
+let of_string ~name text = { name; lines = split_lines text }
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string ~name:path text)
+
+let name t = t.name
+
+let n_lines t = Array.length t.lines
+
+let line t i =
+  if i >= 1 && i <= Array.length t.lines then Some t.lines.(i - 1) else None

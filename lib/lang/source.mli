@@ -1,0 +1,18 @@
+(** An in-memory `.scn` deck with its split lines, kept around so
+    diagnostics can quote the offending line under a caret. *)
+
+type t
+
+val of_string : name:string -> string -> t
+(** [name] is used as the file field of every location. *)
+
+val of_file : string -> t
+(** Reads the file; raises [Sys_error] if it cannot be opened. *)
+
+val name : t -> string
+
+val n_lines : t -> int
+
+val line : t -> int -> string option
+(** [line t i] is the 1-based [i]-th physical line, without its
+    terminator; [None] out of range. *)

@@ -55,23 +55,79 @@ let test_clock_invalid () =
     (fun () -> ignore (Clock.make []));
   Alcotest.check_raises "bad duty"
     (Invalid_argument "Clock.duty: need 0 < duty < 1") (fun () ->
-      ignore (Clock.duty ~period:1.0 ~duty:1.5))
+      ignore (Clock.duty ~period:1.0 ~duty:1.5));
+  (match Clock.duty ~period:0.0 ~duty:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero period accepted");
+  (match Clock.make [ 1.0; 0.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero duration accepted");
+  match Clock.two_phase ~gap_fraction:0.6 ~period:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gap_fraction >= 0.5 accepted"
+
+let test_clock_boundaries () =
+  (* phase lookup exactly at phase-start instants: a boundary belongs to
+     the phase it opens *)
+  let c = Clock.make [ 1.0; 2.0; 3.0 ] in
+  let check_at t (ep, eo) =
+    let p, off = Clock.phase_at c t in
+    Alcotest.(check int) (Printf.sprintf "phase at %g" t) ep p;
+    check_close (Printf.sprintf "offset at %g" t) eo off
+  in
+  check_at 0.0 (0, 0.0);
+  check_at 1.0 (1, 0.0);
+  check_at 3.0 (2, 0.0);
+  (* t = period wraps to the start of phase 0 *)
+  check_at 6.0 (0, 0.0);
+  check_at 7.0 (1, 0.0);
+  (* negative times wrap backwards into the last phases *)
+  check_at (-1.0) (2, 2.0);
+  check_at (-6.0) (0, 0.0);
+  (* phase_start is consistent with the durations *)
+  check_close "start 0" 0.0 (Clock.phase_start c 0);
+  check_close "start 1" 1.0 (Clock.phase_start c 1);
+  check_close "start 2" 3.0 (Clock.phase_start c 2);
+  (match Clock.phase_start c 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "phase_start out of range accepted");
+  match Clock.phase_start c (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative phase_start accepted"
 
 (* --- Netlist validation --- *)
 
 let test_netlist_validation () =
+  (* every message names the offending element; default names count from
+     the next element index *)
   let nl = Netlist.create () in
   let a = Netlist.node nl "a" in
   Alcotest.check_raises "same node"
-    (Invalid_argument "Netlist.resistor: both terminals on the same node")
+    (Invalid_argument "Netlist.resistor \"R1\": both terminals on the same node")
     (fun () -> Netlist.resistor nl a a 1.0);
-  Alcotest.check_raises "bad r" (Invalid_argument "Netlist.resistor: r <= 0")
-    (fun () -> Netlist.resistor nl a Netlist.ground 0.0);
-  Alcotest.check_raises "bad c" (Invalid_argument "Netlist.capacitor: c <= 0")
-    (fun () -> Netlist.capacitor nl a Netlist.ground (-1e-12));
+  Alcotest.check_raises "bad r"
+    (Invalid_argument "Netlist.resistor \"Rload\": r <= 0") (fun () ->
+      Netlist.resistor ~name:"Rload" nl a Netlist.ground 0.0);
+  Alcotest.check_raises "bad c"
+    (Invalid_argument "Netlist.capacitor \"C1\": c <= 0") (fun () ->
+      Netlist.capacitor nl a Netlist.ground (-1e-12));
   Alcotest.check_raises "never closed"
-    (Invalid_argument "Netlist.switch: never closed") (fun () ->
+    (Invalid_argument "Netlist.switch \"S1\": never closed") (fun () ->
       Netlist.switch ~closed_in:[] nl a Netlist.ground 1.0)
+
+let test_netlist_find_node () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  (match Netlist.find_node nl "a" with
+  | Some n -> Alcotest.(check int) "found" (Netlist.node_id a) (Netlist.node_id n)
+  | None -> Alcotest.fail "existing node not found");
+  (match Netlist.find_node nl "0" with
+  | Some n -> Alcotest.(check int) "ground" 0 (Netlist.node_id n)
+  | None -> Alcotest.fail "ground not found");
+  (match Netlist.find_node nl "missing" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "lookup created a node");
+  Alcotest.(check int) "no node created" 1 (Netlist.n_nodes nl)
 
 let test_netlist_double_drive () =
   let nl = Netlist.create () in
@@ -374,10 +430,12 @@ let () =
           Alcotest.test_case "phase_at" `Quick test_clock_phase_at;
           Alcotest.test_case "two_phase" `Quick test_clock_two_phase;
           Alcotest.test_case "invalid" `Quick test_clock_invalid;
+          Alcotest.test_case "boundaries" `Quick test_clock_boundaries;
         ] );
       ( "netlist",
         [
           Alcotest.test_case "validation" `Quick test_netlist_validation;
+          Alcotest.test_case "find_node" `Quick test_netlist_find_node;
           Alcotest.test_case "double drive" `Quick test_netlist_double_drive;
           Alcotest.test_case "names" `Quick test_netlist_names;
           Alcotest.test_case "pp" `Quick test_netlist_pp;

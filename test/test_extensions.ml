@@ -288,7 +288,7 @@ let test_flicker_validation () =
   let nl = Netlist.create () in
   let a = Netlist.node nl "a" in
   Alcotest.check_raises "band"
-    (Invalid_argument "Netlist.flicker_isource: need 0 < fmin < fmax")
+    (Invalid_argument "Netlist.flicker_isource \"IF1\": need 0 < fmin < fmax")
     (fun () ->
       Netlist.flicker_isource nl a Netlist.ground ~psd_1hz:1e-12 ~fmin:10.0
         ~fmax:1.0)
