@@ -16,8 +16,6 @@
    defaults that explicit command-line flags override. *)
 
 module Pwl = Scnoise_circuit.Pwl
-module Netlist = Scnoise_circuit.Netlist
-module Clock = Scnoise_circuit.Clock
 module Compile = Scnoise_circuit.Compile
 module Deck = Scnoise_lang.Deck
 module Elab = Scnoise_lang.Elab
@@ -40,6 +38,9 @@ module DS = Scnoise_circuits.Sc_delta_sigma
 module A_src = Scnoise_analytic.Switched_rc
 module Obs = Scnoise_obs.Obs
 module Export = Scnoise_obs.Export
+module Json = Scnoise_obs.Json
+module Check = Scnoise_check.Check
+module Finding = Scnoise_check.Finding
 
 open Cmdliner
 
@@ -59,11 +60,22 @@ let circuits_doc =
 (* Load, elaborate and compile a `.scn` deck into the same [picked]
    shape as the registry circuits.  All front-end failures arrive as
    rendered file:line:col diagnostics. *)
+(* ERC errors abort before any matrix is assembled; warnings stay quiet
+   on the analysis path (run `scnoise check` to see them). *)
+let erc_errors findings =
+  List.filter (fun f -> f.Finding.severity = Finding.Error) findings
+
 let pick_deck path =
   match Deck.load_file path with
   | Error msg -> Error msg
   | Ok loaded -> (
       let e = loaded.Deck.elab in
+      match erc_errors (Check.check_elab e) with
+      | _ :: _ as errs ->
+          Error
+            (String.concat "\n"
+               (List.map (Finding.render ~source:loaded.Deck.source) errs))
+      | [] -> (
       match
         Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
           e.Elab.clock
@@ -85,8 +97,16 @@ let pick_deck path =
                   sys;
                   output;
                   closed_form = None;
-                  directives = e.Elab.analyses;
-                }))
+                  directives = List.map fst e.Elab.analyses;
+                })))
+
+(* Registry circuits run through the same errors-only ERC gate as
+   decks; the builders keep them clean, so this only fires if a future
+   circuit (or parameter set) regresses. *)
+let guard ~netlist ~clock ~output_node picked =
+  match erc_errors (Check.check ~output:output_node netlist clock) with
+  | [] -> Ok picked
+  | errs -> Error (String.concat "\n" (List.map Finding.to_string errs))
 
 let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
   if Deck.looks_like_path name then pick_deck name
@@ -98,7 +118,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
         A_src.make ~r:p.SRC.r ~c:p.SRC.c ~period:p.SRC.period ~duty:p.SRC.duty
           ()
       in
-      Ok
+      guard ~netlist:b.SRC.netlist ~clock:b.SRC.clock
+        ~output_node:b.SRC.output_node
         {
           label = Printf.sprintf "switched-rc (T/RC=%g, d=%g)" t_over_rc duty;
           sys = b.SRC.sys;
@@ -108,7 +129,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
         }
   | "lowpass" ->
       let b = LP.build LP.default in
-      Ok
+      guard ~netlist:b.LP.netlist ~clock:b.LP.clock
+        ~output_node:b.LP.output_node
         {
           label = "sc_lowpass (integrator op-amp)";
           sys = b.LP.sys;
@@ -118,7 +140,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
         }
   | "lowpass-single-stage" ->
       let b = LP.build LP.single_stage_variant in
-      Ok
+      guard ~netlist:b.LP.netlist ~clock:b.LP.clock
+        ~output_node:b.LP.output_node
         {
           label = "sc_lowpass (single-stage op-amp)";
           sys = b.LP.sys;
@@ -130,7 +153,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
       match BP.design ~clock_hz:128e3 ~f0 ~q () with
       | params ->
           let b = BP.build params in
-          Ok
+          guard ~netlist:b.BP.netlist ~clock:b.BP.clock
+            ~output_node:b.BP.output_node
             {
               label = Printf.sprintf "sc_bandpass (f0=%g, Q=%g)" f0 q;
               sys = b.BP.sys;
@@ -141,7 +165,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
       | exception Invalid_argument msg -> Error msg)
   | "integrator" ->
       let b = INT.build INT.default in
-      Ok
+      guard ~netlist:b.INT.netlist ~clock:b.INT.clock
+        ~output_node:b.INT.output_node
         {
           label = "sc_integrator (damped)";
           sys = b.INT.sys;
@@ -151,7 +176,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
         }
   | "delta-sigma" ->
       let b = DS.build DS.default in
-      Ok
+      guard ~netlist:b.DS.netlist ~clock:b.DS.clock
+        ~output_node:b.DS.output_node
         {
           label = "sc_delta_sigma (2nd-order, linearised quantiser)";
           sys = b.DS.sys;
@@ -162,7 +188,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
   | "ladder" -> (
       match LAD.build (LAD.with_stages stages) with
       | b ->
-          Ok
+          guard ~netlist:b.LAD.netlist ~clock:b.LAD.clock
+            ~output_node:b.LAD.output_node
             {
               label = Printf.sprintf "sc_ladder (%d stages)" stages;
               sys = b.LAD.sys;
@@ -285,7 +312,15 @@ let with_circuit f name target duty t_over_rc f0 q stages =
   | Error msg ->
       Printf.eprintf "scnoise: %s\n" msg;
       1
-  | Ok picked -> f picked
+  | Ok picked ->
+      (* post-hoc ERC010: surface factorisations whose condition estimate
+         tripped while the analysis ran *)
+      let baseline = Check.ill_conditioned_count () in
+      let code = f picked in
+      List.iter
+        (fun fi -> Printf.eprintf "scnoise: %s\n" (Finding.to_string fi))
+        (Check.ill_conditioned ~since:baseline);
+      code
 
 (* ---- list ---- *)
 
@@ -317,83 +352,97 @@ let list_cmd =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run metrics path =
+  let run metrics strict json path =
     with_obs metrics (fun () ->
         match Deck.load_file path with
         | Error msg ->
-            Printf.eprintf "scnoise: %s\n" msg;
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      [ ("deck", Json.Str path); ("error", Json.Str msg) ]))
+            else Printf.eprintf "scnoise: %s\n" msg;
             1
-        | Ok loaded -> (
+        | Ok loaded ->
             let e = loaded.Deck.elab in
-            let nl = e.Elab.netlist in
-            Printf.printf "%s: deck ok\n" path;
-            if e.Elab.params <> [] then begin
-              Printf.printf "parameters:\n";
+            let findings = Check.check_elab e in
+            let nerr = Finding.errors findings in
+            let nwarn = Finding.warnings findings in
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      [
+                        ("deck", Json.Str path);
+                        ( "findings",
+                          Json.List (List.map Finding.to_json findings) );
+                        ("errors", Json.Num (float_of_int nerr));
+                        ("warnings", Json.Num (float_of_int nwarn));
+                      ]))
+            else begin
               List.iter
-                (fun (k, v) -> Printf.printf "  %s = %g\n" k v)
-                e.Elab.params
+                (fun f ->
+                  print_endline
+                    (Finding.render ~source:loaded.Deck.source f))
+                findings;
+              if findings = [] then Printf.printf "%s: ok (no findings)\n" path
+              else
+                Printf.printf "%s: %d error(s), %d warning(s)\n" path nerr
+                  nwarn
             end;
-            Format.printf "%a@." Netlist.pp nl;
-            let durs =
-              Array.to_list (Clock.durations e.Elab.clock)
-              |> List.map (Printf.sprintf "%g")
-              |> String.concat "; "
-            in
-            Printf.printf "clock: %d phase(s), period %g s, durations [%s]\n"
-              (Clock.n_phases e.Elab.clock)
-              (Clock.period e.Elab.clock)
-              durs;
-            (match e.Elab.temperature with
-            | Some t -> Printf.printf "temperature: %g K\n" t
-            | None -> ());
-            Printf.printf "output: %s\n" e.Elab.output_node;
-            (match e.Elab.analyses with
-            | [] -> ()
-            | l ->
-                let describe = function
-                  | Elab.Psd _ -> "psd"
-                  | Elab.Variance -> "variance"
-                  | Elab.Contrib _ -> "contrib"
-                  | Elab.Transfer _ -> "transfer"
-                in
-                Printf.printf "directives: %s\n"
-                  (String.concat ", " (List.map describe l)));
-            (* compile too, so structural problems (floating nodes, output
-               not a state) surface here rather than at analysis time *)
-            match
-              Compile.compile ?temperature:e.Elab.temperature nl e.Elab.clock
-            with
-            | exception Compile.Error msg ->
-                Printf.eprintf "scnoise: %s: %s\n" path msg;
-                1
-            | sys -> (
-                match Pwl.observable sys e.Elab.output_node with
-                | exception Not_found ->
-                    Printf.eprintf "%s\n"
-                      (Diag.render loaded.Deck.source e.Elab.output_loc
-                         (Printf.sprintf
-                            "output node %S is not an observable state (it \
-                             is resistive or source-driven)"
-                            e.Elab.output_node));
+            (* the ERC is structural; also compile when it passed, so the
+               few numeric/observability failures surface here too *)
+            let compile_code =
+              if nerr > 0 then 1
+              else
+                match
+                  Compile.compile ?temperature:e.Elab.temperature
+                    e.Elab.netlist e.Elab.clock
+                with
+                | exception Compile.Error msg ->
+                    if not json then
+                      Printf.eprintf "scnoise: %s: %s\n" path msg;
                     1
-                | _ ->
-                    Printf.printf "states: %d, stable: %b\n" sys.Pwl.nstates
-                      (Pwl.is_stable sys);
-                    0)))
+                | sys -> (
+                    match Pwl.observable sys e.Elab.output_node with
+                    | exception Not_found ->
+                        if not json then
+                          Printf.eprintf "%s\n"
+                            (Diag.render loaded.Deck.source e.Elab.output_loc
+                               (Printf.sprintf
+                                  "output node %S is not an observable \
+                                   state (it is resistive or source-driven)"
+                                  e.Elab.output_node));
+                        1
+                    | _ -> 0)
+            in
+            if compile_code <> 0 then 1
+            else if strict && nwarn > 0 then 1
+            else 0)
   in
   let path_arg =
     let doc = "Netlist deck to check." in
     Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"DECK")
   in
+  let strict_arg =
+    let doc = "Exit non-zero on warnings, not just errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings as JSON on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   let doc =
-    "Parse, elaborate and compile a .scn deck; report its nodes, elements, \
-     clock and directives without running an analysis."
+    "Run the electrical-rule check (ERC) over a .scn deck: floating \
+     nodes, capacitor islands, source shorts, degenerate switches, \
+     out-of-range phases, noiseless circuits, unused parameters and \
+     beyond-Nyquist sweeps, each as a located file:line:col finding."
   in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun () metrics path -> run metrics path)
-      $ setup_term $ metrics_arg $ path_arg)
+      const (fun () metrics strict json path -> run metrics strict json path)
+      $ setup_term $ metrics_arg $ strict_arg $ json_arg $ path_arg)
 
 (* ---- info ---- *)
 

@@ -17,7 +17,6 @@ module Psd = Scnoise_core.Psd
 module Contrib = Scnoise_core.Contrib
 module Table = Scnoise_util.Table
 module Grid = Scnoise_util.Grid
-module Db = Scnoise_util.Db
 
 let build ~with_flicker =
   let nl = Netlist.create () in

@@ -1,0 +1,70 @@
+module Loc = Scnoise_lang.Loc
+module Source = Scnoise_lang.Source
+module Diag = Scnoise_lang.Diag
+module Json = Scnoise_obs.Json
+module Obs = Scnoise_obs.Obs
+
+type severity = Error | Warning | Info
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  message : string;
+  loc : Loc.t option;
+}
+
+let make ?loc ~rule ~severity ~subject message =
+  { rule; severity; subject; message; loc }
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c else String.compare a.subject b.subject
+
+let sort fs = List.stable_sort compare fs
+
+let to_string f =
+  Printf.sprintf "%s[%s] %s" (severity_label f.severity) f.rule f.message
+
+let render ?source f =
+  match (f.loc, source) with
+  | Some loc, Some src ->
+      Diag.render src loc
+        (Printf.sprintf "%s[%s] %s" (severity_label f.severity) f.rule
+           f.message)
+  | _ -> to_string f
+
+let to_json f =
+  Json.Obj
+    [
+      ("rule", Json.Str f.rule);
+      ("severity", Json.Str (severity_label f.severity));
+      ("subject", Json.Str f.subject);
+      ("message", Json.Str f.message);
+      ( "loc",
+        match f.loc with
+        | Some l -> Json.Str (Loc.to_string l)
+        | None -> Json.Null );
+    ]
+
+let errors fs = List.length (List.filter (fun f -> f.severity = Error) fs)
+
+let warnings fs = List.length (List.filter (fun f -> f.severity = Warning) fs)
+
+let c_errors = Obs.counter "check.findings.error"
+
+let c_warnings = Obs.counter "check.findings.warning"
+
+let record fs =
+  Obs.add c_errors (errors fs);
+  Obs.add c_warnings (warnings fs)

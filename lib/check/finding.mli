@@ -1,0 +1,52 @@
+(** A located, severity-ranked ERC finding.
+
+    Rule ids are stable strings of the form ["ERC001-floating-node"];
+    tooling (CI greps, editor integrations) may rely on them, so they
+    are never renumbered.  Findings from a [.scn] deck carry the
+    {!Scnoise_lang.Loc.t} of the offending card or directive and render
+    as [file:line:col] caret diagnostics; findings from programmatic
+    netlists have no location and render on one line. *)
+
+module Loc = Scnoise_lang.Loc
+module Source = Scnoise_lang.Source
+
+type severity = Error | Warning | Info
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+type t = {
+  rule : string;  (** stable id, e.g. ["ERC001-floating-node"] *)
+  severity : severity;
+  subject : string;  (** the offending node, element or directive *)
+  message : string;  (** self-contained, includes the subject *)
+  loc : Loc.t option;  (** deck location when elaborated from a deck *)
+}
+
+val make :
+  ?loc:Loc.t -> rule:string -> severity:severity -> subject:string ->
+  string -> t
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties broken by rule id,
+    then subject — a deterministic report order. *)
+
+val sort : t list -> t list
+
+val to_string : t -> string
+(** One line: [severity[rule] message]. *)
+
+val render : ?source:Source.t -> t -> string
+(** Like {!to_string} but, when the finding has a location and [source]
+    is supplied, a [file:line:col] header with the offending line quoted
+    under a caret (same shape as {!Scnoise_lang.Diag.render}). *)
+
+val to_json : t -> Scnoise_obs.Json.t
+
+val errors : t list -> int
+
+val warnings : t list -> int
+
+val record : t list -> unit
+(** Bump the [check.findings.error] / [check.findings.warning]
+    {!Scnoise_obs.Obs} counters. *)

@@ -1,0 +1,14 @@
+(** Union-find over dense integer node ids, used by the ERC rules to
+    compute per-phase connectivity components of the element graph. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton components with ids [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative (with path compression). *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool

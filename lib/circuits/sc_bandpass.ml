@@ -50,6 +50,9 @@ type built = {
   sys : Pwl.t;
   output : Scnoise_linalg.Vec.t;
   params : params;
+  netlist : Netlist.t;
+  clock : Clock.t;
+  output_node : string;
 }
 
 let output_name = "vo1"
@@ -88,4 +91,4 @@ let build params =
   let clock = Clock.make [ period /. 2.0; period /. 2.0 ] in
   let sys = Compile.compile ~temperature:params.temperature nl clock in
   let output = Pwl.observable sys output_name in
-  { sys; output; params }
+  { sys; output; params; netlist = nl; clock; output_node = output_name }

@@ -47,6 +47,9 @@ type built = {
   sys : Scnoise_circuit.Pwl.t;
   output : Scnoise_linalg.Vec.t;  (** band-pass output (op-amp 1) *)
   params : params;
+  netlist : Scnoise_circuit.Netlist.t;  (** pre-compilation element graph *)
+  clock : Scnoise_circuit.Clock.t;
+  output_node : string;  (** name of the output node in [netlist] *)
 }
 
 val build : params -> built

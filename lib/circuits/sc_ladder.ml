@@ -30,6 +30,9 @@ type built = {
   sys : Pwl.t;
   output : Scnoise_linalg.Vec.t;
   params : params;
+  netlist : Netlist.t;
+  clock : Clock.t;
+  output_node : string;
 }
 
 let output_name = "nlast"
@@ -56,4 +59,4 @@ let build params =
   let clock = Clock.duty ~period:(1.0 /. params.clock_hz) ~duty:params.duty in
   let sys = Compile.compile ~temperature:params.temperature nl clock in
   let output = Pwl.observable sys output_name in
-  { sys; output; params }
+  { sys; output; params; netlist = nl; clock; output_node = output_name }

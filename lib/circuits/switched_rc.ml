@@ -21,6 +21,9 @@ type built = {
   sys : Pwl.t;
   output : Scnoise_linalg.Vec.t;
   params : params;
+  netlist : Netlist.t;
+  clock : Clock.t;
+  output_node : string;
 }
 
 let output_name = "vout"
@@ -44,4 +47,4 @@ let build params =
   let clock = Clock.duty ~period:params.period ~duty:params.duty in
   let sys = Compile.compile ~temperature:params.temperature nl clock in
   let output = Pwl.observable sys output_name in
-  { sys; output; params }
+  { sys; output; params; netlist = nl; clock; output_node = output_name }

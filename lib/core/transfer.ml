@@ -1,7 +1,6 @@
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
 module Cx = Scnoise_linalg.Cx
-module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
 module Grid = Scnoise_util.Grid
 

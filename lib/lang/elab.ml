@@ -25,20 +25,27 @@ type t = {
   output_node : string;
   output_loc : Loc.t;
   temperature : float option;
-  analyses : analysis list;
+  analyses : (analysis * Loc.t) list;
   params : (string * float) list;
+  unused_params : (string * Loc.t) list;
+  element_locs : (string * Loc.t) list;
+  node_locs : (string * Loc.t) list;
 }
 
 (* ---- expression evaluation ---- *)
 
 let constants = [ ("pi", Float.pi) ]
 
+(* [env] maps a parameter to its value and a "was referenced" cell; the
+   latter feeds the ERC unused-parameter rule. *)
 let rec eval env x =
   match x.e with
   | Num v -> v
   | Ref name -> (
       match Hashtbl.find_opt env name with
-      | Some v -> v
+      | Some (v, used) ->
+          used := true;
+          v
       | None -> (
           match List.assoc_opt (String.lowercase_ascii name) constants with
           | Some v -> v
@@ -129,16 +136,23 @@ let located_invalid loc f = try f () with Invalid_argument m -> Diag.error loc "
 
 let elaborate (deck : Ast.deck) =
   let nl = Netlist.create () in
-  let env : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let env : (string, float * bool ref) Hashtbl.t = Hashtbl.create 16 in
   let params = ref [] in
+  let param_order = ref [] in
+  (* (pname, loc, used) in reverse deck order *)
   let clock = ref None in
   let output = ref None in
   let temperature = ref None in
   let analyses = ref [] in
-  let switch_phases = ref [] in
-  (* (loc, name, phase list) for the post-clock range check *)
+  let element_locs = ref [] in
+  let node_locs : (string, Loc.t) Hashtbl.t = Hashtbl.create 16 in
+  let node_order = ref [] in
   let n_cards = ref 0 in
   let node n =
+    if not (Hashtbl.mem node_locs n.nname) then begin
+      Hashtbl.add node_locs n.nname n.nloc;
+      node_order := n.nname :: !node_order
+    end;
     if n.nname = "0" then Netlist.ground else Netlist.node nl n.nname
   in
   let do_card loc = function
@@ -152,7 +166,6 @@ let elaborate (deck : Ast.deck) =
             Netlist.capacitor ~name nl (node n1) (node n2) c)
     | Switch { name; n1; n2; r_on; closed_in; noisy } ->
         let r_on = eval env r_on in
-        switch_phases := (loc, name, closed_in) :: !switch_phases;
         located_invalid loc (fun () ->
             Netlist.switch ~name ~noisy ~closed_in nl (node n1) (node n2) r_on)
     | Vsource { name; n; wave } ->
@@ -207,6 +220,17 @@ let elaborate (deck : Ast.deck) =
         let ds = List.map (eval env) ds in
         located_invalid loc (fun () -> Clock.make ds)
   in
+  let card_name = function
+    | Resistor { name; _ }
+    | Capacitor { name; _ }
+    | Switch { name; _ }
+    | Vsource { name; _ }
+    | Isource { name; _ }
+    | Noise { name; _ }
+    | Opamp_integrator { name; _ }
+    | Opamp_single_stage { name; _ } ->
+        name
+  in
   let opt f = Option.map f in
   let do_analysis = function
     | Ast.Psd { fmin; fmax; points; log; engine } ->
@@ -236,16 +260,23 @@ let elaborate (deck : Ast.deck) =
           if Hashtbl.mem env pname then
             Diag.error sloc "parameter %S already defined" pname;
           let v = eval env value in
-          Hashtbl.add env pname v;
+          let used = ref false in
+          Hashtbl.add env pname (v, used);
+          param_order := (pname, sloc, used) :: !param_order;
           params := (pname, v) :: !params
       | Card c ->
           incr n_cards;
+          element_locs := (card_name c, sloc) :: !element_locs;
           do_card sloc c
       | Clock spec ->
           if !clock <> None then Diag.error sloc "duplicate .clock directive";
           clock := Some (do_clock sloc spec)
       | Output n ->
           if !output <> None then Diag.error sloc "duplicate .output directive";
+          if n.nname = "0" then
+            Diag.error n.nloc
+              "output node cannot be ground (node \"0\"): its noise is zero \
+               by definition";
           (match Netlist.find_node nl n.nname with
           | Some _ -> ()
           | None -> Diag.error n.nloc "unknown node %S" n.nname);
@@ -256,7 +287,7 @@ let elaborate (deck : Ast.deck) =
           let v = eval env e in
           if v <= 0.0 then Diag.error e.eloc "temperature must be positive";
           temperature := Some v
-      | Analysis a -> analyses := do_analysis a :: !analyses
+      | Analysis a -> analyses := (do_analysis a, sloc) :: !analyses
       | End -> ())
     deck.stmts;
   if !n_cards = 0 then Diag.error deck.eof "deck has no element cards";
@@ -270,18 +301,15 @@ let elaborate (deck : Ast.deck) =
     | Some o -> o
     | None -> Diag.error deck.eof "missing .output directive"
   in
-  (* switch phases must exist in the clock schedule *)
-  List.iter
-    (fun (loc, name, phases) ->
-      List.iter
-        (fun p ->
-          if p >= Clock.n_phases clock then
-            Diag.error loc
-              "switch %S: phase index %d out of range (clock has %d phase%s)"
-              name p (Clock.n_phases clock)
-              (if Clock.n_phases clock = 1 then "" else "s"))
-        phases)
-    (List.rev !switch_phases);
+  let unused_params =
+    List.rev !param_order
+    |> List.filter_map (fun (pname, loc, used) ->
+           if !used then None else Some (pname, loc))
+  in
+  let node_locs =
+    List.rev !node_order
+    |> List.map (fun name -> (name, Hashtbl.find node_locs name))
+  in
   {
     netlist = nl;
     clock;
@@ -290,4 +318,7 @@ let elaborate (deck : Ast.deck) =
     temperature = !temperature;
     analyses = List.rev !analyses;
     params = List.rev !params;
+    unused_params;
+    element_locs = List.rev !element_locs;
+    node_locs;
   }

@@ -4,8 +4,11 @@
     Every failure is a {!Diag.Error} located at the offending card,
     node or expression: unknown parameters, bad element values (the
     [Netlist] builder's [Invalid_argument] is re-raised with the card's
-    position), switch phases outside the clock schedule, an unknown
-    [.output] node, duplicate or missing [.clock]/[.output] directives.
+    position), an unknown or ground [.output] node, duplicate or missing
+    [.clock]/[.output] directives.  Structural defects that do not stop
+    elaboration (switch phases outside the clock schedule, floating
+    nodes, unused parameters, ...) are left to the [Scnoise_check] ERC
+    pass, which consumes the location maps recorded here.
 
     Expressions know the constant [pi], the functions [sqrt exp log
     log10 abs min max pow], and every [.param] defined {e above} the
@@ -39,8 +42,13 @@ type t = {
   output_node : string;
   output_loc : Loc.t;
   temperature : float option;  (** from [.temp], kelvin *)
-  analyses : analysis list;  (** in deck order *)
+  analyses : (analysis * Loc.t) list;  (** in deck order, with the
+      directive's location *)
   params : (string * float) list;  (** evaluated [.param]s, deck order *)
+  unused_params : (string * Loc.t) list;  (** [.param]s never referenced
+      by any later expression, deck order *)
+  element_locs : (string * Loc.t) list;  (** element name → its card *)
+  node_locs : (string * Loc.t) list;  (** node name → first reference *)
 }
 
 val elaborate : Ast.deck -> t

@@ -8,8 +8,11 @@ let c_factorizations = Obs.counter "clu_factorizations"
 
 let c_solves = Obs.counter "clu_solves"
 
+let c_ill_conditioned = Obs.counter "clu_ill_conditioned"
+
 let factor m =
   if Cmat.rows m <> Cmat.cols m then invalid_arg "Clu.factor: not square";
+  Sanitize.check_cmat "Clu.factor" m;
   Obs.incr c_factorizations;
   let n = Cmat.rows m in
   let lu = Array.make (n * n) Cx.zero in
@@ -53,10 +56,18 @@ let factor m =
         done
     done
   done;
+  (let mn = ref infinity and mx = ref 0.0 in
+   for i = 0 to n - 1 do
+     let u = Cx.modulus lu.((i * n) + i) in
+     mn := min !mn u;
+     mx := max !mx u
+   done;
+   if n > 0 && !mn < 1e-12 *. !mx then Obs.incr c_ill_conditioned);
   { n; lu; piv; sign = !sign }
 
 let solve t b =
   if Array.length b <> t.n then invalid_arg "Clu.solve: dimension mismatch";
+  Sanitize.check_cvec "Clu.solve" b;
   Obs.incr c_solves;
   let n = t.n in
   let x = Array.init n (fun i -> b.(t.piv.(i))) in
@@ -74,6 +85,7 @@ let solve t b =
     done;
     x.(i) <- Cx.( /: ) !acc t.lu.((i * n) + i)
   done;
+  Sanitize.check_cvec "Clu.solve (result)" x;
   x
 
 let det t =

@@ -13,6 +13,7 @@ let c_calls = Scnoise_obs.Obs.counter "expm_calls"
 
 let expm a =
   if not (Mat.is_square a) then invalid_arg "Expm.expm: not square";
+  Sanitize.check_mat "Expm.expm" a;
   Scnoise_obs.Obs.incr c_calls;
   let n = Mat.rows a in
   if n = 0 then Mat.create 0 0
@@ -58,6 +59,7 @@ let expm a =
     for _ = 1 to s do
       r := Mat.mul !r !r
     done;
+    Sanitize.check_mat "Expm.expm (result)" !r;
     !r
   end
 

@@ -13,8 +13,15 @@ let c_factorizations = Obs.counter "lu_factorizations"
 
 let c_solves = Obs.counter "lu_solves"
 
+(* Factorisations whose reciprocal-condition estimate fell below 1e-12
+   (condition number above 1e12); surfaced post-hoc as an ERC warning. *)
+let c_ill_conditioned = Obs.counter "lu_ill_conditioned"
+
+let ill_conditioned_rcond = 1e-12
+
 let factor m =
   if not (Mat.is_square m) then invalid_arg "Lu.factor: not square";
+  Sanitize.check_mat "Lu.factor" m;
   Obs.incr c_factorizations;
   let n = Mat.rows m in
   let lu = Array.make (n * n) 0.0 in
@@ -58,7 +65,16 @@ let factor m =
         done
     done
   done;
-  { n; lu; piv; sign = !sign }
+  let t = { n; lu; piv; sign = !sign } in
+  (let mn = ref infinity and mx = ref 0.0 in
+   for i = 0 to n - 1 do
+     let u = abs_float lu.((i * n) + i) in
+     mn := min !mn u;
+     mx := max !mx u
+   done;
+   if n > 0 && !mn < ill_conditioned_rcond *. !mx then
+     Obs.incr c_ill_conditioned);
+  t
 
 let solve_in_place t x =
   let n = t.n in
@@ -81,9 +97,11 @@ let solve_in_place t x =
 
 let solve t b =
   if Array.length b <> t.n then invalid_arg "Lu.solve: dimension mismatch";
+  Sanitize.check_vec "Lu.solve" b;
   Obs.incr c_solves;
   let x = Array.init t.n (fun i -> b.(t.piv.(i))) in
   solve_in_place t x;
+  Sanitize.check_vec "Lu.solve (result)" x;
   x
 
 let solve_mat t b =

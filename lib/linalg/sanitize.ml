@@ -1,0 +1,68 @@
+(* The gate is a plain [bool ref] read once per checked operation; the
+   scans themselves only run when the gate is open, so the default cost
+   is one load + branch per call — negligible next to the O(n^3) work
+   the checks guard. *)
+
+exception Nonfinite of string
+
+let gate =
+  ref
+    (match Sys.getenv_opt "SCNOISE_SANITIZE" with
+    | None | Some ("" | "0" | "false" | "no") -> false
+    | Some _ -> true)
+
+let enabled () = !gate
+
+let set_enabled b = gate := b
+
+let c_trips = Scnoise_obs.Obs.counter "sanitize.nonfinite"
+
+let fail op detail =
+  Scnoise_obs.Obs.incr c_trips;
+  raise (Nonfinite (Printf.sprintf "%s: %s" op detail))
+
+let check_float op x =
+  if !gate && not (Float.is_finite x) then
+    fail op (Printf.sprintf "non-finite value %h" x)
+
+let check_vec op (v : Vec.t) =
+  if !gate then
+    Array.iteri
+      (fun i x ->
+        if not (Float.is_finite x) then
+          fail op (Printf.sprintf "non-finite entry %h at index %d" x i))
+      v
+
+let check_mat op m =
+  if !gate then
+    for i = 0 to Mat.rows m - 1 do
+      for j = 0 to Mat.cols m - 1 do
+        let x = Mat.get m i j in
+        if not (Float.is_finite x) then
+          fail op (Printf.sprintf "non-finite entry %h at (%d,%d)" x i j)
+      done
+    done
+
+let finite_cx (z : Cx.t) = Float.is_finite z.Cx.re && Float.is_finite z.Cx.im
+
+let check_cvec op (v : Cvec.t) =
+  if !gate then
+    Array.iteri
+      (fun i z ->
+        if not (finite_cx z) then
+          fail op
+            (Printf.sprintf "non-finite entry %h%+hi at index %d" z.Cx.re
+               z.Cx.im i))
+      v
+
+let check_cmat op m =
+  if !gate then
+    for i = 0 to Cmat.rows m - 1 do
+      for j = 0 to Cmat.cols m - 1 do
+        let z = Cmat.get m i j in
+        if not (finite_cx z) then
+          fail op
+            (Printf.sprintf "non-finite entry %h%+hi at (%d,%d)" z.Cx.re
+               z.Cx.im i j)
+      done
+    done

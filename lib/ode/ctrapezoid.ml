@@ -25,6 +25,7 @@ let shifted_half a shift h =
 let make ~a ~shift ~h =
   if not (Mat.is_square a) then invalid_arg "Ctrapezoid.make: not square";
   if h <= 0.0 then invalid_arg "Ctrapezoid.make: h <= 0";
+  Scnoise_linalg.Sanitize.check_mat "Ctrapezoid.make" a;
   let n = Mat.rows a in
   let ident = Cmat.identity n in
   let half = shifted_half a shift h in
@@ -39,7 +40,9 @@ let step st ~p ~k0 ~k1 =
       (fun i bi -> Cx.( +: ) bi (Cx.( *: ) w (Cx.( +: ) k0.(i) k1.(i))))
       b
   in
-  Clu.solve st.lhs b
+  let x = Clu.solve st.lhs b in
+  Scnoise_linalg.Sanitize.check_cvec "Ctrapezoid.step" x;
+  x
 
 let step_homogeneous st p =
   Obs.incr c_steps;

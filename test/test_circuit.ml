@@ -1,6 +1,5 @@
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
-module Eig = Scnoise_linalg.Eig
 module Lyapunov = Scnoise_linalg.Lyapunov
 module Const = Scnoise_util.Const
 module Clock = Scnoise_circuit.Clock

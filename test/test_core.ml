@@ -1,6 +1,5 @@
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
-module Cx = Scnoise_linalg.Cx
 module Lyapunov = Scnoise_linalg.Lyapunov
 module Const = Scnoise_util.Const
 module Db = Scnoise_util.Db

@@ -2,7 +2,6 @@
    noise baseline, and the instantaneous-PSD / integrated-noise
    extensions of the core engine. *)
 
-module Mat = Scnoise_linalg.Mat
 module Cx = Scnoise_linalg.Cx
 module Db = Scnoise_util.Db
 module Grid = Scnoise_util.Grid

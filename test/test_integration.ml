@@ -3,7 +3,6 @@
    story on shared circuits, including the multi-state stiff SC filters. *)
 
 module Db = Scnoise_util.Db
-module Pwl = Scnoise_circuit.Pwl
 module Psd = Scnoise_core.Psd
 module Covariance = Scnoise_core.Covariance
 module Contrib = Scnoise_core.Contrib

@@ -237,10 +237,10 @@ let test_diag_missing_directives () =
   check_error_contains "empty deck" ".clock duty period=1u duty=0.5\n"
     "deck has no element cards"
 
-let test_diag_phase_range () =
-  check_error_contains "phase out of range"
-    "S1 a 0 1k closed=3\nC1 a 0 1n\n.clock duty period=1u duty=0.5\n.output a\n"
-    "switch \"S1\": phase index 3 out of range (clock has 2 phases)"
+let test_diag_ground_output () =
+  check_error_contains "ground output"
+    "C1 a 0 1n\nR1 a 0 1k\n.clock duty period=1u duty=0.5\n.output 0\n"
+    "output node cannot be ground"
 
 let test_diag_duplicates () =
   check_error_contains "duplicate clock"
@@ -306,7 +306,7 @@ let test_elab_directives () =
   | Error msg -> Alcotest.fail msg
   | Ok { Deck.elab = e; _ } -> (
       Alcotest.(check (option (float 0.0))) "temp" (Some 350.0) e.Elab.temperature;
-      match e.Elab.analyses with
+      match List.map fst e.Elab.analyses with
       | [ Elab.Psd { fmin; fmax; points; log; engine }; Elab.Contrib { f } ] ->
           Alcotest.(check (option (float 0.0))) "fmin" (Some 10.0) fmin;
           Alcotest.(check (option (float 0.0))) "fmax" (Some 1e3) fmax;
@@ -355,7 +355,7 @@ let () =
           Alcotest.test_case "bad value" `Quick test_diag_bad_value;
           Alcotest.test_case "missing directives" `Quick
             test_diag_missing_directives;
-          Alcotest.test_case "phase range" `Quick test_diag_phase_range;
+          Alcotest.test_case "ground output" `Quick test_diag_ground_output;
           Alcotest.test_case "duplicates" `Quick test_diag_duplicates;
         ] );
       ( "parity",

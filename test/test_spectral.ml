@@ -2,7 +2,6 @@ module Cx = Scnoise_linalg.Cx
 module Cvec = Scnoise_linalg.Cvec
 module Fft = Scnoise_spectral.Fft
 module Welch = Scnoise_spectral.Welch
-module Grid = Scnoise_util.Grid
 module Db = Scnoise_util.Db
 module Psd = Scnoise_core.Psd
 module Mc = Scnoise_noise.Monte_carlo
