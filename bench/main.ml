@@ -25,6 +25,7 @@ module INT = Scnoise_circuits.Sc_integrator
 module Obs = Scnoise_obs.Obs
 module Clock = Scnoise_obs.Clock
 module Export = Scnoise_obs.Export
+module Pool = Scnoise_par.Pool
 
 let header title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -112,13 +113,14 @@ let exp_f2 () =
         Psd.prepare ~samples_per_phase:128 b.SRC.sys ~output:b.SRC.output
       in
       let fts = Grid.linspace 0.0 3.0 31 in
+      let freqs = Array.map (fun ft -> ft /. p.SRC.period) fts in
+      let mft = Psd.sweep_db eng freqs in
       let t = Table.create [ "f*T"; "mft_dB"; "analytic_dB"; "delta_dB" ] in
       let max_err = ref 0.0 in
-      Array.iter
-        (fun ft ->
-          let f = ft /. p.SRC.period in
-          let s1 = Db.of_power (Psd.psd eng ~f) in
-          let s2 = Db.of_power (A_src.psd a f) in
+      Array.iteri
+        (fun i ft ->
+          let s1 = mft.(i) in
+          let s2 = Db.of_power (A_src.psd a freqs.(i)) in
           max_err := max !max_err (abs_float (s1 -. s2));
           Table.add_float_row t ~precision:5
             (Printf.sprintf "%.2f" ft)
@@ -140,14 +142,16 @@ let exp_f3 () =
   let b2 = LP.build LP.single_stage_variant in
   let e1 = Psd.prepare ~samples_per_phase:128 b1.LP.sys ~output:b1.LP.output in
   let e2 = Psd.prepare ~samples_per_phase:128 b2.LP.sys ~output:b2.LP.output in
+  let s1 = Psd.sweep_db e1 lowpass_freqs in
+  let s2 = Psd.sweep_db e2 lowpass_freqs in
   let t =
     Table.create [ "f_Hz"; "integrator_opamp_dB"; "single_stage_dB" ]
   in
-  Array.iter
-    (fun f ->
+  Array.iteri
+    (fun i f ->
       Table.add_float_row t ~precision:5
         (Printf.sprintf "%.0f" f)
-        [ Psd.psd_db e1 ~f; Psd.psd_db e2 ~f ])
+        [ s1.(i); s2.(i) ])
     lowpass_freqs;
   Table.print t
 
@@ -703,12 +707,95 @@ let exp_t7 () =
  time-domain engines need no such      assumption)
 "
 
+(* ------------------------------------------------------------------ *)
+(* EXP-P1: domain pool — serial vs parallel wall time, bit parity      *)
+(* ------------------------------------------------------------------ *)
+
+let float_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let exp_par () =
+  header "EXP-P1  domain pool: serial vs parallel wall time (bit parity)";
+  let pjobs = max 2 (Pool.default_jobs ()) in
+  let serial = Pool.create ~jobs:1 () in
+  let par = Pool.create ~jobs:pjobs () in
+  let b = LP.build LP.default in
+  let eng = Psd.prepare ~samples_per_phase:128 b.LP.sys ~output:b.LP.output in
+  let freqs = Grid.linspace 100.0 16_000.0 96 in
+  let t =
+    Table.create
+      [ "workload"; "serial_ms"; Printf.sprintf "jobs%d_ms" pjobs; "speedup";
+        "parity" ]
+  in
+  let all_ok = ref true in
+  let row name run equal =
+    let r1 = ref None and rn = ref None in
+    let t1 = wall_ms (fun () -> r1 := Some (run serial)) in
+    let tn = wall_ms (fun () -> rn := Some (run par)) in
+    let ok = equal (Option.get !r1) (Option.get !rn) in
+    if not ok then all_ok := false;
+    Obs.timer_record (Obs.timer ("par." ^ name ^ ".serial")) (t1 /. 1000.0);
+    Obs.timer_record (Obs.timer ("par." ^ name ^ ".parallel")) (tn /. 1000.0);
+    Table.add_row t
+      [
+        name; Printf.sprintf "%.1f" t1; Printf.sprintf "%.1f" tn;
+        Printf.sprintf "%.2fx" (t1 /. tn);
+        (if ok then "bit-identical" else "MISMATCH");
+      ];
+    t1 /. tn
+  in
+  let sweep_speedup =
+    row "psd_sweep" (fun pool -> Psd.sweep ~pool eng freqs) float_bits_equal
+  in
+  let bs = SRC.build SRC.default in
+  let (_ : float) =
+    row "monte_carlo"
+      (fun pool ->
+        let e =
+          Mc.estimate ~seed:71L ~paths:8 ~segments_per_path:8 ~pool bs.SRC.sys
+            ~output:bs.SRC.output ~freqs:(Grid.linspace 1e3 1e5 4)
+        in
+        Array.append e.Mc.psd [| e.Mc.variance |])
+      float_bits_equal
+  in
+  let (_ : float) =
+    row "discretize"
+      (fun pool ->
+        Covariance.discretized_grid ~samples_per_phase:256 ~pool b.LP.sys)
+      (fun g1 g2 ->
+        let module Vl = Scnoise_linalg.Vanloan in
+        Array.length g1.Covariance.g_disc = Array.length g2.Covariance.g_disc
+        && Array.for_all2
+             (fun d1 d2 ->
+               Mat.max_abs_diff d1.Vl.phi d2.Vl.phi = 0.0
+               && Mat.max_abs_diff d1.Vl.qd d2.Vl.qd = 0.0)
+             g1.Covariance.g_disc g2.Covariance.g_disc)
+  in
+  Table.print t;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "PAR-SMOKE: jobs=%d cores=%d sweep_speedup=%.2f parity=%s\n"
+    pjobs cores sweep_speedup
+    (if !all_ok then "ok" else "FAIL");
+  Pool.shutdown serial;
+  Pool.shutdown par;
+  if not !all_ok then exit 1;
+  (* On a multicore host the pooled sweep must not be slower than serial
+     beyond scheduling noise; single-core hosts only check parity. *)
+  if cores >= 2 && sweep_speedup < 0.5 then begin
+    Printf.eprintf "parallel sweep slower than serial beyond noise (%.2fx)\n"
+      sweep_speedup;
+    exit 1
+  end
+
 let experiments =
   [
     ("f1", exp_f1); ("f2", exp_f2); ("f3", exp_f3); ("f4", exp_f4);
     ("f5", exp_f5); ("f6", exp_f6); ("t1", exp_t1); ("t2", exp_t2);
     ("t3", exp_t3); ("t4", exp_t4); ("t5", exp_t5); ("t6", exp_t6);
-    ("t7", exp_t7);
+    ("t7", exp_t7); ("par", exp_par);
   ]
 
 (* Run one experiment with span recording on, print its counter/span
@@ -719,6 +806,7 @@ let run_instrumented name f =
   Obs.enable ();
   let ms = wall_ms f in
   Obs.disable ();
+  Obs.timer_record (Obs.timer "bench.wall") (ms /. 1000.0);
   let snap = Obs.snapshot () in
   Printf.printf "\n---- %s observability (%.1f ms wall) ----\n" name ms;
   Export.print_summary snap;
@@ -730,10 +818,28 @@ let run_instrumented name f =
       Printf.printf "(wrote %s)\n" path
 
 let () =
+  (* `--jobs N` / `-j N` may appear anywhere among the experiment names
+     and sets the default pool size (same precedence as the CLI flag:
+     beats SCNOISE_JOBS, beats the core count). *)
+  let rec parse names = function
+    | [] -> List.rev names
+    | ("--jobs" | "-j") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            Pool.set_default_jobs j;
+            parse names rest
+        | Some _ | None ->
+            Printf.eprintf "invalid --jobs value %S\n" v;
+            exit 2)
+    | [ ("--jobs" | "-j") ] ->
+        Printf.eprintf "--jobs needs a value\n";
+        exit 2
+    | name :: rest -> parse (name :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ | exception _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -39,6 +39,7 @@ module A_src = Scnoise_analytic.Switched_rc
 module Obs = Scnoise_obs.Obs
 module Export = Scnoise_obs.Export
 module Json = Scnoise_obs.Json
+module Pool = Scnoise_par.Pool
 module Check = Scnoise_check.Check
 module Finding = Scnoise_check.Finding
 
@@ -206,7 +207,8 @@ let pick_circuit name ~duty ~t_over_rc ~f0 ~q ~stages =
 (* Verbosity: -v (info) / -vv (debug) / --quiet, with SCNOISE_LOG as the
    environment default (debug|info|warning|error|quiet).  -q stays the
    band-pass quality factor, so quiet is long-form only.  Evaluates to ()
-   after configuring the Logs reporter and level. *)
+   after configuring the Logs reporter, level and the parallel job
+   count. *)
 let setup_term =
   let verbose_arg =
     let doc = "Increase log verbosity (repeatable: -v info, -vv debug)." in
@@ -215,6 +217,15 @@ let setup_term =
   let quiet_arg =
     let doc = "Silence all log output; takes over $(b,-v) and SCNOISE_LOG." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the parallel analysis loops (frequency sweeps, \
+       Monte-Carlo paths, covariance discretisation).  Results are \
+       bit-identical at any job count.  Defaults to $(b,SCNOISE_JOBS) when \
+       set, else to the number of cores; $(b,--jobs 1) runs fully serial."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
   in
   let env_level () =
     match Option.map String.lowercase_ascii (Sys.getenv_opt "SCNOISE_LOG") with
@@ -225,7 +236,7 @@ let setup_term =
     | Some "quiet" -> None
     | Some _ | None -> Some Logs.Warning
   in
-  let setup quiet verbose =
+  let setup quiet verbose jobs =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     let level =
@@ -236,9 +247,10 @@ let setup_term =
         | 1 -> Some Logs.Info
         | _ -> Some Logs.Debug
     in
-    Logs.set_level level
+    Logs.set_level level;
+    Option.iter Pool.set_default_jobs jobs
   in
-  Term.(const setup $ quiet_arg $ verbose_arg)
+  Term.(const setup $ quiet_arg $ verbose_arg $ jobs_arg)
 
 let metrics_arg =
   let doc =

@@ -4,6 +4,7 @@ module Vanloan = Scnoise_linalg.Vanloan
 module Lyapunov = Scnoise_linalg.Lyapunov
 module Pwl = Scnoise_circuit.Pwl
 module Obs = Scnoise_obs.Obs
+module Pool = Scnoise_par.Pool
 
 let src = Logs.Src.create "scnoise.covariance" ~doc:"periodic covariance solver"
 
@@ -34,10 +35,17 @@ type discretized_grid = {
   g_disc : Vanloan.t array;
 }
 
-let discretized_grid ?(samples_per_phase = 96) ?(grid = `Stretched) (sys : Pwl.t) =
+let discretized_grid ?(samples_per_phase = 96) ?(grid = `Stretched) ?pool
+    (sys : Pwl.t) =
+  (* Grid layout is cheap and stays serial; the per-interval Van Loan
+     discretisations (a matrix exponential each) are independent, so
+     they fan out across the pool — each interval's result depends only
+     on its own (phase, step) pair, making the parallel grid
+     bit-identical to the serial one. *)
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let times = ref [ 0.0 ] in
   let phases = ref [] in
-  let discs = ref [] in
+  let steps = ref [] in
   let offset = ref 0.0 in
   Array.iteri
     (fun p (ph : Pwl.phase) ->
@@ -50,15 +58,20 @@ let discretized_grid ?(samples_per_phase = 96) ?(grid = `Stretched) (sys : Pwl.t
         let h = local.(j) -. local.(j - 1) in
         times := (!offset +. local.(j)) :: !times;
         phases := p :: !phases;
-        discs := Vanloan.discretize ~a:ph.Pwl.a ~q:ph.Pwl.q ~tau:h :: !discs
+        steps := h :: !steps
       done;
       offset := !offset +. ph.Pwl.tau)
     sys.Pwl.phases;
-  {
-    g_times = Array.of_list (List.rev !times);
-    g_phase = Array.of_list (List.rev !phases);
-    g_disc = Array.of_list (List.rev !discs);
-  }
+  let g_phase = Array.of_list (List.rev !phases) in
+  let g_steps = Array.of_list (List.rev !steps) in
+  let g_disc =
+    Pool.map pool
+      (fun i h ->
+        let ph = sys.Pwl.phases.(g_phase.(i)) in
+        Vanloan.discretize ~a:ph.Pwl.a ~q:ph.Pwl.q ~tau:h)
+      g_steps
+  in
+  { g_times = Array.of_list (List.rev !times); g_phase; g_disc }
 
 let map_of_grid n g =
   let phi = ref (Mat.identity n) and q = ref (Mat.create n n) in
@@ -69,8 +82,8 @@ let map_of_grid n g =
     g.g_disc;
   (!phi, !q)
 
-let period_map ?samples_per_phase ?grid sys =
-  let g = discretized_grid ?samples_per_phase ?grid sys in
+let period_map ?samples_per_phase ?grid ?pool sys =
+  let g = discretized_grid ?samples_per_phase ?grid ?pool sys in
   map_of_grid sys.Pwl.nstates g
 
 let solve_steady solver phi q =
@@ -84,14 +97,14 @@ let solve_steady solver phi q =
       done;
       !k
 
-let periodic_initial ?(solver = `Kron) ?samples_per_phase sys =
-  let phi, q = period_map ?samples_per_phase sys in
+let periodic_initial ?(solver = `Kron) ?samples_per_phase ?pool sys =
+  let phi, q = period_map ?samples_per_phase ?pool sys in
   solve_steady solver phi q
 
-let sample ?(solver = `Kron) ?samples_per_phase ?grid sys =
+let sample ?(solver = `Kron) ?samples_per_phase ?grid ?pool sys =
   Obs.with_span ~src "covariance.sample" (fun () ->
       Obs.incr c_samples;
-      let g = discretized_grid ?samples_per_phase ?grid sys in
+      let g = discretized_grid ?samples_per_phase ?grid ?pool sys in
       let n = sys.Pwl.nstates in
       let phi_period, q_period = map_of_grid n g in
       let k0 = solve_steady solver phi_period q_period in

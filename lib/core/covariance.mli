@@ -38,23 +38,29 @@ type discretized_grid = {
 }
 
 val discretized_grid :
-  ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t -> discretized_grid
+  ?samples_per_phase:int -> ?grid:grid_kind -> ?pool:Scnoise_par.Pool.t ->
+  Pwl.t -> discretized_grid
 (** The per-substep Van Loan discretisation of one clock period; shared
-    with the brute-force and Monte-Carlo baseline engines. *)
+    with the brute-force and Monte-Carlo baseline engines.  The
+    per-interval discretisations are independent and run across [pool]
+    (default: the shared pool) with bit-identical results at any job
+    count. *)
 
-val period_map : ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t ->
-  Mat.t * Mat.t
+val period_map :
+  ?samples_per_phase:int -> ?grid:grid_kind -> ?pool:Scnoise_par.Pool.t ->
+  Pwl.t -> Mat.t * Mat.t
 (** [(Phi, Q)] of the one-period affine covariance map (the grid options
     only affect substep placement; the result is exact up to rounding
     regardless, they are exposed for the ablation benches). *)
 
-val periodic_initial : ?solver:solver -> ?samples_per_phase:int -> Pwl.t ->
-  Mat.t
+val periodic_initial :
+  ?solver:solver -> ?samples_per_phase:int -> ?pool:Scnoise_par.Pool.t ->
+  Pwl.t -> Mat.t
 (** Steady-state covariance at the period boundary. *)
 
 val sample :
-  ?solver:solver -> ?samples_per_phase:int -> ?grid:grid_kind -> Pwl.t ->
-  sampled
+  ?solver:solver -> ?samples_per_phase:int -> ?grid:grid_kind ->
+  ?pool:Scnoise_par.Pool.t -> Pwl.t -> sampled
 (** Full sampled trace of the periodic covariance over one period,
     together with the transition matrices needed by the PSD engine. *)
 

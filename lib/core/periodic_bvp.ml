@@ -22,15 +22,21 @@ type t = {
   times : float array;
   interval_phase : int array;
   phis : Mat.t array; (* transition Phi(t_i, 0) *)
+  cphis : Cmat.t array; (* the same transitions, complexified once *)
   phi_period : Mat.t;
 }
 
+(* The homogeneous correction in [close_periodic] needs the transitions
+   as complex matrices; materialising them here, once per prepared
+   solver, keeps the per-frequency path free of the O(N n^2)
+   re-complexification it used to pay on every point. *)
 let of_sampled (cov : Covariance.sampled) =
   {
     sys = cov.Covariance.sys;
     times = cov.Covariance.times;
     interval_phase = cov.Covariance.interval_phase;
     phis = cov.Covariance.phis;
+    cphis = Array.map Cmat.of_real cov.Covariance.phis;
     phi_period = cov.Covariance.phi_period;
   }
 
@@ -86,7 +92,7 @@ let close_periodic t ~omega part =
       m "BVP closed: %d points, omega = %g rad/s" npts omega);
   Array.init npts (fun i ->
       let rot = Cx.cis (-.omega *. t.times.(i)) in
-      let hom = Cmat.mul_vec (Cmat.of_real t.phis.(i)) p0 in
+      let hom = Cmat.mul_vec t.cphis.(i) p0 in
       Cvec.add (Cvec.scale rot hom) part.(i))
 
 let solve_piecewise t ~omega ~forcing =

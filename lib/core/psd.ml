@@ -5,6 +5,7 @@ module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
 module Grid = Scnoise_util.Grid
 module Obs = Scnoise_obs.Obs
+module Pool = Scnoise_par.Pool
 
 let c_points = Obs.counter "psd_points"
 
@@ -25,9 +26,9 @@ let of_sampled cov ~output =
   in
   { cov; bvp = Periodic_bvp.of_sampled cov; out_row = output; forcing }
 
-let prepare ?solver ?samples_per_phase ?grid sys ~output =
+let prepare ?solver ?samples_per_phase ?grid ?pool sys ~output =
   Obs.with_span "psd.prepare" (fun () ->
-      let cov = Covariance.sample ?solver ?samples_per_phase ?grid sys in
+      let cov = Covariance.sample ?solver ?samples_per_phase ?grid ?pool sys in
       of_sampled cov ~output)
 
 let output e = Vec.copy e.out_row
@@ -38,41 +39,70 @@ let envelope e ~f =
   let omega = 2.0 *. Float.pi *. f in
   Periodic_bvp.solve e.bvp ~omega ~forcing:(fun i -> e.forcing.(i))
 
+(* S_v(t_i, f) = 2 Re (cᵀ P(t_i)) from one envelope sample *)
+let instantaneous_value e p =
+  let s = ref 0.0 in
+  Array.iteri (fun i c -> s := !s +. (c *. p.(i).Cx.re)) e.out_row;
+  2.0 *. !s
+
 let instantaneous e ~f =
   (* S_v(t, f) = d(ESD)/dt = 2 Re (cᵀ P(t)): the instantaneous spectral
      density over one clock period in steady state *)
   let env = envelope e ~f in
-  let values =
-    Array.map
-      (fun p ->
-        let s = ref 0.0 in
-        Array.iteri (fun i c -> s := !s +. (c *. p.(i).Cx.re)) e.out_row;
-        2.0 *. !s)
-      env
-  in
-  (Periodic_bvp.times e.bvp, values)
+  (Periodic_bvp.times e.bvp, Array.map (instantaneous_value e) env)
+
+(* Per-domain scratch for the instantaneous samples of one frequency
+   point, so a parallel sweep allocates no temporary per point (each
+   pool worker keeps its own buffer). *)
+let scratch_key = Domain.DLS.new_key (fun () -> ref [||])
+
+let scratch n =
+  let cell = Domain.DLS.get scratch_key in
+  if Array.length !cell < n then cell := Array.make n 0.0;
+  !cell
 
 let psd e ~f =
   Obs.incr c_points;
   let period = e.cov.Covariance.sys.Pwl.period in
-  let times, values = instantaneous e ~f in
-  Grid.trapezoid times values /. period
+  let times = e.cov.Covariance.times in
+  let env = envelope e ~f in
+  let npts = Array.length env in
+  let values = scratch npts in
+  for i = 0 to npts - 1 do
+    values.(i) <- instantaneous_value e env.(i)
+  done;
+  (* trapezoid over the (possibly longer) scratch buffer, same
+     accumulation order as [Grid.trapezoid] *)
+  let acc = ref 0.0 in
+  for i = 0 to npts - 2 do
+    acc :=
+      !acc +. (0.5 *. (values.(i) +. values.(i + 1)) *. (times.(i + 1) -. times.(i)))
+  done;
+  !acc /. period
 
 let psd_db e ~f = Scnoise_util.Db.of_power (psd e ~f)
 
-let sweep e freqs =
-  Obs.with_span "psd.sweep" (fun () -> Array.map (fun f -> psd e ~f) freqs)
+(* Each point of a sweep is an independent read-only BVP solve over the
+   prepared engine, so fanning points out across the pool is safe and —
+   because [Pool.map] places results by index — bit-identical to the
+   serial sweep at any job count. *)
+let sweep ?pool e freqs =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  Obs.with_span "psd.sweep" (fun () ->
+      Pool.map pool (fun _ f -> psd e ~f) freqs)
 
-let sweep_db e freqs =
-  Obs.with_span "psd.sweep" (fun () -> Array.map (fun f -> psd_db e ~f) freqs)
+let sweep_db ?pool e freqs =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  Obs.with_span "psd.sweep" (fun () ->
+      Pool.map pool (fun _ f -> psd_db e ~f) freqs)
 
 let average_variance e = Covariance.average_variance e.cov e.out_row
 
-let integrated_noise ?(points = 400) e ~fmin ~fmax =
+let integrated_noise ?(points = 400) ?pool e ~fmin ~fmax =
   if fmax <= fmin then invalid_arg "Psd.integrated_noise: fmax <= fmin";
   if points < 2 then invalid_arg "Psd.integrated_noise: points < 2";
   let freqs = Grid.linspace fmin fmax points in
-  let s = sweep e freqs in
+  let s = sweep ?pool e freqs in
   (* double-sided PSD: a [fmin, fmax] band with fmin >= 0 also collects
      the mirrored negative-frequency band *)
   2.0 *. Grid.trapezoid freqs s

@@ -31,7 +31,8 @@ val of_sampled : Covariance.sampled -> output:Vec.t -> engine
 
 val prepare :
   ?solver:Covariance.solver -> ?samples_per_phase:int ->
-  ?grid:Covariance.grid_kind -> Pwl.t -> output:Vec.t -> engine
+  ?grid:Covariance.grid_kind -> ?pool:Scnoise_par.Pool.t -> Pwl.t ->
+  output:Vec.t -> engine
 (** One-stop preparation: periodic covariance + grids + monodromy. *)
 
 val output : engine -> Vec.t
@@ -45,9 +46,13 @@ val psd : engine -> f:float -> float
 val psd_db : engine -> f:float -> float
 (** [10 log10 (psd)] as plotted in the papers. *)
 
-val sweep : engine -> float array -> float array
+val sweep : ?pool:Scnoise_par.Pool.t -> engine -> float array -> float array
+(** One independent periodic BVP solve per frequency point, fanned out
+    across [pool] (default: the shared pool).  Each solve is read-only
+    over the prepared engine and results are placed by index, so the
+    sweep is bit-identical to serial at any job count. *)
 
-val sweep_db : engine -> float array -> float array
+val sweep_db : ?pool:Scnoise_par.Pool.t -> engine -> float array -> float array
 
 val envelope : engine -> f:float -> Cvec.t array
 (** The periodic envelope [P(t_i)] on the covariance grid — exposed for
@@ -62,8 +67,9 @@ val instantaneous : engine -> f:float -> float array * float array
 val average_variance : engine -> float
 (** Time-averaged output variance (from the covariance trace). *)
 
-val integrated_noise : ?points:int -> engine -> fmin:float -> fmax:float ->
-  float
+val integrated_noise :
+  ?points:int -> ?pool:Scnoise_par.Pool.t -> engine -> fmin:float ->
+  fmax:float -> float
 (** Output noise power (V^2) in the band [[fmin, fmax]] (plus the
     mirrored negative band — the PSD is double-sided), by trapezoidal
     quadrature over [points] frequencies. *)

@@ -9,6 +9,7 @@ module Xoshiro = Scnoise_prng.Xoshiro
 module Welch = Scnoise_spectral.Welch
 module Fft = Scnoise_spectral.Fft
 module Obs = Scnoise_obs.Obs
+module Pool = Scnoise_par.Pool
 
 let src = Logs.Src.create "scnoise.mc" ~doc:"Monte-Carlo noise engine"
 
@@ -23,16 +24,49 @@ type estimate = {
   segments : int;
 }
 
+(* Hann windows recur with the same length across segments, paths and
+   repeated calls; memoise them (the cache holds a handful of sizes). *)
+let hann_mutex = Mutex.create ()
+
+let hann_cache : (int, float array) Hashtbl.t = Hashtbl.create 4
+
+let hann_window n =
+  Mutex.lock hann_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock hann_mutex)
+    (fun () ->
+      match Hashtbl.find_opt hann_cache n with
+      | Some w -> w
+      | None ->
+          let w =
+            Array.init n (fun i ->
+                let x = float_of_int i /. float_of_int (n - 1) in
+                0.5 *. (1.0 -. cos (2.0 *. Float.pi *. x)))
+          in
+          Hashtbl.add hann_cache n w;
+          w)
+
+(* Derive one independent substream per path up front: stream [p] is the
+   master state after [p] jumps, exactly the sequence the serial loop
+   consumed.  Each path then owns its generator outright, which is what
+   makes the parallel fan-out reproducible. *)
+let path_streams master paths =
+  Array.init paths (fun _ ->
+      let s = Xoshiro.copy master in
+      Xoshiro.jump master;
+      s)
+
 let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
     ?(warmup_periods = 32) ?(periods_per_segment = 16) ?(segments_per_path = 8)
-    (sys : Pwl.t) ~output ~freqs =
+    ?pool (sys : Pwl.t) ~output ~freqs =
   Obs.with_span ~src "mc.estimate" @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let n = sys.Pwl.nstates in
   if Array.length output <> n then
     invalid_arg "Monte_carlo.estimate: output row length";
   (* uniform per-phase grids so segments sample evenly in time *)
   let g =
-    Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform sys
+    Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform ~pool sys
   in
   let times = g.Covariance.g_times in
   let nsub = Array.length g.Covariance.g_disc in
@@ -42,21 +76,20 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   in
   let seg_samples = periods_per_segment * nsub in
   let seg_duration = float_of_int periods_per_segment *. sys.Pwl.period in
-  (* Hann window and its energy *)
-  let window =
-    Array.init seg_samples (fun i ->
-        let x = float_of_int i /. float_of_int (seg_samples - 1) in
-        0.5 *. (1.0 -. cos (2.0 *. Float.pi *. x)))
-  in
+  let window = hann_window seg_samples in
   let nf = Array.length freqs in
-  let psd_acc = Array.make nf 0.0 in
-  let var_acc = ref 0.0 and var_count = ref 0 in
-  let total_segments = ref 0 in
-  let master = Xoshiro.create seed in
-  for path = 1 to paths do
+  (* segment-invariant pieces of the windowed DFT, hoisted out of the
+     per-segment (and per-path) loops *)
+  let dt = seg_duration /. float_of_int seg_samples in
+  let wsum2 =
+    Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 window *. dt
+  in
+  (* One path = one independent trajectory with private accumulators;
+     everything it touches is local, so paths fan out across the pool. *)
+  let run_path stream =
     Obs.incr c_trajectories;
-    let stream = Xoshiro.copy master in
-    Xoshiro.jump master;
+    let psd_acc = Array.make nf 0.0 in
+    let var_acc = ref 0.0 and var_count = ref 0 in
     let gauss = Gaussian.of_xoshiro stream in
     let xi = Array.make n 0.0 in
     let x = ref (Vec.create n) in
@@ -95,10 +128,6 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
           incr var_count)
         samples;
       (* windowed DFT at each requested frequency *)
-      let dt = seg_duration /. float_of_int seg_samples in
-      let wsum2 =
-        Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 window *. dt
-      in
       for fi = 0 to nf - 1 do
         let omega = 2.0 *. Float.pi *. freqs.(fi) in
         let re = ref 0.0 and im = ref 0.0 in
@@ -110,28 +139,42 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
         done;
         psd_acc.(fi) <-
           psd_acc.(fi) +. (((!re *. !re) +. (!im *. !im)) /. wsum2)
-      done;
-      incr total_segments
+      done
     done;
-    Log.debug (fun m ->
-        m "trajectory batch done: path %d/%d, %d segments so far" path paths
-          !total_segments)
-  done;
-  let segs = float_of_int !total_segments in
+    (psd_acc, !var_acc, !var_count)
+  in
+  let streams = path_streams (Xoshiro.create seed) paths in
+  (* fixed-order reduce: partial sums merge in path order, so the result
+     is bit-identical for a given seed at any job count *)
+  let psd_acc = Array.make nf 0.0 in
+  let var_acc, var_count =
+    Pool.map_reduce pool ~n:paths
+      ~map:(fun p -> run_path streams.(p))
+      ~init:(0.0, 0)
+      ~merge:(fun (va, vc) (p_psd, p_va, p_vc) ->
+        Array.iteri (fun fi v -> psd_acc.(fi) <- psd_acc.(fi) +. v) p_psd;
+        (va +. p_va, vc + p_vc))
+  in
+  let total_segments = paths * segments_per_path in
+  Log.debug (fun m ->
+      m "trajectories done: %d paths, %d segments" paths total_segments);
+  let segs = float_of_int total_segments in
   {
     freqs = Array.copy freqs;
     psd = Array.map (fun s -> s /. segs) psd_acc;
-    variance = !var_acc /. float_of_int !var_count;
-    segments = !total_segments;
+    variance = var_acc /. float_of_int var_count;
+    segments = total_segments;
   }
 
 let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
     ?(warmup_periods = 32) ?(record_periods = 256) ?(segment_periods = 32)
-    (sys : Pwl.t) ~output =
+    ?pool (sys : Pwl.t) ~output =
   Obs.with_span ~src "mc.full_spectrum" @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let n = sys.Pwl.nstates in
   if Array.length output <> n then
     invalid_arg "Monte_carlo.full_spectrum: output row length";
+  if paths <= 0 then invalid_arg "Monte_carlo.full_spectrum: paths = 0";
   (* uniform sampling requires equal phase durations *)
   let taus = Array.map (fun (p : Pwl.phase) -> p.Pwl.tau) sys.Pwl.phases in
   Array.iter
@@ -141,7 +184,9 @@ let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
           "Monte_carlo.full_spectrum: phases of unequal duration (use \
            [estimate] instead)")
     taus;
-  let g = Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform sys in
+  let g =
+    Covariance.discretized_grid ~samples_per_phase ~grid:`Uniform ~pool sys
+  in
   let nsub = Array.length g.Covariance.g_disc in
   let chols =
     Array.map (fun (d : _) -> Chol.factor d.Scnoise_linalg.Vanloan.qd)
@@ -150,12 +195,8 @@ let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   let dt = sys.Pwl.period /. float_of_int nsub in
   let record_len = Fft.next_pow2 (record_periods * nsub) in
   let segment = min record_len (Fft.next_pow2 (segment_periods * nsub)) in
-  let master = Xoshiro.create seed in
-  let acc = ref None in
-  for _path = 1 to paths do
+  let run_path stream =
     Obs.incr c_trajectories;
-    let stream = Xoshiro.copy master in
-    Xoshiro.jump master;
     let gauss = Gaussian.of_xoshiro stream in
     let xi = Array.make n 0.0 in
     let x = ref (Vec.create n) in
@@ -175,13 +216,21 @@ let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
       advance (k mod nsub);
       record.(k) <- Vec.dot output !x
     done;
-    let freqs, psd = Welch.estimate ~dt ~segment record in
-    (match !acc with
-    | None -> acc := Some (freqs, psd)
-    | Some (_, total) ->
-        Array.iteri (fun i v -> total.(i) <- total.(i) +. v) psd)
-  done;
-  match !acc with
+    Welch.estimate ~dt ~segment record
+  in
+  let streams = path_streams (Xoshiro.create seed) paths in
+  let acc =
+    Pool.map_reduce pool ~n:paths
+      ~map:(fun p -> run_path streams.(p))
+      ~init:None
+      ~merge:(fun acc (freqs, psd) ->
+        match acc with
+        | None -> Some (freqs, psd)
+        | Some (_, total) ->
+            Array.iteri (fun i v -> total.(i) <- total.(i) +. v) psd;
+            acc)
+  in
+  match acc with
   | None -> invalid_arg "Monte_carlo.full_spectrum: paths = 0"
   | Some (freqs, total) ->
       (freqs, Array.map (fun v -> v /. float_of_int paths) total)

@@ -20,16 +20,22 @@ type estimate = {
 
 val estimate :
   ?seed:int64 -> ?samples_per_phase:int -> ?paths:int -> ?warmup_periods:int ->
-  ?periods_per_segment:int -> ?segments_per_path:int -> Pwl.t ->
-  output:Vec.t -> freqs:float array -> estimate
+  ?periods_per_segment:int -> ?segments_per_path:int ->
+  ?pool:Scnoise_par.Pool.t -> Pwl.t -> output:Vec.t -> freqs:float array ->
+  estimate
 (** Defaults: [seed 1], [samples_per_phase 64], [paths 8],
     [warmup_periods 32], [periods_per_segment 16],
-    [segments_per_path 8]. *)
+    [segments_per_path 8].
+
+    Paths run across [pool] (default: the shared pool).  Each path owns
+    a pre-jumped Xoshiro substream and private accumulators, and the
+    per-path partial sums are merged in path order, so for a given
+    [seed] the estimate is bit-identical at any job count. *)
 
 val full_spectrum :
   ?seed:int64 -> ?samples_per_phase:int -> ?paths:int -> ?warmup_periods:int ->
-  ?record_periods:int -> ?segment_periods:int -> Pwl.t -> output:Vec.t ->
-  float array * float array
+  ?record_periods:int -> ?segment_periods:int -> ?pool:Scnoise_par.Pool.t ->
+  Pwl.t -> output:Vec.t -> float array * float array
 (** FFT-based Welch estimate of the whole spectrum on the DFT grid:
     [(freqs, psd)].  Requires all clock phases to have equal duration
     (uniform sampling); raises [Invalid_argument] otherwise.  Defaults:

@@ -1,45 +1,60 @@
 (* Process-wide instrumentation registry: named counters, accumulating
    timers and nested wall-time spans.
 
-   Counters are plain [int ref]s behind a handle — incrementing one is a
-   single memory write, cheap enough to leave permanently enabled in the
-   numeric hot paths (LU factorisations, ODE steps, cache probes).
+   The registry is domain-safe so the numeric hot paths can run inside
+   the [Scnoise_par] worker pool.  Counters are [Atomic.t int]s behind a
+   handle — incrementing one is a single atomic fetch-and-add, cheap
+   enough to leave permanently enabled in the numeric hot paths (LU
+   factorisations, ODE steps, cache probes).  Registration and timer
+   accumulation take a global mutex (both are far off the hot path).
    Spans carry real cost (two clock reads plus an allocation per region)
    and therefore no-op unless [enable] has been called, so the default
-   build pays one branch per instrumented region.  Nothing here touches
-   the floating-point data flow: instrumented results are bit-identical
-   to uninstrumented ones. *)
+   build pays one branch per instrumented region.  Span trees are kept
+   in domain-local storage: each domain records its own forest, and the
+   pool grafts a worker's completed roots back into the submitting
+   domain's open frame via {!drain_domain_spans} / {!absorb_spans}.
+   Nothing here touches the floating-point data flow: instrumented
+   results are bit-identical to uninstrumented ones. *)
 
 let obs_src = Logs.Src.create "scnoise.obs" ~doc:"instrumentation spans"
 
 module Log = (val Logs.src_log obs_src : Logs.LOG)
 
+(* Guards registry tables and timer cells; never held while running user
+   code. *)
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 (* ---- counters ---- *)
 
-type counter = { c_name : string; c_value : int ref }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = ref 0 } in
-      Hashtbl.add counters name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
 
-let incr c = Stdlib.incr c.c_value
+let incr c = Atomic.incr c.c_value
 
-let add c n = c.c_value := !(c.c_value) + n
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = !(c.c_value)
+let value c = Atomic.get c.c_value
 
 let counter_name c = c.c_name
 
 (* Look a counter's current value up by name; 0 when never registered. *)
 let counter_value name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> !(c.c_value)
+  match locked (fun () -> Hashtbl.find_opt counters name) with
+  | Some c -> Atomic.get c.c_value
   | None -> 0
 
 (* ---- accumulating timers ---- *)
@@ -49,24 +64,33 @@ type timer = { t_name : string; t_total : float ref; t_count : int ref }
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 
 let timer name =
-  match Hashtbl.find_opt timers name with
-  | Some t -> t
-  | None ->
-      let t = { t_name = name; t_total = ref 0.0; t_count = ref 0 } in
-      Hashtbl.add timers name t;
-      t
+  locked (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some t -> t
+      | None ->
+          let t = { t_name = name; t_total = ref 0.0; t_count = ref 0 } in
+          Hashtbl.add timers name t;
+          t)
 
 let time t f =
   let t0 = Clock.now () in
   Fun.protect
     ~finally:(fun () ->
-      t.t_total := !(t.t_total) +. Clock.elapsed t0;
-      Stdlib.incr t.t_count)
+      let dt = Clock.elapsed t0 in
+      locked (fun () ->
+          t.t_total := !(t.t_total) +. dt;
+          Stdlib.incr t.t_count))
     f
 
-let timer_total t = !(t.t_total)
+let timer_total t = locked (fun () -> !(t.t_total))
 
-let timer_count t = !(t.t_count)
+let timer_count t = locked (fun () -> !(t.t_count))
+
+(* Record an externally measured duration (seconds) directly. *)
+let timer_record t dt =
+  locked (fun () ->
+      t.t_total := !(t.t_total) +. dt;
+      Stdlib.incr t.t_count)
 
 (* ---- spans ---- *)
 
@@ -83,35 +107,46 @@ type frame = {
   mutable f_children : span list; (* reversed *)
 }
 
-let enabled = ref false
+let enabled = Atomic.make false
 
-let epoch = ref 0.0
+let epoch = Atomic.make 0.0
 
-let stack : frame list ref = ref []
+(* Each domain owns a private span context: an open-frame stack and the
+   completed roots recorded on that domain.  Worker domains start empty;
+   the pool drains them after every parallel region. *)
+type span_ctx = { mutable stack : frame list; mutable roots : span list }
 
-let roots : span list ref = ref [] (* reversed *)
+let span_ctx_key =
+  Domain.DLS.new_key (fun () -> { stack = []; roots = [] })
+
+let ctx () = Domain.DLS.get span_ctx_key
 
 let enable () =
-  if not !enabled then epoch := Clock.now ();
-  enabled := true
+  if not (Atomic.get enabled) then Atomic.set epoch (Clock.now ());
+  Atomic.set enabled true
 
-let disable () = enabled := false
+let disable () = Atomic.set enabled false
 
-let is_enabled () = !enabled
+let is_enabled () = Atomic.get enabled
 
 let with_span ?(src = obs_src) name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
+    let cx = ctx () in
     let fr =
-      { f_name = name; f_start = Clock.now () -. !epoch; f_children = [] }
+      {
+        f_name = name;
+        f_start = Clock.now () -. Atomic.get epoch;
+        f_children = [];
+      }
     in
-    stack := fr :: !stack;
+    cx.stack <- fr :: cx.stack;
     Fun.protect
       ~finally:(fun () ->
-        let stop = Clock.now () -. !epoch in
-        match !stack with
+        let stop = Clock.now () -. Atomic.get epoch in
+        match cx.stack with
         | top :: rest when top == fr ->
-            stack := rest;
+            cx.stack <- rest;
             let sp =
               {
                 sp_name = name;
@@ -122,7 +157,7 @@ let with_span ?(src = obs_src) name f =
             in
             (match rest with
             | parent :: _ -> parent.f_children <- sp :: parent.f_children
-            | [] -> roots := sp :: !roots);
+            | [] -> cx.roots <- sp :: cx.roots);
             let module L = (val Logs.src_log src : Logs.LOG) in
             L.debug (fun m ->
                 m "span %s: %.3f ms" name (1000.0 *. sp.sp_duration))
@@ -134,18 +169,42 @@ let with_span ?(src = obs_src) name f =
       f
   end
 
+(* Completed root spans recorded on the calling domain, oldest first;
+   clears them.  The pool calls this on each worker after a parallel
+   region so worker spans can be re-homed. *)
+let drain_domain_spans () =
+  let cx = ctx () in
+  let spans = List.rev cx.roots in
+  cx.roots <- [];
+  spans
+
+(* Graft externally recorded spans into the calling domain's currently
+   open frame (or, with no frame open, as additional roots).  Used by
+   the pool to attach worker spans under the span enclosing the parallel
+   region, preserving submission order. *)
+let absorb_spans spans =
+  if spans <> [] then begin
+    let cx = ctx () in
+    match cx.stack with
+    | parent :: _ ->
+        parent.f_children <- List.rev_append spans parent.f_children
+    | [] -> cx.roots <- List.rev_append spans cx.roots
+  end
+
 (* ---- reset / snapshot ---- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value := 0) counters;
-  Hashtbl.iter
-    (fun _ t ->
-      t.t_total := 0.0;
-      t.t_count := 0)
-    timers;
-  stack := [];
-  roots := [];
-  epoch := Clock.now ()
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter
+        (fun _ t ->
+          t.t_total := 0.0;
+          t.t_count := 0)
+        timers);
+  let cx = ctx () in
+  cx.stack <- [];
+  cx.roots <- [];
+  Atomic.set epoch (Clock.now ())
 
 type snapshot = {
   snap_counters : (string * int) list; (* sorted by name *)
@@ -154,17 +213,22 @@ type snapshot = {
 }
 
 let snapshot () =
-  let cs =
-    Hashtbl.fold (fun name c acc -> (name, !(c.c_value)) :: acc) counters []
-    |> List.sort compare
+  let cs, ts =
+    locked (fun () ->
+        ( Hashtbl.fold
+            (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
+            counters []
+          |> List.sort compare,
+          Hashtbl.fold
+            (fun name t acc -> (name, !(t.t_total), !(t.t_count)) :: acc)
+            timers []
+          |> List.sort compare ))
   in
-  let ts =
-    Hashtbl.fold
-      (fun name t acc -> (name, !(t.t_total), !(t.t_count)) :: acc)
-      timers []
-    |> List.sort compare
-  in
-  { snap_counters = cs; snap_timers = ts; snap_spans = List.rev !roots }
+  {
+    snap_counters = cs;
+    snap_timers = ts;
+    snap_spans = List.rev (ctx ()).roots;
+  }
 
 (* Fold [f] over every span in the forest, parents before children. *)
 let rec fold_span f acc sp =

@@ -1,0 +1,280 @@
+(* Domain pool built on Domain + Mutex/Condition only (no domainslib).
+
+   One parallel region at a time: the submitter publishes a job (an
+   atomic item cursor over [0, n)), wakes the workers, claims chunks
+   itself, and then waits until every worker has acknowledged the job.
+   Work distribution is dynamic (whoever is free grabs the next chunk)
+   but all result placement is by item index, so scheduling never
+   affects results.  A second region submitted while one is in flight —
+   including from inside a worker — runs inline serially instead of
+   queueing, which keeps nested uses (e.g. a parallel sweep whose body
+   reaches another parallelised entry point) deadlock-free. *)
+
+module Obs = Scnoise_obs.Obs
+
+let c_regions = Obs.counter "pool.regions"
+
+let c_serial_regions = Obs.counter "pool.serial_regions"
+
+let c_chunks = Obs.counter "pool.chunks"
+
+let c_worker_chunks = Obs.counter "pool.worker_chunks"
+
+let c_items = Obs.counter "pool.items"
+
+type job = {
+  n : int;
+  chunk : int;
+  next : int Atomic.t; (* item cursor *)
+  body : int -> unit;
+  poisoned : bool Atomic.t; (* stop claiming: an item raised *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-indexed failing item wins, for deterministic re-raise *)
+  mutable worker_spans : Obs.span list; (* drained off worker domains *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_cond : Condition.t; (* workers wait here between jobs *)
+  done_cond : Condition.t; (* submitter waits here for acks *)
+  mutable job : job option;
+  mutable generation : int;
+  mutable pending_acks : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  busy : bool Atomic.t; (* region in flight (reentrancy guard) *)
+}
+
+let clamp_jobs j = max 1 (min 64 j)
+
+let jobs t = t.jobs
+
+let run_serially t = t.jobs = 1 || t.workers = []
+
+(* ---- chunk execution (shared by submitter and workers) ---- *)
+
+let record_failure t job i exn bt =
+  Mutex.lock t.mutex;
+  (match job.failure with
+  | Some (j, _, _) when j <= i -> ()
+  | Some _ | None -> job.failure <- Some (i, exn, bt));
+  Mutex.unlock t.mutex;
+  Atomic.set job.poisoned true
+
+let run_chunks t job ~is_worker =
+  let rec claim () =
+    if not (Atomic.get job.poisoned) then begin
+      let start = Atomic.fetch_and_add job.next job.chunk in
+      if start < job.n then begin
+        let stop = min job.n (start + job.chunk) in
+        Obs.incr c_chunks;
+        if is_worker then Obs.incr c_worker_chunks;
+        Obs.add c_items (stop - start);
+        (try
+           for i = start to stop - 1 do
+             job.body i
+           done
+         with exn ->
+           let bt = Printexc.get_raw_backtrace () in
+           record_failure t job start exn bt);
+        claim ()
+      end
+    end
+  in
+  claim ()
+
+(* ---- workers ---- *)
+
+let worker_loop t =
+  let rec wait_for_job seen_gen =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.generation = seen_gen do
+      Condition.wait t.work_cond t.mutex
+    done;
+    if t.stopping then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation in
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (match job with
+      | Some job ->
+          run_chunks t job ~is_worker:true;
+          (* Re-home any spans this worker recorded so the submitter can
+             graft them under the region's enclosing span; drain even
+             when recording is off so stale frames never accumulate. *)
+          let spans = Obs.drain_domain_spans () in
+          Mutex.lock t.mutex;
+          if spans <> [] then job.worker_spans <- job.worker_spans @ spans;
+          t.pending_acks <- t.pending_acks - 1;
+          if t.pending_acks = 0 then Condition.broadcast t.done_cond;
+          Mutex.unlock t.mutex
+      | None -> ());
+      wait_for_job gen
+    end
+  in
+  wait_for_job 0
+
+(* ---- lifecycle ---- *)
+
+let requested_default = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "SCNOISE_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some (clamp_jobs j)
+      | Some _ | None -> None)
+
+let default_jobs () =
+  match !requested_default with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> clamp_jobs (Domain.recommended_domain_count ()))
+
+let create ?jobs () =
+  let jobs =
+    clamp_jobs (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      job = None;
+      generation = 0;
+      pending_acks = 0;
+      stopping = false;
+      workers = [];
+      busy = Atomic.make false;
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  let workers =
+    if t.workers = [] then []
+    else begin
+      Mutex.lock t.mutex;
+      let ws = t.workers in
+      t.workers <- [];
+      t.stopping <- true;
+      Condition.broadcast t.work_cond;
+      Mutex.unlock t.mutex;
+      ws
+    end
+  in
+  List.iter Domain.join workers
+
+(* ---- regions ---- *)
+
+let serial_region n body =
+  Obs.incr c_serial_regions;
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let parallel_for t ~n body =
+  if n <= 0 then ()
+  else if run_serially t || n = 1 then serial_region n body
+  else if not (Atomic.compare_and_set t.busy false true) then
+    (* nested or concurrent region: run inline, never queue *)
+    serial_region n body
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        Obs.incr c_regions;
+        (* a few chunks per domain for load balance without contention *)
+        let chunk = max 1 (n / (t.jobs * 4)) in
+        let job =
+          {
+            n;
+            chunk;
+            next = Atomic.make 0;
+            body;
+            poisoned = Atomic.make false;
+            failure = None;
+            worker_spans = [];
+          }
+        in
+        Mutex.lock t.mutex;
+        t.job <- Some job;
+        t.generation <- t.generation + 1;
+        t.pending_acks <- List.length t.workers;
+        Condition.broadcast t.work_cond;
+        Mutex.unlock t.mutex;
+        run_chunks t job ~is_worker:false;
+        Mutex.lock t.mutex;
+        while t.pending_acks > 0 do
+          Condition.wait t.done_cond t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex;
+        Obs.absorb_spans job.worker_spans;
+        match job.failure with
+        | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None -> ())
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for t ~n (fun i -> results.(i) <- Some (f i arr.(i)));
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: item skipped")
+      results
+  end
+
+let map_reduce t ~n ~map:f ~init ~merge =
+  if n <= 0 then init
+  else begin
+    let results = Array.make n None in
+    parallel_for t ~n (fun i -> results.(i) <- Some (f i));
+    Array.fold_left
+      (fun acc r ->
+        match r with
+        | Some v -> merge acc v
+        | None -> invalid_arg "Pool.map_reduce: item skipped")
+      init results
+  end
+
+(* ---- shared default pool ---- *)
+
+let global_pool = ref None
+
+let global_mutex = Mutex.create ()
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock global_mutex;
+      let p = !global_pool in
+      global_pool := None;
+      Mutex.unlock global_mutex;
+      Option.iter shutdown p)
+
+let global () =
+  Mutex.lock global_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock global_mutex)
+    (fun () ->
+      let want = default_jobs () in
+      match !global_pool with
+      | Some p when p.jobs = want -> p
+      | prev ->
+          (* workers never touch [global_mutex], so joining them while
+             holding it cannot deadlock *)
+          Option.iter shutdown prev;
+          let p = create ~jobs:want () in
+          global_pool := Some p;
+          p)
+
+let set_default_jobs j = requested_default := Some (clamp_jobs j)

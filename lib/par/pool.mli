@@ -1,0 +1,78 @@
+(** A dependency-free OCaml 5 domain pool for the embarrassingly
+    parallel loops of the MFT pipeline (per-frequency periodic BVP
+    solves, Monte-Carlo paths, per-interval Van Loan discretisations).
+
+    Design constraints, in order:
+
+    - {b Determinism.}  [map] and [map_reduce] return (and fold) results
+      in item order no matter which domain computed what, so any
+      parallelised computation whose items are independent produces
+      bit-identical results at every job count.
+    - {b Serial bypass.}  A pool created with [jobs = 1] spawns no
+      domains and runs every region inline on the caller; single-job
+      behaviour is byte-for-byte the code path of a plain loop.
+    - {b Reentrancy.}  A region submitted while another region is in
+      flight (including from inside a worker) falls back to inline
+      serial execution instead of deadlocking.
+    - {b Exceptions cross the join.}  If any item raises (e.g. a
+      [Sanitize.Nonfinite] from a worker domain), the remaining work is
+      cancelled, all workers quiesce, and the exception of the
+      lowest-indexed failing item is re-raised on the submitting domain
+      with its original backtrace.  The pool stays usable afterwards.
+
+    Observability: regions/chunks/items flow into the [pool.*] counter
+    group, and spans recorded on worker domains are re-homed under the
+    submitting domain's open span, so instrumented parallel sweeps keep
+    a coherent span tree. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
+    domain participates in every region).  [jobs] defaults to
+    {!default_jobs}; values are clamped to [1 .. 64]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool afterwards runs
+    every region serially. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f 0 .. f (n-1)] across the pool in
+    chunks.  [f] must only write state private to item [i]. *)
+
+val map : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Deterministic parallel [Array.mapi]: result index [i] holds
+    [f i a.(i)] regardless of scheduling. *)
+
+val map_reduce :
+  t -> n:int -> map:(int -> 'a) -> init:'acc -> merge:('acc -> 'a -> 'acc) ->
+  'acc
+(** Compute [map i] for [i = 0 .. n-1] in parallel, then fold the
+    results with [merge] strictly in index order on the calling domain —
+    the deterministic reduce used to keep Monte-Carlo accumulation
+    bit-identical at every job count. *)
+
+val run_serially : t -> bool
+(** True when the pool bypasses domains entirely ([jobs = 1] or after
+    {!shutdown}) — lets callers keep allocation-free serial paths. *)
+
+(** {2 Process-wide default pool}
+
+    Analysis entry points default to a lazily created shared pool so
+    that the CLI / benches configure parallelism once.  Sizing: an
+    explicit {!set_default_jobs} (the [--jobs] flag) beats the
+    [SCNOISE_JOBS] environment variable beats
+    [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+(** Override the default job count (clamped to [1 .. 64]).  Takes
+    effect on the next {!global} call; an existing global pool of a
+    different size is shut down and replaced. *)
+
+val global : unit -> t
+(** The shared pool, created on first use and resized on demand; shut
+    down automatically at exit. *)
