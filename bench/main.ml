@@ -708,6 +708,135 @@ let exp_t7 () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* EXP-K1: complex-kernel microbenchmarks and hot-loop allocation      *)
+(* ------------------------------------------------------------------ *)
+
+let exp_kern () =
+  header "EXP-K1  unboxed complex kernels: ns/op and per-point allocation";
+  let module Cx = Scnoise_linalg.Cx in
+  let module Cvec = Scnoise_linalg.Cvec in
+  let module Cmat = Scnoise_linalg.Cmat in
+  let module Clu = Scnoise_linalg.Clu in
+  let module Ctrap = Scnoise_ode.Ctrapezoid in
+  let t =
+    Table.create
+      [ "n"; "kernel"; "alloc_ns"; "into_ns"; "speedup" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 0xbe_5c; n |] in
+      let rnd () = Random.State.float rng 2.0 -. 1.0 in
+      let m =
+        Cmat.init n n (fun i j ->
+            if i = j then Cx.make (float_of_int n +. 2.0 +. rnd ()) (rnd ())
+            else Cx.make (0.3 *. rnd ()) (0.3 *. rnd ()))
+      in
+      let v = Cvec.init n (fun _ -> Cx.make (rnd ()) (rnd ())) in
+      let out = Cvec.create n in
+      let lu = Clu.factor m in
+      let lu_into = Clu.create n in
+      let work = Array.make (2 * n) 0.0 in
+      let a =
+        Mat.init n n (fun i j ->
+            if i = j then -.(float_of_int n +. 1.5) *. 1e6 else 3e5 *. rnd ())
+      in
+      let omega = 2.0 *. Float.pi *. 1e4 in
+      let st = Ctrap.make ~a ~shift:(Cx.make 0.0 omega) ~h:1e-7 in
+      let k0 = Cvec.init n (fun _ -> Cx.make (rnd ()) (rnd ())) in
+      let open Bechamel in
+      let results =
+        time_per_run_ns
+          [
+            Test.make ~name:"mul_vec"
+              (Staged.stage (fun () -> ignore (Cmat.mul_vec m v)));
+            Test.make ~name:"mul_vec_into"
+              (Staged.stage (fun () -> Cmat.mul_vec_into m v ~into:out));
+            Test.make ~name:"lu_factor"
+              (Staged.stage (fun () -> ignore (Clu.factor m)));
+            Test.make ~name:"lu_factor_into"
+              (Staged.stage (fun () -> Clu.factor_into lu_into m));
+            Test.make ~name:"lu_solve"
+              (Staged.stage (fun () -> ignore (Clu.solve lu v)));
+            Test.make ~name:"lu_solve_into"
+              (Staged.stage (fun () -> Clu.solve_into lu ~work ~b:v ~into:out));
+            Test.make ~name:"trap_step"
+              (Staged.stage (fun () -> ignore (Ctrap.step st ~p:v ~k0 ~k1:k0)));
+            Test.make ~name:"trap_step_into"
+              (Staged.stage (fun () ->
+                   Ctrap.step_into st ~p:v ~k0 ~k1:k0 ~into:out));
+          ]
+      in
+      List.iter
+        (fun (kernel, alloc_name, into_name) ->
+          let ta = find_time results alloc_name in
+          let ti = find_time results into_name in
+          Table.add_row t
+            [
+              string_of_int n; kernel; Printf.sprintf "%.1f" ta;
+              Printf.sprintf "%.1f" ti; Printf.sprintf "%.2fx" (ta /. ti);
+            ])
+        [
+          ("cmat.mul_vec", "mul_vec", "mul_vec_into");
+          ("clu.factor", "lu_factor", "lu_factor_into");
+          ("clu.solve", "lu_solve", "lu_solve_into");
+          ("ctrap.step", "trap_step", "trap_step_into");
+        ])
+    [ 1; 4; 9 ];
+  Table.print t;
+  (* per-PSD-point allocation, demod default vs reference factorization.
+     [Gc.allocated_bytes] advances at GC boundaries, so only high rep
+     counts give a stable per-call figure. *)
+  let module Bvp = Scnoise_core.Periodic_bvp in
+  let b = LP.build LP.default in
+  let eng = Psd.prepare ~samples_per_phase:128 b.LP.sys ~output:b.LP.output in
+  let freqs = [| 100.0; 1e3; 4e3; 8e3; 16e3 |] in
+  let per_point reference =
+    let prev = Bvp.reference_enabled () in
+    Bvp.set_reference reference;
+    Fun.protect ~finally:(fun () -> Bvp.set_reference prev) @@ fun () ->
+    Array.iter (fun f -> ignore (Psd.psd eng ~f)) freqs;
+    let reps = 400 in
+    let a0 = Gc.allocated_bytes () in
+    for _ = 1 to reps do
+      Array.iter (fun f -> ignore (Psd.psd eng ~f)) freqs
+    done;
+    (Gc.allocated_bytes () -. a0) /. float_of_int (reps * Array.length freqs)
+  in
+  let demod_b = per_point false in
+  let ref_b = per_point true in
+  let t2 = Table.create [ "bvp_backend"; "bytes/point" ] in
+  Table.add_row t2 [ "demod (default)"; Printf.sprintf "%.0f" demod_b ];
+  Table.add_row t2 [ "reference"; Printf.sprintf "%.0f" ref_b ];
+  Table.print t2;
+  let solve_into_ns =
+    let rng = Random.State.make [| 0x50_1e |] in
+    let rnd () = Random.State.float rng 2.0 -. 1.0 in
+    let n = 4 in
+    let m =
+      Cmat.init n n (fun i j ->
+          if i = j then Cx.make 6.0 (rnd ()) else Cx.make (0.3 *. rnd ()) 0.0)
+    in
+    let lu = Clu.factor m in
+    let v = Cvec.init n (fun _ -> Cx.make (rnd ()) (rnd ())) in
+    let out = Cvec.create n in
+    let work = Array.make (2 * n) 0.0 in
+    let open Bechamel in
+    find_time
+      (time_per_run_ns
+         [
+           Test.make ~name:"solve4"
+             (Staged.stage (fun () -> Clu.solve_into lu ~work ~b:v ~into:out));
+         ])
+      "solve4"
+  in
+  Printf.printf
+    "KERN-SMOKE: demod_bytes_per_point=%.0f reference_bytes_per_point=%.0f \
+     solve_into_n4_ns=%.0f ok=%s\n"
+    demod_b ref_b solve_into_ns
+    (if demod_b < 48_000.0 then "ok" else "FAIL");
+  if demod_b >= 48_000.0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* EXP-P1: domain pool — serial vs parallel wall time, bit parity      *)
 (* ------------------------------------------------------------------ *)
 
@@ -795,7 +924,7 @@ let experiments =
     ("f1", exp_f1); ("f2", exp_f2); ("f3", exp_f3); ("f4", exp_f4);
     ("f5", exp_f5); ("f6", exp_f6); ("t1", exp_t1); ("t2", exp_t2);
     ("t3", exp_t3); ("t4", exp_t4); ("t5", exp_t5); ("t6", exp_t6);
-    ("t7", exp_t7); ("par", exp_par);
+    ("t7", exp_t7); ("kern", exp_kern); ("par", exp_par);
   ]
 
 (* Run one experiment with span recording on, print its counter/span

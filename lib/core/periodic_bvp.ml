@@ -17,32 +17,89 @@ let c_cache_misses = Obs.counter "stepper_cache_misses"
 
 let c_solves = Obs.counter "bvp_solves"
 
+let c_fallback_steps = Obs.counter "bvp_fallback_steps"
+
+(* SCNOISE_REFERENCE_BVP=1 keeps the per-frequency complex-LU stepper
+   path as the reference implementation; the default is the
+   demodulated path, which reuses one real LU per (phase, h) across
+   every frequency of a sweep.  Both compute the same shifted
+   trapezoid discretisation (the demodulated solve is refined to below
+   1e-13 relative), which the golden-parity tests pin down. *)
+let reference_gate =
+  ref
+    (match Sys.getenv_opt "SCNOISE_REFERENCE_BVP" with
+    | None | Some ("" | "0" | "false" | "no") -> false
+    | Some _ -> true)
+
+let reference_enabled () = !reference_gate
+
+let set_reference b = reference_gate := b
+
 type t = {
+  id : int; (* unique per prepared solver; keys domain-local caches *)
   sys : Pwl.t;
+  nstates : int;
   times : float array;
   interval_phase : int array;
   phis : Mat.t array; (* transition Phi(t_i, 0) *)
   cphis : Cmat.t array; (* the same transitions, complexified once *)
   phi_period : Mat.t;
+  demods : Ctrapezoid.demod array; (* one per distinct (phase, h) *)
+  interval_demod : int array; (* interval i -> index into [demods] *)
+  demod_key : (int * float) array; (* demod index -> (phase, h) *)
 }
+
+let next_id = Atomic.make 0
 
 (* The homogeneous correction in [close_periodic] needs the transitions
    as complex matrices; materialising them here, once per prepared
    solver, keeps the per-frequency path free of the O(N n^2)
-   re-complexification it used to pay on every point. *)
+   re-complexification it used to pay on every point.  The demodulated
+   steppers (one real LU per distinct (phase, h)) are likewise hoisted:
+   they are frequency-independent, so a whole sweep reuses them. *)
 let of_sampled (cov : Covariance.sampled) =
+  let sys = cov.Covariance.sys in
+  let times = cov.Covariance.times in
+  let interval_phase = cov.Covariance.interval_phase in
+  let nintervals = Array.length times - 1 in
+  let table : (int * float, int) Hashtbl.t = Hashtbl.create 32 in
+  let demods = ref [] in
+  let keys = ref [] in
+  let count = ref 0 in
+  let interval_demod =
+    Array.init nintervals (fun i ->
+        let p = interval_phase.(i) in
+        let h = times.(i + 1) -. times.(i) in
+        match Hashtbl.find_opt table (p, h) with
+        | Some idx -> idx
+        | None ->
+            let st = Ctrapezoid.make_demod ~a:sys.Pwl.phases.(p).Pwl.a ~h in
+            let idx = !count in
+            incr count;
+            demods := st :: !demods;
+            keys := (p, h) :: !keys;
+            Hashtbl.add table (p, h) idx;
+            idx)
+  in
   {
-    sys = cov.Covariance.sys;
-    times = cov.Covariance.times;
-    interval_phase = cov.Covariance.interval_phase;
+    id = Atomic.fetch_and_add next_id 1;
+    sys;
+    nstates = sys.Pwl.nstates;
+    times;
+    interval_phase;
     phis = cov.Covariance.phis;
     cphis = Array.map Cmat.of_real cov.Covariance.phis;
     phi_period = cov.Covariance.phi_period;
+    demods = Array.of_list (List.rev !demods);
+    interval_demod;
+    demod_key = Array.of_list (List.rev !keys);
   }
 
 let times t = Array.copy t.times
 
 let n_points t = Array.length t.times
+
+let n_states t = t.nstates
 
 let interval_phase t = Array.copy t.interval_phase
 
@@ -62,49 +119,200 @@ let make_stepper_cache t omega =
         Hashtbl.add cache (p, h) st;
         st
 
-let particular_piecewise t ~omega ~forcing =
-  let n = t.sys.Pwl.nstates in
-  let npts = Array.length t.times in
-  let stepper = make_stepper_cache t omega in
-  let traj = Array.make npts (Cvec.create n) in
-  let p_cur = ref (Cvec.create n) in
-  for i = 1 to npts - 1 do
-    let h = t.times.(i) -. t.times.(i - 1) in
-    let p = t.interval_phase.(i - 1) in
-    let k0, k1 = forcing (i - 1) in
-    p_cur := Ctrapezoid.step (stepper p h) ~p:!p_cur ~k0 ~k1;
-    traj.(i) <- !p_cur
-  done;
-  traj
+(* --- per-domain workspace ---
 
-let close_periodic t ~omega part =
-  let n = t.sys.Pwl.nstates in
+   Everything the hot path needs beyond the returned trajectory lives
+   in one domain-local record (same pattern as [Psd.scratch]): pooled
+   sweeps get one workspace per worker, so shared engines stay
+   read-only. *)
+type ws = {
+  mutable w_dim : int; (* dimension the buffers are sized for *)
+  mutable w_dw : Ctrapezoid.demod_work;
+  mutable w_iters : int array; (* per demod stepper, current omega *)
+  mutable w_lhs : Cmat.t; (* boundary matrix I - e^{-jwT} Phi *)
+  mutable w_lu : Clu.t;
+  mutable w_solve : float array; (* Clu.solve_into workspace, 2n *)
+  mutable w_p0 : Cvec.t;
+  mutable w_hom : Cvec.t;
+  w_fb : (int, Ctrapezoid.reusable) Hashtbl.t;
+      (* fallback steppers, keyed by (solver id, demod index); they
+         retune in place when the frequency moves, so a whole sweep
+         reuses their buffers *)
+}
+
+let ws_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        w_dim = -1;
+        w_dw = Ctrapezoid.demod_work 0;
+        w_iters = [||];
+        w_lhs = Cmat.create 0 0;
+        w_lu = Clu.create 0;
+        w_solve = [||];
+        w_p0 = Cvec.create 0;
+        w_hom = Cvec.create 0;
+        w_fb = Hashtbl.create 16;
+      })
+
+let workspace t =
+  let ws = Domain.DLS.get ws_key in
+  if ws.w_dim <> t.nstates then begin
+    let n = t.nstates in
+    ws.w_dim <- n;
+    ws.w_dw <- Ctrapezoid.demod_work n;
+    ws.w_lhs <- Cmat.create n n;
+    ws.w_lu <- Clu.create n;
+    ws.w_solve <- Array.make (2 * n) 0.0;
+    ws.w_p0 <- Cvec.create n;
+    ws.w_hom <- Cvec.create n
+  end;
+  if Array.length ws.w_iters < Array.length t.demods then
+    ws.w_iters <- Array.make (Array.length t.demods) 0;
+  ws
+
+let check_traj t traj =
+  let npts = Array.length t.times in
+  if Array.length traj <> npts then
+    invalid_arg "Periodic_bvp: trajectory buffer has wrong length";
+  for i = 0 to npts - 1 do
+    if Cvec.dim traj.(i) <> t.nstates then
+      invalid_arg "Periodic_bvp: trajectory buffer has wrong dimension"
+  done
+
+let alloc_traj t =
+  Array.init (Array.length t.times) (fun _ -> Cvec.create t.nstates)
+
+(* Forced transient from a zero initial condition, written over [traj]
+   in place ([traj.(0)] is zeroed; each entry must be a distinct
+   buffer).  [kl i]/[kr i] give the forcing at the left and right
+   endpoints of interval [i]. *)
+let particular_into t ~omega ~kl ~kr traj =
+  let npts = Array.length t.times in
+  Cvec.fill_zero traj.(0);
+  if !reference_gate then begin
+    let stepper = make_stepper_cache t omega in
+    for i = 1 to npts - 1 do
+      let h = t.times.(i) -. t.times.(i - 1) in
+      let p = t.interval_phase.(i - 1) in
+      Ctrapezoid.step_into (stepper p h) ~p:traj.(i - 1) ~k0:(kl (i - 1))
+        ~k1:(kr (i - 1)) ~into:traj.(i)
+    done
+  end
+  else begin
+    let ws = workspace t in
+    let iters = ws.w_iters in
+    for s = 0 to Array.length t.demods - 1 do
+      iters.(s) <- Ctrapezoid.demod_iters t.demods.(s) ~omega
+    done;
+    (* Complex-LU fallback for (phase, h) pairs whose contraction is
+       too slow at this frequency.  The steppers live in the
+       domain-local workspace and retune (refactor in place) only when
+       the frequency moves, so even fallback-heavy sweeps allocate
+       nothing per point after warm-up. *)
+    for i = 1 to npts - 1 do
+      let si = t.interval_demod.(i - 1) in
+      let m = iters.(si) in
+      if m >= 0 then
+        Ctrapezoid.step_demod_into t.demods.(si) ~work:ws.w_dw ~omega ~iters:m
+          ~p:traj.(i - 1) ~k0:(kl (i - 1)) ~k1:(kr (i - 1)) ~into:traj.(i)
+      else begin
+        Obs.incr c_fallback_steps;
+        let key = (t.id lsl 20) lor si in
+        let st =
+          match Hashtbl.find ws.w_fb key with
+          | st ->
+              Obs.incr c_cache_hits;
+              st
+          | exception Not_found ->
+              Obs.incr c_cache_misses;
+              let p, h = t.demod_key.(si) in
+              let st =
+                Ctrapezoid.make_reusable ~a:t.sys.Pwl.phases.(p).Pwl.a ~h
+              in
+              Hashtbl.add ws.w_fb key st;
+              st
+        in
+        Ctrapezoid.retune st ~omega;
+        Ctrapezoid.step_reusable_into st ~p:traj.(i - 1) ~k0:(kl (i - 1))
+          ~k1:(kr (i - 1)) ~into:traj.(i)
+      end
+    done
+  end
+
+(* Close the periodic boundary in place: solve for P(0) against the
+   rotated monodromy, then add the homogeneous correction to every
+   grid point.  Only workspace buffers are touched besides [traj]. *)
+let close_periodic_into t ~omega traj =
+  let n = t.nstates in
   let period = t.sys.Pwl.period in
-  let npts = Array.length part in
+  let npts = Array.length traj in
+  let ws = workspace t in
   let rot_t = Cx.cis (-.omega *. period) in
-  let lhs =
-    Cmat.init n n (fun i j ->
-        let p = Cx.scale (Mat.get t.phi_period i j) rot_t in
-        if i = j then Cx.( -: ) Cx.one p else Cx.neg p)
-  in
-  let p0 = Clu.solve_dense lhs part.(npts - 1) in
+  let ld = Cmat.data ws.w_lhs in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let phi = Mat.get t.phi_period i j in
+      let pre = phi *. rot_t.Cx.re and pim = phi *. rot_t.Cx.im in
+      let k = 2 * ((i * n) + j) in
+      if i = j then begin
+        ld.(k) <- 1.0 -. pre;
+        ld.(k + 1) <- 0.0 -. pim
+      end
+      else begin
+        ld.(k) <- -.pre;
+        ld.(k + 1) <- -.pim
+      end
+    done
+  done;
+  Clu.factor_into ws.w_lu ws.w_lhs;
+  Clu.solve_into ws.w_lu ~work:ws.w_solve ~b:traj.(npts - 1) ~into:ws.w_p0;
   Log.debug (fun m ->
       m "BVP closed: %d points, omega = %g rad/s" npts omega);
-  Array.init npts (fun i ->
-      let rot = Cx.cis (-.omega *. t.times.(i)) in
-      let hom = Cmat.mul_vec t.cphis.(i) p0 in
-      Cvec.add (Cvec.scale rot hom) part.(i))
+  (* traj.(i) += e^{-jwt_i} Phi(t_i) P(0).  The rotation is applied
+     inline over the flat buffers ([Cvec.axpy_ri_into]'s arithmetic):
+     float arguments would be boxed at every call on non-flambda
+     builds, and this loop runs once per grid point per frequency. *)
+  for i = 0 to npts - 1 do
+    let theta = -.omega *. t.times.(i) in
+    Cmat.mul_vec_into t.cphis.(i) ws.w_p0 ~into:ws.w_hom;
+    let sre = cos theta and sim = sin theta in
+    let xd = Cvec.data ws.w_hom and td = Cvec.data traj.(i) in
+    for k = 0 to n - 1 do
+      let re = xd.(2 * k) and im = xd.((2 * k) + 1) in
+      td.(2 * k) <- ((sre *. re) -. (sim *. im)) +. td.(2 * k);
+      td.((2 * k) + 1) <- ((sre *. im) +. (sim *. re)) +. td.((2 * k) + 1)
+    done
+  done
+
+let solve_into t ~omega ~forcing traj =
+  check_traj t traj;
+  Obs.with_span ~src "periodic_bvp.solve" (fun () ->
+      Obs.incr c_solves;
+      particular_into t ~omega ~kl:forcing ~kr:(fun i -> forcing (i + 1)) traj;
+      close_periodic_into t ~omega traj)
+
+let solve t ~omega ~forcing =
+  let traj = alloc_traj t in
+  solve_into t ~omega ~forcing traj;
+  traj
 
 let solve_piecewise t ~omega ~forcing =
   Obs.with_span ~src "periodic_bvp.solve" (fun () ->
       Obs.incr c_solves;
-      close_periodic t ~omega (particular_piecewise t ~omega ~forcing))
+      let traj = alloc_traj t in
+      let npts = Array.length t.times in
+      let left = Array.make (max 0 (npts - 1)) (Cvec.create 0) in
+      let right = Array.make (max 0 (npts - 1)) (Cvec.create 0) in
+      for i = 0 to npts - 2 do
+        let k0, k1 = forcing i in
+        left.(i) <- k0;
+        right.(i) <- k1
+      done;
+      particular_into t ~omega ~kl:(Array.get left) ~kr:(Array.get right) traj;
+      close_periodic_into t ~omega traj;
+      traj)
 
 let particular t ~omega ~forcing =
-  particular_piecewise t ~omega ~forcing:(fun i ->
-      (forcing i, forcing (i + 1)))
-
-let solve t ~omega ~forcing =
-  Obs.with_span ~src "periodic_bvp.solve" (fun () ->
-      Obs.incr c_solves;
-      close_periodic t ~omega (particular t ~omega ~forcing))
+  let traj = alloc_traj t in
+  particular_into t ~omega ~kl:forcing ~kr:(fun i -> forcing (i + 1)) traj;
+  traj

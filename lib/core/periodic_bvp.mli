@@ -9,13 +9,26 @@
     boundary solve against the frequency-rotated real monodromy
     [(I - e^{-jwT} Phi) P(0) = P_part(T)], and superposition.  The PSD
     engine uses it with [k = K(t) c]; the LPTV transfer-function engine
-    with deterministic input columns. *)
+    with deterministic input columns.
+
+    Two stepper backends drive the transient.  The default demodulated
+    backend factors one *real* LU per distinct (phase, h) when the
+    solver is prepared and reuses it at every frequency, refining each
+    step to the exact shifted-trapezoid update (falling back to a
+    per-frequency complex LU for steppers whose refinement would not
+    converge fast enough).  Setting [SCNOISE_REFERENCE_BVP=1] (or
+    {!set_reference}) selects the reference backend, which factors the
+    complex LHS per (phase, h) at every frequency point.  Both backends
+    compute the same discretisation; the golden-parity tests assert
+    agreement to well below 1e-9 dB. *)
 
 module Cvec = Scnoise_linalg.Cvec
 
 type t
-(** Prepared solver: grids, phase matrices and transition matrices are
-    shared across frequencies and forcings. *)
+(** Prepared solver: grids, phase matrices, transition matrices and
+    frequency-independent stepper factorisations are shared across
+    frequencies and forcings (the per-domain solve workspace is
+    domain-local, so a prepared solver may be used from a pool). *)
 
 val of_sampled : Covariance.sampled -> t
 (** Build from a sampled periodic covariance (which already carries the
@@ -26,12 +39,31 @@ val times : t -> float array
 
 val n_points : t -> int
 
+val n_states : t -> int
+
+val set_reference : bool -> unit
+(** Programmatic override of the [SCNOISE_REFERENCE_BVP] environment
+    gate (used by tests and benchmarks to exercise both backends in
+    one process). *)
+
+val reference_enabled : unit -> bool
+
 val solve : t -> omega:float -> forcing:(int -> Cvec.t) -> Cvec.t array
 (** [solve t ~omega ~forcing] returns the periodic steady state
     [P(t_i)] on the grid; [forcing i] is [k(t_i)].  The forcing must be
     periodic ([forcing 0 = forcing (n_points - 1)] in intent; only grid
     samples are consulted).  Raises [Clu.Singular] only if the circuit
     has a Floquet multiplier of unit modulus. *)
+
+val solve_into :
+  t -> omega:float -> forcing:(int -> Cvec.t) -> Cvec.t array -> unit
+(** {!solve} into a caller-provided trajectory ([n_points] vectors of
+    dimension [n_states], each a distinct buffer — see {!alloc_traj}).
+    Beyond that buffer the solve allocates only transient bookkeeping
+    (and, on the reference backend, its per-frequency steppers). *)
+
+val alloc_traj : t -> Cvec.t array
+(** Fresh zero trajectory of the right shape for {!solve_into}. *)
 
 val particular : t -> omega:float -> forcing:(int -> Cvec.t) -> Cvec.t array
 (** The zero-initial-condition forced response alone (used by the

@@ -1,6 +1,5 @@
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
-module Cx = Scnoise_linalg.Cx
 module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
 module Grid = Scnoise_util.Grid
@@ -39,10 +38,16 @@ let envelope e ~f =
   let omega = 2.0 *. Float.pi *. f in
   Periodic_bvp.solve e.bvp ~omega ~forcing:(fun i -> e.forcing.(i))
 
-(* S_v(t_i, f) = 2 Re (cᵀ P(t_i)) from one envelope sample *)
+(* S_v(t_i, f) = 2 Re (cᵀ P(t_i)) from one envelope sample.  A plain
+   counted loop: closing over the accumulator would force it onto the
+   heap (non-flambda builds only unbox refs that stay local). *)
 let instantaneous_value e p =
+  let d = Cvec.data p in
+  let c = e.out_row in
   let s = ref 0.0 in
-  Array.iteri (fun i c -> s := !s +. (c *. p.(i).Cx.re)) e.out_row;
+  for i = 0 to Array.length c - 1 do
+    s := !s +. (c.(i) *. d.(2 * i))
+  done;
   2.0 *. !s
 
 let instantaneous e ~f =
@@ -61,15 +66,46 @@ let scratch n =
   if Array.length !cell < n then cell := Array.make n 0.0;
   !cell
 
+(* Likewise per-domain: the envelope trajectory of the current
+   frequency point.  [Periodic_bvp.solve_into] overwrites it wholesale
+   (the closing correction included), so reuse across points is safe
+   and the per-point minor-heap traffic collapses to bookkeeping. *)
+let traj_key : (Cvec.t array ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let traj_scratch bvp =
+  let cell = Domain.DLS.get traj_key in
+  let npts = Periodic_bvp.n_points bvp in
+  let n = Periodic_bvp.n_states bvp in
+  if
+    Array.length !cell <> npts
+    || (npts > 0 && Cvec.dim (!cell).(0) <> n)
+  then cell := Periodic_bvp.alloc_traj bvp;
+  !cell
+
 let psd e ~f =
   Obs.incr c_points;
   let period = e.cov.Covariance.sys.Pwl.period in
   let times = e.cov.Covariance.times in
-  let env = envelope e ~f in
+  let omega = 2.0 *. Float.pi *. f in
+  let env = traj_scratch e.bvp in
+  Periodic_bvp.solve_into e.bvp ~omega
+    ~forcing:(fun i -> e.forcing.(i))
+    env;
   let npts = Array.length env in
   let values = scratch npts in
+  (* the dot product of [instantaneous_value], inlined: a float
+     returned across a function boundary is boxed per grid point on
+     non-flambda builds *)
+  let c = e.out_row in
+  let nst = Array.length c in
   for i = 0 to npts - 1 do
-    values.(i) <- instantaneous_value e env.(i)
+    let d = Cvec.data env.(i) in
+    let s = ref 0.0 in
+    for j = 0 to nst - 1 do
+      s := !s +. (c.(j) *. d.(2 * j))
+    done;
+    values.(i) <- 2.0 *. !s
   done;
   (* trapezoid over the (possibly longer) scratch buffer, same
      accumulation order as [Grid.trapezoid] *)

@@ -1,6 +1,7 @@
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
 module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
 module Grid = Scnoise_util.Grid
 
@@ -49,7 +50,7 @@ let response e ~forcing ~f ~k_range =
       (fun p ->
         let acc = ref Cx.zero in
         Array.iteri
-          (fun i c -> acc := Cx.( +: ) !acc (Cx.scale c p.(i)))
+          (fun i c -> acc := Cx.( +: ) !acc (Cx.scale c (Cvec.get p i)))
           e.out_row;
         !acc)
       env
@@ -87,7 +88,7 @@ let harmonics e ~input ~f ~k_range =
   let forcing p =
     let e_col = Mat.col e.sys.Pwl.phases.(p).Pwl.e input in
     let edot_col = Mat.col e.sys.Pwl.phases.(p).Pwl.e_dot input in
-    Array.init (Array.length e_col) (fun i ->
+    Cvec.init (Array.length e_col) (fun i ->
         Cx.make e_col.(i) (omega *. edot_col.(i)))
   in
   response e ~forcing ~f ~k_range

@@ -43,7 +43,7 @@ let sampled_density t theta =
   for col = 0 to Mat.cols t.bd - 1 do
     let s = ref Cx.zero in
     for i = 0 to n - 1 do
-      s := Cx.( +: ) !s (Cx.scale (Mat.get t.bd i col) z.(i))
+      s := Cx.( +: ) !s (Cx.scale (Mat.get t.bd i col) (Cvec.get z i))
     done;
     acc := !acc +. (Cx.modulus !s ** 2.0)
   done;

@@ -1,4 +1,5 @@
-(** Dense complex matrices, row-major. *)
+(** Dense complex matrices, row-major, stored as a flat [float array]
+    with interleaved re/im parts (see {!Cvec} for the layout rationale). *)
 
 type t
 
@@ -34,6 +35,10 @@ val mul : t -> t -> t
 
 val mul_vec : t -> Cvec.t -> Cvec.t
 
+val mul_vec_into : t -> Cvec.t -> into:Cvec.t -> unit
+(** Allocation-free {!mul_vec}.  [into] must not alias the input
+    vector (the product is accumulated row by row). *)
+
 val transpose : t -> t
 
 val adjoint : t -> t
@@ -44,3 +49,8 @@ val max_abs : t -> float
 val max_abs_diff : t -> t -> float
 
 val is_hermitian : ?tol:float -> t -> bool
+
+val data : t -> float array
+(** The interleaved row-major backing buffer (length
+    [2 * rows * cols], not a copy); entry (i,j) lives at index
+    [2 * (i * cols + j)]. *)

@@ -1,16 +1,59 @@
-type t = Cx.t array
+(* Flat interleaved storage: entry i is (d.(2i), d.(2i+1)).  All the
+   arithmetic below reproduces the [Cx] (= Stdlib.Complex) formulas
+   term by term so results are bitwise identical to the former boxed
+   representation. *)
 
-let create n = Array.make n Cx.zero
+type t = float array
 
-let init = Array.init
+let dim v = Array.length v / 2
 
-let of_real v = Array.map Cx.re v
+let create n = Array.make (2 * n) 0.0
 
-let real v = Array.map (fun (z : Cx.t) -> z.re) v
+let init n f =
+  let d = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    let z = (f i : Cx.t) in
+    d.(2 * i) <- z.Cx.re;
+    d.((2 * i) + 1) <- z.Cx.im
+  done;
+  d
 
-let imag v = Array.map (fun (z : Cx.t) -> z.im) v
+let of_real v =
+  let n = Array.length v in
+  let d = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    d.(2 * i) <- v.(i)
+  done;
+  d
+
+let of_array a =
+  let n = Array.length a in
+  let d = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    d.(2 * i) <- a.(i).Cx.re;
+    d.((2 * i) + 1) <- a.(i).Cx.im
+  done;
+  d
+
+let to_array v = Array.init (dim v) (fun i -> Cx.make v.(2 * i) v.((2 * i) + 1))
+
+let real v = Array.init (dim v) (fun i -> v.(2 * i))
+
+let imag v = Array.init (dim v) (fun i -> v.((2 * i) + 1))
 
 let copy = Array.copy
+
+let check_index v i name =
+  if i < 0 || i >= dim v then invalid_arg ("Cvec." ^ name ^ ": index out of bounds")
+
+let get v i =
+  check_index v i "get";
+  Cx.make v.(2 * i) v.((2 * i) + 1)
+
+let set v i (z : Cx.t) =
+  check_index v i "set";
+  v.(2 * i) <- z.Cx.re;
+  v.((2 * i) + 1) <- z.Cx.im
 
 let check_len a b name =
   if Array.length a <> Array.length b then
@@ -18,38 +61,108 @@ let check_len a b name =
 
 let add a b =
   check_len a b "add";
-  Array.init (Array.length a) (fun i -> Cx.( +: ) a.(i) b.(i))
+  Array.init (Array.length a) (fun k -> a.(k) +. b.(k))
 
 let sub a b =
   check_len a b "sub";
-  Array.init (Array.length a) (fun i -> Cx.( -: ) a.(i) b.(i))
+  Array.init (Array.length a) (fun k -> a.(k) -. b.(k))
 
-let scale s a = Array.map (fun z -> Cx.( *: ) s z) a
+let scale (s : Cx.t) a =
+  let n = dim a in
+  let d = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    let re = a.(2 * i) and im = a.((2 * i) + 1) in
+    d.(2 * i) <- (s.Cx.re *. re) -. (s.Cx.im *. im);
+    d.((2 * i) + 1) <- (s.Cx.re *. im) +. (s.Cx.im *. re)
+  done;
+  d
 
-let scale_re s a = Array.map (Cx.scale s) a
+let scale_re s a = Array.map (fun x -> s *. x) a
 
 let dot_conj a b =
   check_len a b "dot_conj";
-  let acc = ref Cx.zero in
-  for i = 0 to Array.length a - 1 do
-    acc := Cx.( +: ) !acc (Cx.( *: ) (Cx.conj a.(i)) b.(i))
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    let ar = a.(2 * i) and ai = -.a.((2 * i) + 1) in
+    let br = b.(2 * i) and bi = b.((2 * i) + 1) in
+    re := !re +. ((ar *. br) -. (ai *. bi));
+    im := !im +. ((ar *. bi) +. (ai *. br))
   done;
-  !acc
+  Cx.make !re !im
 
 let norm2 a =
   let acc = ref 0.0 in
-  Array.iter
-    (fun (z : Cx.t) -> acc := !acc +. (z.re *. z.re) +. (z.im *. z.im))
-    a;
+  for i = 0 to dim a - 1 do
+    let re = a.(2 * i) and im = a.((2 * i) + 1) in
+    acc := !acc +. (re *. re) +. (im *. im)
+  done;
   sqrt !acc
 
 let norm_inf a =
-  Array.fold_left (fun m z -> max m (Cx.modulus z)) 0.0 a
+  let m = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    m := max !m (Cx.modulus_ri a.(2 * i) a.((2 * i) + 1))
+  done;
+  !m
 
 let max_abs_diff a b =
   check_len a b "max_abs_diff";
   let m = ref 0.0 in
-  for i = 0 to Array.length a - 1 do
-    m := max !m (Cx.modulus (Cx.( -: ) a.(i) b.(i)))
+  for i = 0 to dim a - 1 do
+    m :=
+      max !m
+        (Cx.modulus_ri (a.(2 * i) -. b.(2 * i)) (a.((2 * i) + 1) -. b.((2 * i) + 1)))
   done;
   !m
+
+(* --- in-place kernels --- *)
+
+let fill_zero v = Array.fill v 0 (Array.length v) 0.0
+
+let copy_into v ~into =
+  check_len v into "copy_into";
+  Array.blit v 0 into 0 (Array.length v)
+
+let add_into a b ~into =
+  check_len a b "add_into";
+  check_len a into "add_into";
+  for k = 0 to Array.length a - 1 do
+    into.(k) <- a.(k) +. b.(k)
+  done
+
+let sub_into a b ~into =
+  check_len a b "sub_into";
+  check_len a into "sub_into";
+  for k = 0 to Array.length a - 1 do
+    into.(k) <- a.(k) -. b.(k)
+  done
+
+let scale_into (s : Cx.t) a ~into =
+  check_len a into "scale_into";
+  for i = 0 to dim a - 1 do
+    let re = a.(2 * i) and im = a.((2 * i) + 1) in
+    into.(2 * i) <- (s.Cx.re *. re) -. (s.Cx.im *. im);
+    into.((2 * i) + 1) <- (s.Cx.re *. im) +. (s.Cx.im *. re)
+  done
+
+let scale_re_into s a ~into =
+  check_len a into "scale_re_into";
+  for k = 0 to Array.length a - 1 do
+    into.(k) <- s *. a.(k)
+  done
+
+let axpy_ri_into ~sre ~sim ~x ~into =
+  check_len x into "axpy_into";
+  for i = 0 to dim x - 1 do
+    let re = x.(2 * i) and im = x.((2 * i) + 1) in
+    into.(2 * i) <- ((sre *. re) -. (sim *. im)) +. into.(2 * i);
+    into.((2 * i) + 1) <- ((sre *. im) +. (sim *. re)) +. into.((2 * i) + 1)
+  done
+
+let axpy_into ~s:(s : Cx.t) ~x ~into = axpy_ri_into ~sre:s.Cx.re ~sim:s.Cx.im ~x ~into
+
+let data v = v
+
+let of_data d =
+  if Array.length d land 1 <> 0 then invalid_arg "Cvec.of_data: odd length";
+  d

@@ -1,6 +1,16 @@
-(** Dense complex vectors. *)
+(** Dense complex vectors.
 
-type t = Cx.t array
+    Stored as a flat [float array] with interleaved re/im parts
+    ([re_0; im_0; re_1; im_1; ...]), which OCaml keeps unboxed — the
+    hot kernels of the MFT sweep never allocate a [Complex.t] record
+    per element.  The API still speaks {!Cx.t} through {!get}/{!set};
+    {!data} exposes the raw buffer for kernels that want to stream
+    over it. *)
+
+type t
+
+val dim : t -> int
+(** Number of complex entries. *)
 
 val create : int -> t
 (** Zero vector. *)
@@ -9,11 +19,19 @@ val init : int -> (int -> Cx.t) -> t
 
 val of_real : Vec.t -> t
 
+val of_array : Cx.t array -> t
+
+val to_array : t -> Cx.t array
+
 val real : t -> Vec.t
 
 val imag : t -> Vec.t
 
 val copy : t -> t
+
+val get : t -> int -> Cx.t
+
+val set : t -> int -> Cx.t -> unit
 
 val add : t -> t -> t
 
@@ -31,3 +49,37 @@ val norm2 : t -> float
 val norm_inf : t -> float
 
 val max_abs_diff : t -> t -> float
+
+(** {1 In-place kernels}
+
+    The [_into] variants write their result into a caller-provided
+    vector and allocate nothing.  Unless stated otherwise the output
+    may alias an input (every kernel below is element-wise). *)
+
+val fill_zero : t -> unit
+
+val copy_into : t -> into:t -> unit
+
+val add_into : t -> t -> into:t -> unit
+
+val sub_into : t -> t -> into:t -> unit
+
+val scale_into : Cx.t -> t -> into:t -> unit
+
+val scale_re_into : float -> t -> into:t -> unit
+
+val axpy_into : s:Cx.t -> x:t -> into:t -> unit
+(** [axpy_into ~s ~x ~into] accumulates [into += s * x]. *)
+
+val axpy_ri_into : sre:float -> sim:float -> x:t -> into:t -> unit
+(** {!axpy_into} with the scalar passed as two floats (no box). *)
+
+(** {1 Raw storage} *)
+
+val data : t -> float array
+(** The interleaved backing buffer itself (length [2 * dim], not a
+    copy): entry [i] lives at [(data v).(2*i)] (re) and
+    [(data v).(2*i + 1)] (im). *)
+
+val of_data : float array -> t
+(** Adopt an interleaved buffer (length must be even; not copied). *)

@@ -26,6 +26,12 @@ let scale s z = { re = s *. z.re; im = s *. z.im }
 
 let modulus = Complex.norm
 
+(* [Complex.norm] on unboxed parts (it is [Float.hypot] in this
+   stdlib), so flat kernels rank magnitudes bitwise-identically to the
+   boxed path. *)
+external modulus_ri : float -> float -> float = "caml_hypot_float" "caml_hypot"
+  [@@unboxed] [@@noalloc]
+
 let arg = Complex.arg
 
 let exp = Complex.exp

@@ -29,6 +29,12 @@ val scale : float -> t -> t
 
 val modulus : t -> float
 
+external modulus_ri : float -> float -> float = "caml_hypot_float" "caml_hypot"
+  [@@unboxed] [@@noalloc]
+(** [modulus_ri re im] is [modulus {re; im}] without boxing the
+    argument or the result (same overflow-safe algorithm,
+    bit-for-bit: [Complex.norm] is [Float.hypot] in this stdlib). *)
+
 val arg : t -> float
 
 val exp : t -> t

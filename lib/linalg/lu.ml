@@ -104,6 +104,61 @@ let solve t b =
   Sanitize.check_vec "Lu.solve (result)" x;
   x
 
+let solve_into t ~b ~into =
+  if Array.length b <> t.n then invalid_arg "Lu.solve_into: dimension mismatch";
+  if Array.length into <> t.n then
+    invalid_arg "Lu.solve_into: output dimension mismatch";
+  if b == into then invalid_arg "Lu.solve_into: output must not alias b";
+  Sanitize.check_vec "Lu.solve" b;
+  Obs.incr c_solves;
+  for i = 0 to t.n - 1 do
+    into.(i) <- b.(t.piv.(i))
+  done;
+  solve_in_place t into;
+  Sanitize.check_vec "Lu.solve (result)" into
+
+(* Complex right-hand side against the real factorisation: the real
+   multipliers act on the re/im parts independently, so one pass over
+   the interleaved buffer solves both at once.  Allocation-free; [b]
+   must not alias [into] (the permuted gather writes [into] first). *)
+let solve_complex_into t ~b ~into =
+  let n = t.n in
+  if Cvec.dim b <> n then
+    invalid_arg "Lu.solve_complex_into: dimension mismatch";
+  if Cvec.dim into <> n then
+    invalid_arg "Lu.solve_complex_into: output dimension mismatch";
+  let bd = Cvec.data b and x = Cvec.data into in
+  if bd == x then invalid_arg "Lu.solve_complex_into: output must not alias b";
+  Sanitize.check_cvec "Lu.solve_complex" b;
+  Obs.incr c_solves;
+  for i = 0 to n - 1 do
+    let p = t.piv.(i) in
+    x.(2 * i) <- bd.(2 * p);
+    x.((2 * i) + 1) <- bd.((2 * p) + 1)
+  done;
+  for i = 1 to n - 1 do
+    let ar = ref x.(2 * i) and ai = ref x.((2 * i) + 1) in
+    for j = 0 to i - 1 do
+      let l = t.lu.((i * n) + j) in
+      ar := !ar -. (l *. x.(2 * j));
+      ai := !ai -. (l *. x.((2 * j) + 1))
+    done;
+    x.(2 * i) <- !ar;
+    x.((2 * i) + 1) <- !ai
+  done;
+  for i = n - 1 downto 0 do
+    let ar = ref x.(2 * i) and ai = ref x.((2 * i) + 1) in
+    for j = i + 1 to n - 1 do
+      let u = t.lu.((i * n) + j) in
+      ar := !ar -. (u *. x.(2 * j));
+      ai := !ai -. (u *. x.((2 * j) + 1))
+    done;
+    let d = t.lu.((i * n) + i) in
+    x.(2 * i) <- !ar /. d;
+    x.((2 * i) + 1) <- !ai /. d
+  done;
+  Sanitize.check_cvec "Lu.solve_complex (result)" into
+
 let solve_mat t b =
   if Mat.rows b <> t.n then invalid_arg "Lu.solve_mat: dimension mismatch";
   let nc = Mat.cols b in

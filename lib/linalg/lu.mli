@@ -15,6 +15,17 @@ val factor : Mat.t -> t
 val solve : t -> Vec.t -> Vec.t
 (** Solve [A x = b] for one right-hand side. *)
 
+val solve_into : t -> b:Vec.t -> into:Vec.t -> unit
+(** Allocation-free {!solve}; [into] must not alias [b]. *)
+
+val solve_complex_into : t -> b:Cvec.t -> into:Cvec.t -> unit
+(** Solve [A x = b] for a complex right-hand side against the real
+    factorisation (the re/im parts are solved in one interleaved
+    pass).  Allocation-free; [into] must not alias [b].  This is the
+    inner primitive of the demodulated trapezoid stepper, where the
+    frequency-independent LHS is factored once and reused across the
+    whole sweep. *)
+
 val solve_mat : t -> Mat.t -> Mat.t
 (** Solve [A X = B] column-wise. *)
 

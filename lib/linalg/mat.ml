@@ -45,6 +45,8 @@ let get m i j =
   check_bounds m i j "get";
   m.d.((i * m.nc) + j)
 
+let data m = m.d
+
 let set m i j x =
   check_bounds m i j "set";
   m.d.((i * m.nc) + j) <- x

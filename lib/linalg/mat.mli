@@ -27,6 +27,12 @@ val cols : t -> int
 
 val get : t -> int -> int -> float
 
+(** {1 Raw storage} *)
+
+val data : t -> float array
+(** The backing row-major buffer (element [(i, j)] at [i * cols + j]).
+    Read-only by convention: mutate only through {!set}/{!update}. *)
+
 val set : t -> int -> int -> float -> unit
 
 val update : t -> int -> int -> (float -> float) -> unit

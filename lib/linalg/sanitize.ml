@@ -43,26 +43,33 @@ let check_mat op m =
       done
     done
 
-let finite_cx (z : Cx.t) = Float.is_finite z.Cx.re && Float.is_finite z.Cx.im
-
+(* The complex containers are flat interleaved float buffers; scan the
+   raw storage and recover the (entry / coordinate) position only when
+   reporting. *)
 let check_cvec op (v : Cvec.t) =
-  if !gate then
-    Array.iteri
-      (fun i z ->
-        if not (finite_cx z) then
-          fail op
-            (Printf.sprintf "non-finite entry %h%+hi at index %d" z.Cx.re
-               z.Cx.im i))
-      v
+  if !gate then begin
+    let d = Cvec.data v in
+    for k = 0 to Array.length d - 1 do
+      if not (Float.is_finite d.(k)) then
+        let i = k / 2 in
+        let z = Cvec.get v i in
+        fail op
+          (Printf.sprintf "non-finite entry %h%+hi at index %d" z.Cx.re
+             z.Cx.im i)
+    done
+  end
 
 let check_cmat op m =
-  if !gate then
-    for i = 0 to Cmat.rows m - 1 do
-      for j = 0 to Cmat.cols m - 1 do
+  if !gate then begin
+    let d = Cmat.data m in
+    let nc = Cmat.cols m in
+    for k = 0 to Array.length d - 1 do
+      if not (Float.is_finite d.(k)) then
+        let e = k / 2 in
+        let i = e / nc and j = e mod nc in
         let z = Cmat.get m i j in
-        if not (finite_cx z) then
-          fail op
-            (Printf.sprintf "non-finite entry %h%+hi at (%d,%d)" z.Cx.re
-               z.Cx.im i j)
-      done
+        fail op
+          (Printf.sprintf "non-finite entry %h%+hi at (%d,%d)" z.Cx.re
+             z.Cx.im i j)
     done
+  end

@@ -57,14 +57,14 @@ let psd ?samples_per_phase ?grid ?(tol_db = 0.1) ?(window_periods = 3)
   let forcing_at kmat t =
     let base = Mat.mul_vec kmat output in
     let rot = Cx.cis (omega *. t) in
-    Array.map (fun x -> Cx.( *: ) rot (Cx.re x)) base
+    Cvec.init n (fun i -> Cx.( *: ) rot (Cx.re base.(i)))
   in
   let integrand kvec t =
     (* 2 Re (e^{-jwt} cᵀ K') *)
     let rot = Cx.cis (-.omega *. t) in
     let s = ref Cx.zero in
     Array.iteri
-      (fun i c -> s := Cx.( +: ) !s (Cx.scale c kvec.(i)))
+      (fun i c -> s := Cx.( +: ) !s (Cx.scale c (Cvec.get kvec i)))
       output;
     2.0 *. (Cx.( *: ) rot !s).Cx.re
   in

@@ -3,7 +3,14 @@
 
     This is the equation obeyed by the periodic envelope of the
     cross-spectral density in the mixed-frequency-time method, where
-    [s = j w] for analysis frequency [w]. *)
+    [s = j w] for analysis frequency [w].
+
+    Two stepper families are provided: the classic {!stepper} factors
+    the complex LHS [I - h/2 (A - sI)] per (shift, h), while the
+    {!demod} stepper factors only the *real*, frequency-independent
+    part [I - h/2 A] once and recovers the exact shifted update by a
+    fixed number of refinement iterations — the LU can then be shared
+    by every frequency of a sweep. *)
 
 module Cvec = Scnoise_linalg.Cvec
 module Mat = Scnoise_linalg.Mat
@@ -16,6 +23,12 @@ val make : a:Mat.t -> shift:Cx.t -> h:float -> stepper
 
 val step : stepper -> p:Cvec.t -> k0:Cvec.t -> k1:Cvec.t -> Cvec.t
 
+val step_into :
+  stepper -> p:Cvec.t -> k0:Cvec.t -> k1:Cvec.t -> into:Cvec.t -> unit
+(** Allocation-free {!step} using the stepper's own scratch; [into]
+    may alias [p].  Because of that scratch a single stepper must not
+    be shared across domains. *)
+
 val step_homogeneous : stepper -> Cvec.t -> Cvec.t
 
 val trajectory :
@@ -24,3 +37,64 @@ val trajectory :
 (** [trajectory ~a ~shift ~forcing ~h ~steps p0] integrates from sample 0
     to sample [steps] with the forcing given by its grid samples
     ([forcing i] is [k] at [t = i h]); returns all [steps + 1] states. *)
+
+(** {1 Reusable shifted stepper}
+
+    A classic shifted stepper whose buffers and factorisation are
+    reused across frequencies: {!retune} refills and refactors in
+    place only when the shift changes, producing results bit-identical
+    to a stepper freshly built with {!make} at the same shift.  Used
+    as the allocation-free fallback of the demodulated backend.  Like
+    {!stepper} it carries scratch and must not be shared across
+    domains. *)
+
+type reusable
+
+val make_reusable : a:Mat.t -> h:float -> reusable
+
+val retune : reusable -> omega:float -> unit
+(** Factor the LHS for shift [s = j omega] (no-op when already tuned
+    to this [omega]). *)
+
+val step_reusable_into :
+  reusable -> p:Cvec.t -> k0:Cvec.t -> k1:Cvec.t -> into:Cvec.t -> unit
+(** As {!step_into}; raises [Invalid_argument] before the first
+    {!retune}. *)
+
+(** {1 Demodulated stepper}
+
+    The shifted trapezoid LHS splits as [(I - h/2 A) + j (wh/2) I =
+    C + j beta I] with [C] real and frequency-independent.  [C] is
+    factored once; each step then solves the exact shifted system by
+    the contraction [x <- C^{-1} b - j beta C^{-1} x], which converges
+    at rate [rho = |beta| ||C^{-1}||_1] per iteration.  The iteration
+    count is a deterministic function of the frequency alone
+    ({!demod_iters}), so parallel sweeps stay bit-reproducible. *)
+
+type demod
+
+type demod_work
+(** Three n-vectors of scratch for {!step_demod_into}.  Owned by the
+    caller (one per domain in pooled sweeps): demod steppers are
+    immutable and may be shared freely. *)
+
+val make_demod : a:Mat.t -> h:float -> demod
+(** Factor [C = I - h/2 A] (real LU) and compute the exact
+    [||C^{-1}||_1] that prices the refinement. *)
+
+val demod_work : int -> demod_work
+
+val demod_dim : demod -> int
+
+val demod_iters : demod -> omega:float -> int
+(** Refinement iterations needed at this frequency: [0] at [omega =
+    0], a positive count when the contraction reaches 1e-13 within the
+    iteration budget, and [-1] when it cannot — the caller should use
+    a classic shifted {!stepper} instead. *)
+
+val step_demod_into :
+  demod -> work:demod_work -> omega:float -> iters:int -> p:Cvec.t ->
+  k0:Cvec.t -> k1:Cvec.t -> into:Cvec.t -> unit
+(** One exact shifted-trapezoid step at [omega] using [iters]
+    refinement iterations (from {!demod_iters} at the same [omega]).
+    [into] may alias [p] but not the scratch vectors. *)

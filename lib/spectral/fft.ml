@@ -9,18 +9,23 @@ let next_pow2 n =
 
 let c_calls = Scnoise_obs.Obs.counter "fft_calls"
 
-(* Iterative in-place Cooley-Tukey with bit-reversal permutation;
-   [sign] = -1 forward, +1 inverse (no scaling here). *)
-let fft_in_place sign (a : Cx.t array) =
+(* Iterative in-place Cooley-Tukey with bit-reversal permutation over
+   the flat interleaved buffer; [sign] = -1 forward, +1 inverse (no
+   scaling here).  The butterfly arithmetic mirrors [Cx.( *: )] /
+   [Cx.( +: )] on the unboxed re/im pairs. *)
+let fft_in_place sign (v : Cvec.t) =
   Scnoise_obs.Obs.incr c_calls;
-  let n = Array.length a in
+  let n = Cvec.dim v in
+  let a = Cvec.data v in
   (* bit reversal *)
   let j = ref 0 in
   for i = 0 to n - 2 do
     if i < !j then begin
-      let t = a.(i) in
-      a.(i) <- a.(!j);
-      a.(!j) <- t
+      let tre = a.(2 * i) and tim = a.((2 * i) + 1) in
+      a.(2 * i) <- a.(2 * !j);
+      a.((2 * i) + 1) <- a.((2 * !j) + 1);
+      a.(2 * !j) <- tre;
+      a.((2 * !j) + 1) <- tim
     end;
     let rec carry m =
       if m land !j <> 0 then begin
@@ -36,16 +41,24 @@ let fft_in_place sign (a : Cx.t array) =
   while !len <= n do
     let half = !len / 2 in
     let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
-    let wstep = Cx.cis theta in
+    let wsre = cos theta and wsim = sin theta in
     let i = ref 0 in
     while !i < n do
-      let w = ref Cx.one in
+      let wre = ref 1.0 and wim = ref 0.0 in
       for k = 0 to half - 1 do
-        let u = a.(!i + k) in
-        let v = Cx.( *: ) !w a.(!i + k + half) in
-        a.(!i + k) <- Cx.( +: ) u v;
-        a.(!i + k + half) <- Cx.( -: ) u v;
-        w := Cx.( *: ) !w wstep
+        let iu = 2 * (!i + k) and iv = 2 * (!i + k + half) in
+        let ure = a.(iu) and uim = a.(iu + 1) in
+        let xre = a.(iv) and xim = a.(iv + 1) in
+        let vre = (!wre *. xre) -. (!wim *. xim)
+        and vim = (!wre *. xim) +. (!wim *. xre) in
+        a.(iu) <- ure +. vre;
+        a.(iu + 1) <- uim +. vim;
+        a.(iv) <- ure -. vre;
+        a.(iv + 1) <- uim -. vim;
+        let nre = (!wre *. wsre) -. (!wim *. wsim)
+        and nim = (!wre *. wsim) +. (!wim *. wsre) in
+        wre := nre;
+        wim := nim
       done;
       i := !i + !len
     done;
@@ -53,14 +66,14 @@ let fft_in_place sign (a : Cx.t array) =
   done
 
 let transform x =
-  let n = Array.length x in
+  let n = Cvec.dim x in
   if not (is_pow2 n) then invalid_arg "Fft.transform: length not a power of 2";
   let a = Cvec.copy x in
   fft_in_place (-1) a;
   a
 
 let inverse x =
-  let n = Array.length x in
+  let n = Cvec.dim x in
   if not (is_pow2 n) then invalid_arg "Fft.inverse: length not a power of 2";
   let a = Cvec.copy x in
   fft_in_place 1 a;

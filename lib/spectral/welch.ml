@@ -1,4 +1,5 @@
 module Cx = Scnoise_linalg.Cx
+module Cvec = Scnoise_linalg.Cvec
 
 type window = Rect | Hann
 
@@ -24,7 +25,7 @@ let periodogram ?(window = Hann) ~dt samples =
   (* S(f_k) = |X_k dt|^2 / (wsum2 dt): double-sided density *)
   let psd =
     Array.init nhalf (fun k ->
-        let m = Cx.modulus spec.(k) in
+        let m = Cx.modulus (Cvec.get spec k) in
         m *. m *. dt /. wsum2)
   in
   (freqs, psd)

@@ -176,7 +176,7 @@ let test_cvec () =
   let r = Cvec.real a in
   check_close "real part" 2.0 r.(2);
   let s = Cvec.scale (Cx.make 0.0 1.0) a in
-  check_close "i*(0+1i) = -1" (-1.0) s.(0).Cx.re
+  check_close "i*(0+1i) = -1" (-1.0) (Cvec.get s 0).Cx.re
 
 let test_clu_roundtrip () =
   let n = 5 in

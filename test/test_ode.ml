@@ -170,28 +170,31 @@ let test_ctrapezoid_shift_analytic () =
   let a = mat_of [ [ -.a0 ] ] in
   let h = 1e-4 in
   let st = Ctrapezoid.make ~a ~shift:(Cx.make 0.0 w) ~h in
-  let p = ref [| Cx.one |] in
+  let p = ref (Cvec.of_array [| Cx.one |]) in
   let steps = 10_000 in
   for _ = 1 to steps do
     p := Ctrapezoid.step_homogeneous st !p
   done;
   let t = h *. float_of_int steps in
   let expected = Cx.( *: ) (Cx.re (exp (-.a0 *. t))) (Cx.cis (-.w *. t)) in
-  if Cx.modulus (Cx.( -: ) !p.(0) expected) > 1e-4 then
+  let got = Cvec.get !p 0 in
+  if Cx.modulus (Cx.( -: ) got expected) > 1e-4 then
     Alcotest.failf "shifted decay wrong: got %g%+gi, want %g%+gi"
-      !p.(0).Cx.re !p.(0).Cx.im expected.Cx.re expected.Cx.im
+      got.Cx.re got.Cx.im expected.Cx.re expected.Cx.im
 
 let test_ctrapezoid_trajectory_steady_state () =
   (* dP/dt = (-a - jw)P + k: steady state k/(a + jw) *)
   let a0 = 3.0 and w = 7.0 and k = 2.0 in
   let a = mat_of [ [ -.a0 ] ] in
+  let kvec = Cvec.of_array [| Cx.re k |] in
   let traj =
     Ctrapezoid.trajectory ~a ~shift:(Cx.make 0.0 w)
-      ~forcing:(fun _ -> [| Cx.re k |])
-      ~h:1e-3 ~steps:20_000 [| Cx.zero |]
+      ~forcing:(fun _ -> kvec)
+      ~h:1e-3 ~steps:20_000
+      (Cvec.of_array [| Cx.zero |])
   in
   let expected = Cx.( /: ) (Cx.re k) (Cx.make a0 w) in
-  let last = traj.(20_000).(0) in
+  let last = Cvec.get traj.(20_000) 0 in
   if Cx.modulus (Cx.( -: ) last expected) > 1e-5 then
     Alcotest.fail "complex steady state wrong"
 

@@ -168,19 +168,20 @@ let prop_envelope_conjugate_symmetry =
       let f = 0.61 /. sys.Pwl.period in
       let p_pos = Psd.envelope eng ~f in
       let p_neg = Psd.envelope eng ~f:(-.f) in
+      let module Cvec = Scnoise_linalg.Cvec in
       let ok = ref true in
       Array.iteri
         (fun i pp ->
-          Array.iteri
-            (fun j (z : Scnoise_linalg.Cx.t) ->
-              let w = p_neg.(i).(j) in
-              let d =
-                Scnoise_linalg.Cx.modulus
-                  (Scnoise_linalg.Cx.( -: ) (Scnoise_linalg.Cx.conj z) w)
-              in
-              let scale = 1e-9 *. (1.0 +. Scnoise_linalg.Cx.modulus z) in
-              if d > scale then ok := false)
-            pp)
+          for j = 0 to Cvec.dim pp - 1 do
+            let z = Cvec.get pp j in
+            let w = Cvec.get p_neg.(i) j in
+            let d =
+              Scnoise_linalg.Cx.modulus
+                (Scnoise_linalg.Cx.( -: ) (Scnoise_linalg.Cx.conj z) w)
+            in
+            let scale = 1e-9 *. (1.0 +. Scnoise_linalg.Cx.modulus z) in
+            if d > scale then ok := false
+          done)
         p_pos;
       !ok)
 

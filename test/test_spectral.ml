@@ -14,12 +14,12 @@ let check_close ?(eps = 1e-9) msg expected actual =
 
 (* naive O(n^2) DFT reference *)
 let dft x =
-  let n = Array.length x in
-  Array.init n (fun k ->
+  let n = Cvec.dim x in
+  Cvec.init n (fun k ->
       let acc = ref Cx.zero in
       for j = 0 to n - 1 do
         let ph = -2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
-        acc := Cx.( +: ) !acc (Cx.( *: ) x.(j) (Cx.cis ph))
+        acc := Cx.( +: ) !acc (Cx.( *: ) (Cvec.get x j) (Cx.cis ph))
       done;
       !acc)
 
@@ -44,13 +44,12 @@ let test_fft_roundtrip () =
 
 let test_fft_impulse () =
   let x = Cvec.create 16 in
-  x.(0) <- Cx.one;
+  Cvec.set x 0 Cx.one;
   let y = Fft.transform x in
-  Array.iter
-    (fun (z : Cx.t) ->
-      if Cx.modulus (Cx.( -: ) z Cx.one) > 1e-12 then
-        Alcotest.fail "impulse -> all-ones")
-    y
+  for k = 0 to Cvec.dim y - 1 do
+    if Cx.modulus (Cx.( -: ) (Cvec.get y k) Cx.one) > 1e-12 then
+      Alcotest.fail "impulse -> all-ones"
+  done
 
 let test_fft_sine_bin () =
   let n = 64 in
@@ -60,15 +59,15 @@ let test_fft_sine_bin () =
         cos (2.0 *. Float.pi *. float_of_int (k0 * j) /. float_of_int n))
   in
   let y = Fft.real_transform x in
-  check_close ~eps:1e-9 "peak bin" (float_of_int n /. 2.0) (Cx.modulus y.(k0));
+  check_close ~eps:1e-9 "peak bin" (float_of_int n /. 2.0)
+    (Cx.modulus (Cvec.get y k0));
   check_close ~eps:1e-9 "mirror bin" (float_of_int n /. 2.0)
-    (Cx.modulus y.(n - k0));
+    (Cx.modulus (Cvec.get y (n - k0)));
   (* other bins empty *)
-  Array.iteri
-    (fun k (z : Cx.t) ->
-      if k <> k0 && k <> n - k0 && Cx.modulus z > 1e-9 then
-        Alcotest.failf "leakage in bin %d" k)
-    y
+  for k = 0 to Cvec.dim y - 1 do
+    if k <> k0 && k <> n - k0 && Cx.modulus (Cvec.get y k) > 1e-9 then
+      Alcotest.failf "leakage in bin %d" k
+  done
 
 let test_fft_parseval () =
   let rng = Gaussian.create 13L in
@@ -76,8 +75,11 @@ let test_fft_parseval () =
   let y = Fft.real_transform x in
   let time_energy = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x in
   let freq_energy =
-    Array.fold_left (fun a z -> a +. (Cx.modulus z ** 2.0)) 0.0 y
-    /. float_of_int 256
+    let acc = ref 0.0 in
+    for k = 0 to Cvec.dim y - 1 do
+      acc := !acc +. (Cx.modulus (Cvec.get y k) ** 2.0)
+    done;
+    !acc /. float_of_int 256
   in
   check_close ~eps:1e-9 "parseval" time_energy freq_energy
 
