@@ -25,6 +25,9 @@ module INT = Scnoise_circuits.Sc_integrator
 module Obs = Scnoise_obs.Obs
 module Clock = Scnoise_obs.Clock
 module Export = Scnoise_obs.Export
+module Trace = Scnoise_obs.Trace
+module Bench_diff = Scnoise_obs.Bench_diff
+module Hist = Scnoise_obs.Hist
 module Pool = Scnoise_par.Pool
 
 let header title =
@@ -919,18 +922,87 @@ let exp_par () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* EXP-O1: telemetry overhead (histograms, spans, GC accounting)       *)
+(* ------------------------------------------------------------------ *)
+
+let exp_obs () =
+  header "EXP-O1  telemetry overhead: histogram recording and span capture";
+  (* raw cost of one histogram record *)
+  let h = Obs.histogram "bench.obs_probe_s" in
+  let hc = Obs.histogram ~mode:Hist.Counts "bench.obs_probe_n" in
+  let open Bechamel in
+  let results =
+    time_per_run_ns
+      [
+        Test.make ~name:"hist_record"
+          (Staged.stage (fun () -> Obs.hist_record h 1e-4));
+        Test.make ~name:"hist_record_int"
+          (Staged.stage (fun () -> Obs.hist_record_int hc 3));
+      ]
+  in
+  Printf.printf "hist record: %.1f ns (log), %.1f ns (counts)\n"
+    (find_time results "hist_record")
+    (find_time results "hist_record_int");
+  (* end-to-end: a PSD point with telemetry fully off vs fully on.
+     The always-on histograms (lu.rcond, clu.rcond, ode.demod_iters)
+     are in both runs; the enabled run adds the gated duration
+     histograms, spans and GC accounting. *)
+  let b = LP.build LP.default in
+  let eng = Psd.prepare ~samples_per_phase:128 b.LP.sys ~output:b.LP.output in
+  let freqs = [| 100.0; 1e3; 4e3; 8e3; 16e3 |] in
+  let point_ms () =
+    let reps = 100 in
+    Array.iter (fun f -> ignore (Psd.psd eng ~f)) freqs;
+    let t0 = Clock.now () in
+    for _ = 1 to reps do
+      Array.iter (fun f -> ignore (Psd.psd eng ~f)) freqs
+    done;
+    1000.0 *. Clock.elapsed t0 /. float_of_int (reps * Array.length freqs)
+  in
+  (* best-of-3 per leg: a single pass is at the mercy of scheduling and
+     major-GC phase, and the criterion is the systematic cost, not the
+     worst observed jitter *)
+  let best f = Float.min (f ()) (Float.min (f ()) (f ())) in
+  let was_enabled = Obs.is_enabled () in
+  Obs.disable ();
+  let off = best point_ms in
+  Obs.enable ();
+  let on = best point_ms in
+  if not was_enabled then Obs.disable ();
+  let overhead = 100.0 *. ((on /. off) -. 1.0) in
+  let t = Table.create [ "telemetry"; "psd_point_ms"; "overhead_%" ] in
+  Table.add_row t [ "off (counters+health hists only)";
+                    Printf.sprintf "%.4f" off; "-" ];
+  Table.add_row t [ "on (spans, duration hists, GC)";
+                    Printf.sprintf "%.4f" on;
+                    Printf.sprintf "%+.1f" overhead ];
+  Table.print t;
+  Printf.printf "OBS-SMOKE: point_off_ms=%.4f point_on_ms=%.4f overhead=%+.1f%%\n"
+    off on overhead
+
 let experiments =
   [
     ("f1", exp_f1); ("f2", exp_f2); ("f3", exp_f3); ("f4", exp_f4);
     ("f5", exp_f5); ("f6", exp_f6); ("t1", exp_t1); ("t2", exp_t2);
     ("t3", exp_t3); ("t4", exp_t4); ("t5", exp_t5); ("t6", exp_t6);
-    ("t7", exp_t7); ("kern", exp_kern); ("par", exp_par);
+    ("t7", exp_t7); ("kern", exp_kern); ("par", exp_par); ("obs", exp_obs);
   ]
+
+(* `--trace base.json` for several experiments writes base.f1.json,
+   base.kern.json, ...; a single experiment writes the path verbatim. *)
+let trace_path template name ~single =
+  if single then template
+  else
+    let base = Filename.remove_extension template in
+    let ext = Filename.extension template in
+    Printf.sprintf "%s.%s%s" base name ext
 
 (* Run one experiment with span recording on, print its counter/span
    summary next to the Bechamel numbers, and (when BENCH_METRICS_DIR is
-   set) drop a machine-readable BENCH_<name>.json run record. *)
-let run_instrumented name f =
+   set) drop a machine-readable BENCH_<name>.json run record.  Returns
+   the number of regressions versus `--against DIR` (0 without it). *)
+let run_instrumented ~trace ~against ~single name f =
   Obs.reset ();
   Obs.enable ();
   let ms = wall_ms f in
@@ -939,17 +1011,41 @@ let run_instrumented name f =
   let snap = Obs.snapshot () in
   Printf.printf "\n---- %s observability (%.1f ms wall) ----\n" name ms;
   Export.print_summary snap;
-  match Sys.getenv_opt "BENCH_METRICS_DIR" with
+  (match Sys.getenv_opt "BENCH_METRICS_DIR" with
   | None -> ()
   | Some dir ->
       let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
       Export.write_file path snap;
-      Printf.printf "(wrote %s)\n" path
+      Printf.printf "(wrote %s)\n" path);
+  (match trace with
+  | None -> ()
+  | Some template ->
+      let path = trace_path template name ~single in
+      Trace.write_file path snap;
+      Printf.printf "(wrote trace %s)\n" path);
+  match against with
+  | None -> 0
+  | Some dir -> (
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error msg ->
+          Printf.printf "(no baseline for %s: %s)\n" name msg;
+          0
+      | s ->
+          let baseline = Export.of_json_string s in
+          let report = Bench_diff.diff ~baseline ~current:snap () in
+          Printf.printf "-- vs %s --\n" path;
+          Bench_diff.print report;
+          report.Bench_diff.regressions)
 
 let () =
   (* `--jobs N` / `-j N` may appear anywhere among the experiment names
      and sets the default pool size (same precedence as the CLI flag:
-     beats SCNOISE_JOBS, beats the core count). *)
+     beats SCNOISE_JOBS, beats the core count).  `--trace FILE` writes a
+     Chrome Trace Event timeline per experiment; `--against DIR`
+     compares each experiment's metrics against DIR/BENCH_<name>.json
+     and exits non-zero on regressions. *)
+  let trace = ref None and against = ref None in
   let rec parse names = function
     | [] -> List.rev names
     | ("--jobs" | "-j") :: v :: rest -> (
@@ -960,8 +1056,14 @@ let () =
         | Some _ | None ->
             Printf.eprintf "invalid --jobs value %S\n" v;
             exit 2)
-    | [ ("--jobs" | "-j") ] ->
-        Printf.eprintf "--jobs needs a value\n";
+    | "--trace" :: v :: rest ->
+        trace := Some v;
+        parse names rest
+    | "--against" :: v :: rest ->
+        against := Some v;
+        parse names rest
+    | [ ("--jobs" | "-j" | "--trace" | "--against") ] ->
+        Printf.eprintf "%s needs a value\n" Sys.argv.(Array.length Sys.argv - 1);
         exit 2
     | name :: rest -> parse (name :: names) rest
   in
@@ -970,12 +1072,20 @@ let () =
     | [] -> List.map fst experiments
     | names -> names
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> run_instrumented name f
-      | None ->
-          Printf.eprintf "unknown experiment %S (have: %s)\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+  let single = List.length requested = 1 in
+  let regressions =
+    List.fold_left
+      (fun acc name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+            acc + run_instrumented ~trace:!trace ~against:!against ~single name f
+        | None ->
+            Printf.eprintf "unknown experiment %S (have: %s)\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 1)
+      0 requested
+  in
+  if regressions > 0 then begin
+    Printf.eprintf "bench: %d metric regression(s) vs baseline\n" regressions;
+    exit 1
+  end

@@ -39,6 +39,8 @@ module A_src = Scnoise_analytic.Switched_rc
 module Obs = Scnoise_obs.Obs
 module Export = Scnoise_obs.Export
 module Json = Scnoise_obs.Json
+module Trace = Scnoise_obs.Trace
+module Bench_diff = Scnoise_obs.Bench_diff
 module Pool = Scnoise_par.Pool
 module Check = Scnoise_check.Check
 module Finding = Scnoise_check.Finding
@@ -254,28 +256,45 @@ let setup_term =
 
 let metrics_arg =
   let doc =
-    "Record run metrics (counters and nested wall-time spans) and write \
-     them as JSON to $(docv)."
+    "Record run metrics (counters, histograms and nested wall-time spans) \
+     and write them as JSON to $(docv) ($(b,-) streams to stdout).  Files \
+     are written atomically ($(docv).tmp + rename)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
-(* Run [f] with span recording enabled when a metrics file was requested,
-   then dump the registry snapshot.  The summary table also goes to stderr
-   at info verbosity and above, so `-v --metrics out.json` shows where the
-   time went without opening the file. *)
-let with_obs metrics f =
-  match metrics with
-  | None -> f ()
-  | Some path ->
-      Obs.reset ();
-      Obs.enable ();
-      let code = f () in
-      Obs.disable ();
-      let snap = Obs.snapshot () in
-      Export.write_file path snap;
-      if Logs.level () >= Some Logs.Info then Export.print_summary ~oc:stderr snap;
-      Printf.printf "# metrics: wrote %s\n" path;
-      code
+let trace_arg =
+  let doc =
+    "Record a Chrome Trace Event timeline of the run and write it as JSON \
+     to $(docv) ($(b,-) streams to stdout), loadable in ui.perfetto.dev or \
+     about://tracing.  One track per worker domain of the parallel pool."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+(* Run [f] with span recording enabled when a metrics or trace file was
+   requested, then dump the registry snapshot.  The summary table also
+   goes to stderr at info verbosity and above, so `-v --metrics out.json`
+   shows where the time went without opening the file. *)
+let with_obs metrics trace f =
+  if metrics = None && trace = None then f ()
+  else begin
+    Obs.reset ();
+    Obs.enable ();
+    let code = f () in
+    Obs.disable ();
+    let snap = Obs.snapshot () in
+    Option.iter
+      (fun path ->
+        Export.write_file path snap;
+        if path <> "-" then Printf.printf "# metrics: wrote %s\n" path)
+      metrics;
+    Option.iter
+      (fun path ->
+        Trace.write_file path snap;
+        if path <> "-" then Printf.printf "# trace: wrote %s\n" path)
+      trace;
+    if Logs.level () >= Some Logs.Info then Export.print_summary ~oc:stderr snap;
+    code
+  end
 
 (* ---- common options ---- *)
 
@@ -337,7 +356,8 @@ let with_circuit f name target duty t_over_rc f0 q stages =
 (* ---- list ---- *)
 
 let list_cmd =
-  let run () =
+  let run metrics trace =
+    with_obs metrics trace @@ fun () ->
     let t = Table.create [ "name"; "description" ] in
     Table.add_row t
       [ "switched-rc"; "periodically switched RC (closed form available)" ];
@@ -359,13 +379,16 @@ let list_cmd =
     0
   in
   let doc = "List the bundled evaluation circuits." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ setup_term)
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () metrics trace -> run metrics trace)
+      $ setup_term $ metrics_arg $ trace_arg)
 
 (* ---- check ---- *)
 
 let check_cmd =
-  let run metrics strict json path =
-    with_obs metrics (fun () ->
+  let run metrics trace strict json path =
+    with_obs metrics trace (fun () ->
         match Deck.load_file path with
         | Error msg ->
             if json then
@@ -453,8 +476,10 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const (fun () metrics strict json path -> run metrics strict json path)
-      $ setup_term $ metrics_arg $ strict_arg $ json_arg $ path_arg)
+      const (fun () metrics trace strict json path ->
+          run metrics trace strict json path)
+      $ setup_term $ metrics_arg $ trace_arg $ strict_arg $ json_arg
+      $ path_arg)
 
 (* ---- info ---- *)
 
@@ -486,9 +511,11 @@ let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc)
     Term.(
-      const (fun () -> with_circuit run)
-      $ setup_term $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
-      $ q_arg $ stages_arg)
+      const (fun () metrics trace name target duty r f0 q stages ->
+          with_obs metrics trace (fun () ->
+              with_circuit run name target duty r f0 q stages))
+      $ setup_term $ metrics_arg $ trace_arg $ circuit_arg $ target_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- psd ---- *)
 
@@ -632,18 +659,18 @@ let psd_cmd =
     (Cmd.info "psd" ~doc)
     Term.(
       const
-        (fun () metrics engine fmin fmax points log compare spp seed csv plot
-             name target duty r f0 q stages ->
-          with_obs metrics (fun () ->
+        (fun () metrics trace engine fmin fmax points log compare spp seed csv
+             plot name target duty r f0 q stages ->
+          with_obs metrics trace (fun () ->
               with_circuit
                 (fun picked ->
                   run engine fmin fmax points log compare spp seed csv plot
                     picked)
                 name target duty r f0 q stages))
-      $ setup_term $ metrics_arg $ engine_arg $ fmin_arg $ fmax_arg
-      $ points_arg $ log_arg $ compare_arg $ spp_arg $ seed_arg $ csv_arg
-      $ plot_arg $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
-      $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ trace_arg $ engine_arg $ fmin_arg
+      $ fmax_arg $ points_arg $ log_arg $ compare_arg $ spp_arg $ seed_arg
+      $ csv_arg $ plot_arg $ circuit_arg $ target_arg $ duty_arg $ ratio_arg
+      $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- variance ---- *)
 
@@ -671,12 +698,12 @@ let variance_cmd =
   Cmd.v
     (Cmd.info "variance" ~doc)
     Term.(
-      const (fun () metrics spp name target duty r f0 q stages ->
-          with_obs metrics (fun () ->
+      const (fun () metrics trace spp name target duty r f0 q stages ->
+          with_obs metrics trace (fun () ->
               with_circuit (fun picked -> run spp picked) name target duty r
                 f0 q stages))
-      $ setup_term $ metrics_arg $ spp_arg $ circuit_arg $ target_arg
-      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ trace_arg $ spp_arg $ circuit_arg
+      $ target_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- contrib ---- *)
 
@@ -723,12 +750,12 @@ let contrib_cmd =
   Cmd.v
     (Cmd.info "contrib" ~doc)
     Term.(
-      const (fun () metrics f spp name target duty r f0 q stages ->
-          with_obs metrics (fun () ->
+      const (fun () metrics trace f spp name target duty r f0 q stages ->
+          with_obs metrics trace (fun () ->
               with_circuit (fun picked -> run f spp picked) name target duty r
                 f0 q stages))
-      $ setup_term $ metrics_arg $ f_arg $ spp_arg $ circuit_arg $ target_arg
-      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ trace_arg $ f_arg $ spp_arg $ circuit_arg
+      $ target_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- transfer ---- *)
 
@@ -820,14 +847,15 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc)
     Term.(
       const
-        (fun () metrics fmin fmax points spp k name target duty r f0 q stages ->
-          with_obs metrics (fun () ->
+        (fun () metrics trace fmin fmax points spp k name target duty r f0 q
+             stages ->
+          with_obs metrics trace (fun () ->
               with_circuit
                 (fun picked -> run fmin fmax points spp k picked)
                 name target duty r f0 q stages))
-      $ setup_term $ metrics_arg $ fmin_arg $ fmax_arg $ points_arg $ spp_arg
-      $ krange_arg $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg
-      $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ trace_arg $ fmin_arg $ fmax_arg
+      $ points_arg $ spp_arg $ krange_arg $ circuit_arg $ target_arg
+      $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
 
 (* ---- report ---- *)
 
@@ -854,13 +882,96 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(
-      const (fun () metrics spp fmin fmax name target duty r f0 q stages ->
-          with_obs metrics (fun () ->
+      const (fun () metrics trace spp fmin fmax name target duty r f0 q
+                 stages ->
+          with_obs metrics trace (fun () ->
               with_circuit
                 (fun picked -> run spp fmin fmax picked)
                 name target duty r f0 q stages))
-      $ setup_term $ metrics_arg $ spp_arg $ fmin_arg $ fmax_arg $ circuit_arg
-      $ target_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg $ stages_arg)
+      $ setup_term $ metrics_arg $ trace_arg $ spp_arg $ fmin_arg $ fmax_arg
+      $ circuit_arg $ target_arg $ duty_arg $ ratio_arg $ f0_arg $ q_arg
+      $ stages_arg)
+
+(* ---- bench: regression gate over metrics artifacts ---- *)
+
+let read_metrics path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+      match Export.of_json_string s with
+      | snap -> Ok snap
+      | exception Json.Parse_error msg ->
+          Error (Printf.sprintf "%s: %s" path msg))
+
+let bench_diff_cmd =
+  let run threshold all base_path cur_path =
+    match (read_metrics base_path, read_metrics cur_path) with
+    | Error msg, _ | _, Error msg ->
+        Printf.eprintf "scnoise: %s\n" msg;
+        2
+    | Ok baseline, Ok current ->
+        let report = Bench_diff.diff ~threshold_pct:threshold ~baseline ~current () in
+        Bench_diff.print ~all report;
+        if report.Bench_diff.regressions > 0 then 1 else 0
+  in
+  let threshold_arg =
+    let doc =
+      "Relative regression threshold in percent; a metric only gates when \
+       it also exceeds its absolute noise floor."
+    in
+    Arg.(value & opt float 25.0 & info [ "threshold" ] ~doc ~docv:"PCT")
+  in
+  let all_arg =
+    let doc = "Print every shared metric, not just the changed ones." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let base_arg =
+    let doc = "Baseline metrics JSON (scnoise.metrics/1 or /2)." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"BASELINE")
+  in
+  let cur_arg =
+    let doc = "Current metrics JSON to compare against the baseline." in
+    Arg.(required & pos 1 (some string) None & info [] ~doc ~docv:"CURRENT")
+  in
+  let doc =
+    "Compare two metrics documents (--metrics / bench artifacts) and exit \
+     non-zero when timers, histogram quantiles, span aggregates or \
+     counters regressed beyond the threshold."
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(
+      const (fun () threshold all base cur -> run threshold all base cur)
+      $ setup_term $ threshold_arg $ all_arg $ base_arg $ cur_arg)
+
+let bench_check_trace_cmd =
+  let run paths =
+    List.fold_left
+      (fun code path ->
+        match Trace.validate_file path with
+        | Ok () ->
+            Printf.printf "%s: ok\n" path;
+            code
+        | Error msg ->
+            Printf.eprintf "scnoise: %s: %s\n" path msg;
+            1)
+      0 paths
+  in
+  let paths_arg =
+    let doc = "Trace Event JSON files to validate." in
+    Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"FILE")
+  in
+  let doc =
+    "Validate Chrome Trace Event files emitted by --trace (used by CI to \
+     schema-check uploaded artifacts)."
+  in
+  Cmd.v
+    (Cmd.info "check-trace" ~doc)
+    Term.(const (fun () paths -> run paths) $ setup_term $ paths_arg)
+
+let bench_cmd =
+  let doc = "Performance telemetry utilities (regression diff, trace checks)." in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_diff_cmd; bench_check_trace_cmd ]
 
 (* ---- main ---- *)
 
@@ -881,5 +992,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; check_cmd; info_cmd; psd_cmd; variance_cmd; contrib_cmd;
-            transfer_cmd; report_cmd;
+            transfer_cmd; report_cmd; bench_cmd;
           ]))

@@ -17,6 +17,21 @@ let c_cache_misses = Obs.counter "stepper_cache_misses"
 
 let c_solves = Obs.counter "bvp_solves"
 
+(* Wall time of one periodic-BVP solve; recorded only while telemetry
+   is enabled (same gate as the enclosing span). *)
+let h_solve = Obs.histogram "periodic_bvp.solve_s"
+
+module Clock = Scnoise_obs.Clock
+
+let timed_hist h f =
+  if Obs.is_enabled () then begin
+    let t0 = Clock.now () in
+    let r = f () in
+    Obs.hist_record h (Clock.elapsed t0);
+    r
+  end
+  else f ()
+
 let c_fallback_steps = Obs.counter "bvp_fallback_steps"
 
 (* SCNOISE_REFERENCE_BVP=1 keeps the per-frequency complex-LU stepper
@@ -287,9 +302,11 @@ let close_periodic_into t ~omega traj =
 let solve_into t ~omega ~forcing traj =
   check_traj t traj;
   Obs.with_span ~src "periodic_bvp.solve" (fun () ->
-      Obs.incr c_solves;
-      particular_into t ~omega ~kl:forcing ~kr:(fun i -> forcing (i + 1)) traj;
-      close_periodic_into t ~omega traj)
+      timed_hist h_solve (fun () ->
+          Obs.incr c_solves;
+          particular_into t ~omega ~kl:forcing ~kr:(fun i -> forcing (i + 1))
+            traj;
+          close_periodic_into t ~omega traj))
 
 let solve t ~omega ~forcing =
   let traj = alloc_traj t in

@@ -8,6 +8,13 @@ module Pool = Scnoise_par.Pool
 
 let c_points = Obs.counter "psd_points"
 
+(* Wall time of one frequency point.  Recording is a single atomic add,
+   but the two extra clock reads are only worth paying when telemetry
+   has been asked for, so the hot path gates on [Obs.is_enabled]. *)
+let h_point = Obs.histogram "psd.point_s"
+
+module Clock = Scnoise_obs.Clock
+
 type engine = {
   cov : Covariance.sampled;
   bvp : Periodic_bvp.t;
@@ -83,7 +90,7 @@ let traj_scratch bvp =
   then cell := Periodic_bvp.alloc_traj bvp;
   !cell
 
-let psd e ~f =
+let psd_point e ~f =
   Obs.incr c_points;
   let period = e.cov.Covariance.sys.Pwl.period in
   let times = e.cov.Covariance.times in
@@ -115,6 +122,15 @@ let psd e ~f =
       !acc +. (0.5 *. (values.(i) +. values.(i + 1)) *. (times.(i + 1) -. times.(i)))
   done;
   !acc /. period
+
+let psd e ~f =
+  if Obs.is_enabled () then begin
+    let t0 = Clock.now () in
+    let r = psd_point e ~f in
+    Obs.hist_record h_point (Clock.elapsed t0);
+    r
+  end
+  else psd_point e ~f
 
 let psd_db e ~f = Scnoise_util.Db.of_power (psd e ~f)
 

@@ -14,6 +14,10 @@ let c_solves = Obs.counter "clu_solves"
 
 let c_ill_conditioned = Obs.counter "clu_ill_conditioned"
 
+(* rcond-estimate distribution (min|U_ii| / max|U_ii|), mirroring
+   [Lu.h_rcond] for the complex factorisations driving the BVP solves. *)
+let h_rcond = Obs.histogram "clu.rcond"
+
 let create n =
   if n < 0 then invalid_arg "Clu.create: negative size";
   { n; lu = Array.make (2 * n * n) 0.0; piv = Array.init n (fun i -> i); sign = 1.0 }
@@ -88,7 +92,10 @@ let factor_into t m =
     mn := min !mn u;
     mx := max !mx u
   done;
-  if n > 0 && !mn < 1e-12 *. !mx then Obs.incr c_ill_conditioned
+  if n > 0 then begin
+    Obs.hist_record h_rcond (if !mx > 0.0 then !mn /. !mx else 0.0);
+    if !mn < 1e-12 *. !mx then Obs.incr c_ill_conditioned
+  end
 
 let factor m =
   let t = create (Cmat.rows m) in

@@ -19,6 +19,11 @@ let c_ill_conditioned = Obs.counter "lu_ill_conditioned"
 
 let ill_conditioned_rcond = 1e-12
 
+(* Distribution of the cheap rcond estimate min|U_ii| / max|U_ii|; the
+   log buckets make slow conditioning drift visible long before the
+   1e-12 counter trips.  Always-on (one atomic add per factorisation). *)
+let h_rcond = Obs.histogram "lu.rcond"
+
 let factor m =
   if not (Mat.is_square m) then invalid_arg "Lu.factor: not square";
   Sanitize.check_mat "Lu.factor" m;
@@ -72,8 +77,10 @@ let factor m =
      mn := min !mn u;
      mx := max !mx u
    done;
-   if n > 0 && !mn < ill_conditioned_rcond *. !mx then
-     Obs.incr c_ill_conditioned);
+   if n > 0 then begin
+     Obs.hist_record h_rcond (if !mx > 0.0 then !mn /. !mx else 0.0);
+     if !mn < ill_conditioned_rcond *. !mx then Obs.incr c_ill_conditioned
+   end);
   t
 
 let solve_in_place t x =

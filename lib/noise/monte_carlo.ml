@@ -17,6 +17,22 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let c_trajectories = Obs.counter "mc_trajectories"
 
+(* Wall time of one Monte-Carlo path (warmup + all segments); recorded
+   per pool job, so the histogram captures the straggler spread that a
+   single accumulated timer hides.  Gated on [Obs.is_enabled]. *)
+let h_path = Obs.histogram "mc.path_s"
+
+module Clock = Scnoise_obs.Clock
+
+let timed_path f =
+  if Obs.is_enabled () then begin
+    let t0 = Clock.now () in
+    let r = f () in
+    Obs.hist_record h_path (Clock.elapsed t0);
+    r
+  end
+  else f ()
+
 type estimate = {
   freqs : float array;
   psd : float array;
@@ -149,7 +165,7 @@ let estimate ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   let psd_acc = Array.make nf 0.0 in
   let var_acc, var_count =
     Pool.map_reduce pool ~n:paths
-      ~map:(fun p -> run_path streams.(p))
+      ~map:(fun p -> timed_path (fun () -> run_path streams.(p)))
       ~init:(0.0, 0)
       ~merge:(fun (va, vc) (p_psd, p_va, p_vc) ->
         Array.iteri (fun fi v -> psd_acc.(fi) <- psd_acc.(fi) +. v) p_psd;
@@ -221,7 +237,7 @@ let full_spectrum ?(seed = 1L) ?(samples_per_phase = 64) ?(paths = 8)
   let streams = path_streams (Xoshiro.create seed) paths in
   let acc =
     Pool.map_reduce pool ~n:paths
-      ~map:(fun p -> run_path streams.(p))
+      ~map:(fun p -> timed_path (fun () -> run_path streams.(p)))
       ~init:None
       ~merge:(fun acc (freqs, psd) ->
         match acc with

@@ -1,0 +1,230 @@
+(* Bench regression gate: compare two metrics documents (Export
+   snapshots) and flag metrics that got worse beyond a threshold.
+
+   Every comparable quantity is flattened into a named scalar metric
+   where *higher is worse*:
+
+     timer:<n> mean_s      — accumulated timer total / count
+     timer:<n> kB/call     — minor-heap bytes per [Obs.time] call
+     hist:<n> p50 / p99    — histogram quantiles (bucket resolution)
+     span:<n> mean_ms      — span-forest aggregate mean wall time
+     span:<n> kB/call      — span-forest aggregate allocation per call
+     counter:<n>           — raw counter value (workload shifts: extra
+                             factorizations, fallback steps, cache
+                             misses all surface here)
+
+   A metric regresses when the current value exceeds the baseline by
+   more than [threshold] percent AND by more than the metric's absolute
+   noise floor — wall-clock metrics under a fraction of a millisecond
+   are scheduling noise, not signal.  Metrics present on only one side
+   are reported but never gate (new instrumentation must not fail the
+   build that introduces it). *)
+
+type metric = { m_name : string; m_value : float; m_floor : float }
+
+let floor_s = 5e-4 (* seconds-valued metrics: ignore sub-half-ms deltas *)
+
+let floor_ms = 0.5
+
+let floor_kb = 0.5
+
+let floor_count = 8.0
+
+let of_snapshot (snap : Obs.snapshot) =
+  let timers =
+    List.concat_map
+      (fun (name, (t : Obs.timer_stat)) ->
+        if t.Obs.tm_count = 0 then []
+        else
+          let calls = float_of_int t.Obs.tm_count in
+          {
+            m_name = Printf.sprintf "timer:%s mean_s" name;
+            m_value = t.Obs.tm_total /. calls;
+            m_floor = floor_s;
+          }
+          ::
+          (if t.Obs.tm_minor_words > 0.0 then
+             [
+               {
+                 m_name = Printf.sprintf "timer:%s kB/call" name;
+                 m_value = 8.0 *. t.Obs.tm_minor_words /. calls /. 1000.0;
+                 m_floor = floor_kb;
+               };
+             ]
+           else []))
+      snap.Obs.snap_timers
+  in
+  let hists =
+    List.concat_map
+      (fun (name, h) ->
+        if Hist.total h = 0 then []
+        else
+          let is_time = h.Hist.s_mode = Hist.Log in
+          let floor = if is_time then floor_s else 1.0 in
+          [
+            {
+              m_name = Printf.sprintf "hist:%s p50" name;
+              m_value = Hist.quantile h 0.5;
+              m_floor = floor;
+            };
+            {
+              m_name = Printf.sprintf "hist:%s p99" name;
+              m_value = Hist.quantile h 0.99;
+              m_floor = floor;
+            };
+          ])
+      snap.Obs.snap_hists
+  in
+  let spans =
+    List.concat_map
+      (fun ((name : string), (a : Export.span_agg)) ->
+        let calls = float_of_int a.Export.a_count in
+        {
+          m_name = Printf.sprintf "span:%s mean_ms" name;
+          m_value = 1000.0 *. a.Export.a_total /. calls;
+          m_floor = floor_ms;
+        }
+        ::
+        (if a.Export.a_minor > 0.0 then
+           [
+             {
+               m_name = Printf.sprintf "span:%s kB/call" name;
+               m_value = 8.0 *. a.Export.a_minor /. calls /. 1000.0;
+               m_floor = floor_kb;
+             };
+           ]
+         else []))
+      (Export.span_aggregates snap)
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else
+          Some
+            {
+              m_name = Printf.sprintf "counter:%s" name;
+              m_value = float_of_int v;
+              m_floor = floor_count;
+            })
+      snap.Obs.snap_counters
+  in
+  timers @ hists @ spans @ counters
+
+type verdict = Unchanged | Regression | Improvement
+
+type row = {
+  r_name : string;
+  r_base : float;
+  r_cur : float;
+  r_delta_pct : float;
+  r_verdict : verdict;
+}
+
+type report = {
+  rows : row list; (* metrics present on both sides, sorted by name *)
+  only_base : string list; (* metrics that disappeared *)
+  only_cur : string list; (* metrics new in the current run *)
+  regressions : int;
+  threshold_pct : float;
+}
+
+let judge ~threshold_pct base cur floor =
+  let delta = cur -. base in
+  let rel = if base > 0.0 then 100.0 *. delta /. base else 0.0 in
+  let verdict =
+    if delta > floor && rel > threshold_pct then Regression
+    else if -.delta > floor && -.rel > threshold_pct then Improvement
+    else Unchanged
+  in
+  (rel, verdict)
+
+let diff ?(threshold_pct = 25.0) ~baseline ~current () =
+  let base = of_snapshot baseline and cur = of_snapshot current in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace base_tbl m.m_name m) base;
+  let rows = ref [] and only_cur = ref [] in
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt base_tbl m.m_name with
+      | None -> only_cur := m.m_name :: !only_cur
+      | Some b ->
+          Hashtbl.remove base_tbl m.m_name;
+          let rel, verdict =
+            judge ~threshold_pct b.m_value m.m_value
+              (Float.max b.m_floor m.m_floor)
+          in
+          rows :=
+            {
+              r_name = m.m_name;
+              r_base = b.m_value;
+              r_cur = m.m_value;
+              r_delta_pct = rel;
+              r_verdict = verdict;
+            }
+            :: !rows)
+    cur;
+  let only_base =
+    Hashtbl.fold (fun name _ acc -> name :: acc) base_tbl []
+    |> List.sort compare
+  in
+  let rows =
+    List.sort (fun a b -> compare a.r_name b.r_name) !rows
+  in
+  {
+    rows;
+    only_base;
+    only_cur = List.sort compare !only_cur;
+    regressions =
+      List.length (List.filter (fun r -> r.r_verdict = Regression) rows);
+    threshold_pct;
+  }
+
+(* ---- rendering ---- *)
+
+let verdict_string = function
+  | Unchanged -> "ok"
+  | Regression -> "REGRESSION"
+  | Improvement -> "improved"
+
+let to_table ?(all = false) report =
+  let t =
+    Scnoise_util.Table.create
+      [ "metric"; "baseline"; "current"; "delta_%"; "verdict" ]
+  in
+  List.iter
+    (fun r ->
+      if all || r.r_verdict <> Unchanged then
+        Scnoise_util.Table.add_row t
+          [
+            r.r_name;
+            Printf.sprintf "%.4g" r.r_base;
+            Printf.sprintf "%.4g" r.r_cur;
+            Printf.sprintf "%+.1f" r.r_delta_pct;
+            verdict_string r.r_verdict;
+          ])
+    report.rows;
+  t
+
+let print ?(oc = stdout) ?(all = false) report =
+  let flagged =
+    List.exists (fun r -> r.r_verdict <> Unchanged) report.rows
+  in
+  if all || flagged then begin
+    output_string oc (Scnoise_util.Table.render (to_table ~all report));
+    output_char oc '\n'
+  end
+  else
+    Printf.fprintf oc
+      "all %d shared metrics within %.0f%% of baseline\n"
+      (List.length report.rows) report.threshold_pct;
+  if report.only_base <> [] then
+    Printf.fprintf oc "missing from current run: %s\n"
+      (String.concat ", " report.only_base);
+  if report.only_cur <> [] then
+    Printf.fprintf oc "new in current run (not gated): %s\n"
+      (String.concat ", " report.only_cur);
+  Printf.fprintf oc
+    "bench diff: %d regression(s) beyond %+.0f%% over %d shared metric(s)\n"
+    report.regressions report.threshold_pct (List.length report.rows);
+  flush oc

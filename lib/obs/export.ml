@@ -1,20 +1,61 @@
 (* Exporters for [Obs] snapshots: a machine-readable JSON document (for
    `scnoise ... --metrics FILE` and bench trajectory records) and
-   human-readable summary tables built on [Scnoise_util.Table]. *)
+   human-readable summary tables built on [Scnoise_util.Table].
+
+   Artifacts are meant to be long-lived and diffable: counters, timers
+   and histograms are sorted by name, sibling spans are sorted by name
+   in the JSON (parallel re-homing order is scheduling-dependent), and
+   files are written atomically (FILE.tmp + rename) so a killed run
+   never leaves a truncated document behind. *)
 
 module Table = Scnoise_util.Table
 
-let schema = "scnoise.metrics/1"
+let schema = "scnoise.metrics/2"
+
+(* Still-parsable older documents (pre-histogram, pre-GC-accounting). *)
+let schema_v1 = "scnoise.metrics/1"
 
 (* ---- JSON ---- *)
 
+let sort_by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
 let rec span_to_json (sp : Obs.span) =
   Json.Obj
+    ([
+       ("name", Json.Str sp.Obs.sp_name);
+       ("start_s", Json.Num sp.Obs.sp_start);
+       ("duration_s", Json.Num sp.Obs.sp_duration);
+       ("domain", Json.Num (float_of_int sp.Obs.sp_domain));
+       ("minor_words", Json.Num sp.Obs.sp_minor_words);
+       ("promoted_words", Json.Num sp.Obs.sp_promoted_words);
+     ]
+    @ (match sp.Obs.sp_args with
+      | [] -> []
+      | args ->
+          [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) args)) ])
+    @ [
+        ( "children",
+          Json.List (List.map span_to_json (sort_spans sp.Obs.sp_children)) );
+      ])
+
+(* Stable sibling order for golden files; equal names keep completion
+   order (the sort is stable). *)
+and sort_spans spans =
+  List.stable_sort
+    (fun (a : Obs.span) b -> compare a.Obs.sp_name b.Obs.sp_name)
+    spans
+
+let hist_to_json (h : Hist.snapshot) =
+  Json.Obj
     [
-      ("name", Json.Str sp.Obs.sp_name);
-      ("start_s", Json.Num sp.Obs.sp_start);
-      ("duration_s", Json.Num sp.Obs.sp_duration);
-      ("children", Json.List (List.map span_to_json sp.Obs.sp_children));
+      ("mode", Json.Str (Hist.mode_to_string h.Hist.s_mode));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (i, c) ->
+               Json.List
+                 [ Json.Num (float_of_int i); Json.Num (float_of_int c) ])
+             (Hist.nonzero h)) );
     ]
 
 let to_json (snap : Obs.snapshot) =
@@ -25,19 +66,26 @@ let to_json (snap : Obs.snapshot) =
         Json.Obj
           (List.map
              (fun (name, v) -> (name, Json.Num (float_of_int v)))
-             snap.Obs.snap_counters) );
+             (sort_by_name snap.Obs.snap_counters)) );
       ( "timers",
         Json.Obj
           (List.map
-             (fun (name, total, count) ->
+             (fun (name, (t : Obs.timer_stat)) ->
                ( name,
                  Json.Obj
                    [
-                     ("total_s", Json.Num total);
-                     ("count", Json.Num (float_of_int count));
+                     ("total_s", Json.Num t.Obs.tm_total);
+                     ("count", Json.Num (float_of_int t.Obs.tm_count));
+                     ("minor_words", Json.Num t.Obs.tm_minor_words);
+                     ("promoted_words", Json.Num t.Obs.tm_promoted_words);
                    ] ))
-             snap.Obs.snap_timers) );
-      ("spans", Json.List (List.map span_to_json snap.Obs.snap_spans));
+             (sort_by_name snap.Obs.snap_timers)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) -> (name, hist_to_json h))
+             (sort_by_name snap.Obs.snap_hists)) );
+      ("spans", Json.List (List.map span_to_json (sort_spans snap.Obs.snap_spans)));
     ]
 
 let to_json_string snap = Json.to_string (to_json snap)
@@ -47,45 +95,116 @@ let field name j =
   | Some v -> v
   | None -> raise (Json.Parse_error (Printf.sprintf "missing field %S" name))
 
+let to_int_exn j = int_of_float (Json.to_float_exn j)
+
 let rec span_of_json j =
   {
     Obs.sp_name = Json.to_string_exn (field "name" j);
     sp_start = Json.to_float_exn (field "start_s" j);
     sp_duration = Json.to_float_exn (field "duration_s" j);
+    sp_domain =
+      (match Json.member "domain" j with Some v -> to_int_exn v | None -> 0);
+    sp_minor_words =
+      (match Json.member "minor_words" j with
+      | Some v -> Json.to_float_exn v
+      | None -> 0.0);
+    sp_promoted_words =
+      (match Json.member "promoted_words" j with
+      | Some v -> Json.to_float_exn v
+      | None -> 0.0);
+    sp_args =
+      (match Json.member "args" j with
+      | Some (Json.Obj fields) ->
+          List.map (fun (k, v) -> (k, Json.to_float_exn v)) fields
+      | Some _ -> raise (Json.Parse_error "span args must be an object")
+      | None -> []);
     sp_children = List.map span_of_json (Json.to_list_exn (field "children" j));
+  }
+
+let hist_of_json j =
+  let mode =
+    match Hist.mode_of_string (Json.to_string_exn (field "mode" j)) with
+    | Some m -> m
+    | None -> raise (Json.Parse_error "unknown histogram mode")
+  in
+  let pairs =
+    List.map
+      (fun p ->
+        match Json.to_list_exn p with
+        | [ i; c ] -> (to_int_exn i, to_int_exn c)
+        | _ -> raise (Json.Parse_error "histogram bucket must be [index, count]"))
+      (Json.to_list_exn (field "buckets" j))
+  in
+  try Hist.of_nonzero mode pairs
+  with Invalid_argument msg -> raise (Json.Parse_error msg)
+
+let timer_of_json v =
+  {
+    Obs.tm_total = Json.to_float_exn (field "total_s" v);
+    tm_count = to_int_exn (field "count" v);
+    tm_minor_words =
+      (match Json.member "minor_words" v with
+      | Some x -> Json.to_float_exn x
+      | None -> 0.0);
+    tm_promoted_words =
+      (match Json.member "promoted_words" v with
+      | Some x -> Json.to_float_exn x
+      | None -> 0.0);
   }
 
 (* Inverse of [to_json]; raises [Json.Parse_error] on schema mismatch.
    Round-tripping is exercised by the test suite and is what makes the
-   emitted documents trustworthy as long-lived bench records. *)
+   emitted documents trustworthy as long-lived bench records.  v1
+   documents (no histograms, no GC fields) still parse, so `bench diff`
+   can compare against baselines recorded before this schema. *)
 let of_json j =
   (match Json.member "schema" j with
-  | Some (Json.Str s) when s = schema -> ()
-  | _ -> raise (Json.Parse_error "not a scnoise.metrics/1 document"));
+  | Some (Json.Str s) when s = schema || s = schema_v1 -> ()
+  | _ -> raise (Json.Parse_error "not a scnoise.metrics/1-or-2 document"));
   {
     Obs.snap_counters =
       List.map
-        (fun (name, v) -> (name, int_of_float (Json.to_float_exn v)))
+        (fun (name, v) -> (name, to_int_exn v))
         (Json.to_obj_exn (field "counters" j));
     snap_timers =
       List.map
-        (fun (name, v) ->
-          ( name,
-            Json.to_float_exn (field "total_s" v),
-            int_of_float (Json.to_float_exn (field "count" v)) ))
+        (fun (name, v) -> (name, timer_of_json v))
         (Json.to_obj_exn (field "timers" j));
+    snap_hists =
+      (match Json.member "histograms" j with
+      | None -> []
+      | Some h ->
+          List.map (fun (name, v) -> (name, hist_of_json v)) (Json.to_obj_exn h));
     snap_spans = List.map span_of_json (Json.to_list_exn (field "spans" j));
   }
 
 let of_json_string s = of_json (Json.of_string s)
 
-let write_file path snap =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (to_json_string snap);
-      output_char oc '\n')
+(* ---- atomic file writes ----
+
+   "-" streams to stdout.  Everything else goes through FILE.tmp +
+   rename, so readers (and `bench diff` baselines) only ever observe
+   complete documents, even if the producing run is killed mid-write. *)
+
+let write_string_file path s =
+  if path = "-" then begin
+    output_string stdout s;
+    flush stdout
+  end
+  else begin
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    (try
+       output_string oc s;
+       close_out oc
+     with exn ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise exn);
+    Sys.rename tmp path
+  end
+
+let write_file path snap = write_string_file path (to_json_string snap ^ "\n")
 
 (* ---- human-readable summaries ---- *)
 
@@ -97,38 +216,92 @@ let counter_table (snap : Obs.snapshot) =
     snap.Obs.snap_counters;
   t
 
+let hist_table (snap : Obs.snapshot) =
+  let t =
+    Table.create [ "histogram"; "count"; "p50"; "p90"; "p99"; "max"; "mean" ]
+  in
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.3g" v in
+  List.iter
+    (fun (name, h) ->
+      let n = Hist.total h in
+      if n > 0 then
+        Table.add_row t
+          [
+            name;
+            string_of_int n;
+            cell (Hist.quantile h 0.5);
+            cell (Hist.quantile h 0.9);
+            cell (Hist.quantile h 0.99);
+            cell (Hist.max_value h);
+            cell (Hist.mean h);
+          ])
+    snap.Obs.snap_hists;
+  t
+
 (* Aggregate the span forest by name: call count, inclusive total and
-   mean wall time.  Insertion-ordered so outer phases list first. *)
-let span_table (snap : Obs.snapshot) =
-  let totals : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
-  let order = ref [] in
+   mean wall time, exact p50/p99 over the recorded durations, and
+   minor-heap bytes per call (GC accounting).  Sorted by name so the
+   rendering is stable under parallel scheduling. *)
+type span_agg = {
+  mutable a_total : float;
+  mutable a_count : int;
+  mutable a_minor : float;
+  mutable a_durs : float list;
+}
+
+let span_aggregates (snap : Obs.snapshot) =
+  let totals : (string, span_agg) Hashtbl.t = Hashtbl.create 16 in
   ignore
     (Obs.fold_spans
        (fun () (sp : Obs.span) ->
-         let total, count =
+         let agg =
            match Hashtbl.find_opt totals sp.Obs.sp_name with
-           | Some cell -> cell
+           | Some a -> a
            | None ->
-               let cell = (ref 0.0, ref 0) in
-               Hashtbl.add totals sp.Obs.sp_name cell;
-               order := sp.Obs.sp_name :: !order;
-               cell
+               let a =
+                 { a_total = 0.0; a_count = 0; a_minor = 0.0; a_durs = [] }
+               in
+               Hashtbl.add totals sp.Obs.sp_name a;
+               a
          in
-         total := !total +. sp.Obs.sp_duration;
-         Stdlib.incr count)
+         agg.a_total <- agg.a_total +. sp.Obs.sp_duration;
+         agg.a_count <- agg.a_count + 1;
+         agg.a_minor <- agg.a_minor +. sp.Obs.sp_minor_words;
+         agg.a_durs <- sp.Obs.sp_duration :: agg.a_durs)
        () snap);
-  let t = Table.create [ "span"; "calls"; "total_ms"; "mean_ms" ] in
+  Hashtbl.fold (fun name a acc -> (name, a) :: acc) totals []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Exact quantile over a recorded duration list (nearest-rank). *)
+let exact_quantile durs q =
+  match List.sort compare durs with
+  | [] -> Float.nan
+  | sorted ->
+      let n = List.length sorted in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      List.nth sorted (min (n - 1) (rank - 1))
+
+let span_table (snap : Obs.snapshot) =
+  let t =
+    Table.create
+      [
+        "span"; "calls"; "total_ms"; "mean_ms"; "p50_ms"; "p99_ms"; "kB/call";
+      ]
+  in
   List.iter
-    (fun name ->
-      let total, count = Hashtbl.find totals name in
+    (fun (name, a) ->
+      let calls = float_of_int a.a_count in
       Table.add_row t
         [
           name;
-          string_of_int !count;
-          Printf.sprintf "%.3f" (1000.0 *. !total);
-          Printf.sprintf "%.3f" (1000.0 *. !total /. float_of_int !count);
+          string_of_int a.a_count;
+          Printf.sprintf "%.3f" (1000.0 *. a.a_total);
+          Printf.sprintf "%.3f" (1000.0 *. a.a_total /. calls);
+          Printf.sprintf "%.3f" (1000.0 *. exact_quantile a.a_durs 0.5);
+          Printf.sprintf "%.3f" (1000.0 *. exact_quantile a.a_durs 0.99);
+          Printf.sprintf "%.1f" (8.0 *. a.a_minor /. calls /. 1000.0);
         ])
-    (List.rev !order);
+    (span_aggregates snap);
   t
 
 let print_summary ?(oc = stdout) snap =
@@ -138,6 +311,11 @@ let print_summary ?(oc = stdout) snap =
   if has_counters then begin
     output_string oc "-- counters --\n";
     output_string oc (Table.render (counter_table snap));
+    output_char oc '\n'
+  end;
+  if List.exists (fun (_, h) -> Hist.total h > 0) snap.Obs.snap_hists then begin
+    output_string oc "-- histograms --\n";
+    output_string oc (Table.render (hist_table snap));
     output_char oc '\n'
   end;
   if snap.Obs.snap_spans <> [] then begin

@@ -113,6 +113,38 @@ let literal cur word value =
   end
   else fail cur (Printf.sprintf "expected %s" word)
 
+(* Exactly four hex digits; [int_of_string "0x.."] alone would also
+   accept OCaml underscores. *)
+let parse_hex4 cur =
+  if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+  let hex = String.sub cur.src cur.pos 4 in
+  String.iter
+    (function
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+      | _ -> fail cur (Printf.sprintf "bad \\u escape %S" hex))
+    hex;
+  cur.pos <- cur.pos + 4;
+  int_of_string ("0x" ^ hex)
+
+(* UTF-8 encode a code point (already surrogate-combined). *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string_body cur =
   let buf = Buffer.create 16 in
   let rec go () =
@@ -135,17 +167,27 @@ let parse_string_body cur =
             | 'b' -> Buffer.add_char buf '\b'
             | 'f' -> Buffer.add_char buf '\012'
             | 'u' ->
-                if cur.pos + 4 > String.length cur.src then
-                  fail cur "truncated \\u escape";
-                let hex = String.sub cur.src cur.pos 4 in
-                cur.pos <- cur.pos + 4;
+                let code = parse_hex4 cur in
+                (* Surrogate pairs combine into one supplementary code
+                   point; unpaired surrogates are malformed JSON. *)
                 let code =
-                  try int_of_string ("0x" ^ hex)
-                  with _ -> fail cur "bad \\u escape"
+                  if code >= 0xD800 && code <= 0xDBFF then begin
+                    if
+                      cur.pos + 2 > String.length cur.src
+                      || cur.src.[cur.pos] <> '\\'
+                      || cur.src.[cur.pos + 1] <> 'u'
+                    then fail cur "unpaired high surrogate";
+                    cur.pos <- cur.pos + 2;
+                    let low = parse_hex4 cur in
+                    if low < 0xDC00 || low > 0xDFFF then
+                      fail cur "unpaired high surrogate";
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  end
+                  else if code >= 0xDC00 && code <= 0xDFFF then
+                    fail cur "unpaired low surrogate"
+                  else code
                 in
-                (* ASCII range only; everything the exporter emits *)
-                if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+                add_utf8 buf code
             | c -> fail cur (Printf.sprintf "bad escape \\%c" c));
             go ())
     | Some c ->
@@ -173,7 +215,12 @@ let parse_number cur =
   go ();
   let s = String.sub cur.src start (cur.pos - start) in
   match float_of_string_opt s with
-  | Some x -> Num x
+  | Some x when Float.is_finite x -> Num x
+  | Some _ ->
+      (* e.g. "1e999": grammatical JSON whose value overflows; a metrics
+         document carrying it is corrupt, so refuse rather than read
+         back infinity *)
+      fail cur (Printf.sprintf "number out of range %S" s)
   | None -> fail cur (Printf.sprintf "bad number %S" s)
 
 let rec parse_value cur =

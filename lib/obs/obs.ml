@@ -57,9 +57,64 @@ let counter_value name =
   | Some c -> Atomic.get c.c_value
   | None -> 0
 
+(* ---- histograms ---- *)
+
+(* Latency/value distributions; see {!Hist} for the bucket scheme.
+   Like counters they are always-on (recording is one atomic add), so
+   numeric-health histograms — rcond estimates, refinement iteration
+   counts — accumulate even without [enable]. *)
+let hists : (string, Hist.t) Hashtbl.t = Hashtbl.create 16
+
+let histogram ?(mode = Hist.Log) name =
+  locked (fun () ->
+      match Hashtbl.find_opt hists name with
+      | Some h ->
+          if Hist.mode h <> mode then
+            invalid_arg
+              (Printf.sprintf "Obs.histogram: %S already registered with a \
+                               different mode" name);
+          h
+      | None ->
+          let h = Hist.create ~mode name in
+          Hashtbl.add hists name h;
+          h)
+
+let hist_record = Hist.record
+
+let hist_record_int = Hist.record_int
+
+(* ---- GC accounting ----
+
+   When on (the default), spans and [time]d timers capture the calling
+   domain's [Gc.minor_words] / promoted-words deltas, turning
+   bytes-per-call into always-available telemetry.  The deltas are
+   inclusive (children counted in their parents) and include the
+   instrumentation's own small bookkeeping allocations. *)
+
+let gc_stats = Atomic.make true
+
+(* (minor_words, promoted_words) of the calling domain, without the
+   [Gc.quick_stat] record allocation.  [Gc.minor_words] is used for the
+   minor count because on OCaml 5.1 [Gc.counters] omits allocations in
+   the current minor-heap chunk; promoted words only advance at minor
+   collections, so [Gc.counters] is exact for those. *)
+let gc_counters () =
+  let _minor, promoted, _major = Gc.counters () in
+  (Gc.minor_words (), promoted)
+
+let set_gc_stats b = Atomic.set gc_stats b
+
+let gc_stats_enabled () = Atomic.get gc_stats
+
 (* ---- accumulating timers ---- *)
 
-type timer = { t_name : string; t_total : float ref; t_count : int ref }
+type timer = {
+  t_name : string;
+  t_total : float ref;
+  t_count : int ref;
+  t_minor : float ref; (* minor words allocated inside [time] bodies *)
+  t_promoted : float ref;
+}
 
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 
@@ -68,23 +123,43 @@ let timer name =
       match Hashtbl.find_opt timers name with
       | Some t -> t
       | None ->
-          let t = { t_name = name; t_total = ref 0.0; t_count = ref 0 } in
+          let t =
+            {
+              t_name = name;
+              t_total = ref 0.0;
+              t_count = ref 0;
+              t_minor = ref 0.0;
+              t_promoted = ref 0.0;
+            }
+          in
           Hashtbl.add timers name t;
           t)
 
 let time t f =
+  let gc = Atomic.get gc_stats in
+  let m0, p0 = if gc then gc_counters () else (0.0, 0.0) in
   let t0 = Clock.now () in
   Fun.protect
     ~finally:(fun () ->
       let dt = Clock.elapsed t0 in
+      let dm, dp =
+        if gc then
+          let m1, p1 = gc_counters () in
+          (m1 -. m0, p1 -. p0)
+        else (0.0, 0.0)
+      in
       locked (fun () ->
           t.t_total := !(t.t_total) +. dt;
+          t.t_minor := !(t.t_minor) +. dm;
+          t.t_promoted := !(t.t_promoted) +. dp;
           Stdlib.incr t.t_count))
     f
 
 let timer_total t = locked (fun () -> !(t.t_total))
 
 let timer_count t = locked (fun () -> !(t.t_count))
+
+let timer_minor_words t = locked (fun () -> !(t.t_minor))
 
 (* Record an externally measured duration (seconds) directly. *)
 let timer_record t dt =
@@ -98,12 +173,19 @@ type span = {
   sp_name : string;
   sp_start : float; (* seconds, relative to [reset] *)
   sp_duration : float; (* seconds *)
+  sp_domain : int; (* [Domain.self] that recorded the span *)
+  sp_minor_words : float; (* inclusive GC deltas; 0 with gc_stats off *)
+  sp_promoted_words : float;
+  sp_args : (string * float) list; (* free-form labels, e.g. pool job index *)
   sp_children : span list; (* in completion order *)
 }
 
 type frame = {
   f_name : string;
   f_start : float;
+  f_minor0 : float;
+  f_promoted0 : float;
+  f_args : (string * float) list;
   mutable f_children : span list; (* reversed *)
 }
 
@@ -129,14 +211,19 @@ let disable () = Atomic.set enabled false
 
 let is_enabled () = Atomic.get enabled
 
-let with_span ?(src = obs_src) name f =
+let with_span ?(src = obs_src) ?(args = []) name f =
   if not (Atomic.get enabled) then f ()
   else begin
     let cx = ctx () in
+    let gc = Atomic.get gc_stats in
+    let m0, p0 = if gc then gc_counters () else (0.0, 0.0) in
     let fr =
       {
         f_name = name;
         f_start = Clock.now () -. Atomic.get epoch;
+        f_minor0 = m0;
+        f_promoted0 = p0;
+        f_args = args;
         f_children = [];
       }
     in
@@ -147,11 +234,21 @@ let with_span ?(src = obs_src) name f =
         match cx.stack with
         | top :: rest when top == fr ->
             cx.stack <- rest;
+            let dm, dp =
+              if gc then
+                let m1, p1 = gc_counters () in
+                (m1 -. fr.f_minor0, p1 -. fr.f_promoted0)
+              else (0.0, 0.0)
+            in
             let sp =
               {
                 sp_name = name;
                 sp_start = fr.f_start;
                 sp_duration = stop -. fr.f_start;
+                sp_domain = (Domain.self () :> int);
+                sp_minor_words = dm;
+                sp_promoted_words = dp;
+                sp_args = fr.f_args;
                 sp_children = List.rev fr.f_children;
               }
             in
@@ -196,37 +293,61 @@ let absorb_spans spans =
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ h -> Hist.clear h) hists;
       Hashtbl.iter
         (fun _ t ->
           t.t_total := 0.0;
-          t.t_count := 0)
+          t.t_count := 0;
+          t.t_minor := 0.0;
+          t.t_promoted := 0.0)
         timers);
   let cx = ctx () in
   cx.stack <- [];
   cx.roots <- [];
   Atomic.set epoch (Clock.now ())
 
+type timer_stat = {
+  tm_total : float; (* seconds *)
+  tm_count : int;
+  tm_minor_words : float;
+  tm_promoted_words : float;
+}
+
 type snapshot = {
   snap_counters : (string * int) list; (* sorted by name *)
-  snap_timers : (string * float * int) list; (* name, total s, count *)
+  snap_timers : (string * timer_stat) list; (* sorted by name *)
+  snap_hists : (string * Hist.snapshot) list; (* sorted by name *)
   snap_spans : span list; (* completed root spans, in order *)
 }
 
 let snapshot () =
-  let cs, ts =
+  let cs, ts, hs =
     locked (fun () ->
         ( Hashtbl.fold
             (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
             counters []
           |> List.sort compare,
           Hashtbl.fold
-            (fun name t acc -> (name, !(t.t_total), !(t.t_count)) :: acc)
+            (fun name t acc ->
+              ( name,
+                {
+                  tm_total = !(t.t_total);
+                  tm_count = !(t.t_count);
+                  tm_minor_words = !(t.t_minor);
+                  tm_promoted_words = !(t.t_promoted);
+                } )
+              :: acc)
             timers []
+          |> List.sort compare,
+          Hashtbl.fold
+            (fun name h acc -> (name, Hist.snapshot h) :: acc)
+            hists []
           |> List.sort compare ))
   in
   {
     snap_counters = cs;
     snap_timers = ts;
+    snap_hists = hs;
     snap_spans = List.rev (ctx ()).roots;
   }
 

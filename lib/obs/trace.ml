@@ -1,0 +1,158 @@
+(* Chrome Trace Event Format emitter for [Obs] span forests.
+
+   The output is the JSON-object flavour of the format —
+   {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable in
+   about://tracing and https://ui.perfetto.dev.  Every span becomes a
+   complete ("X") event with microsecond timestamps relative to the
+   [Obs.reset] epoch.  The thread id is the OCaml domain that recorded
+   the span, so a pooled sweep renders as one track per worker domain:
+   pool utilisation, chunk scheduling and serial stragglers are visible
+   at a glance even though the span *tree* re-homes worker spans under
+   the submitting domain's span.  GC accounting and span args (e.g. the
+   pool chunk's first item index) are carried in the event's "args". *)
+
+let cat = "scnoise"
+
+let us s = 1e6 *. s
+
+(* Collect every span in the forest along with the set of domains. *)
+let rec flatten acc (sp : Obs.span) =
+  List.fold_left flatten (sp :: acc) sp.Obs.sp_children
+
+let span_event (sp : Obs.span) =
+  let args =
+    List.map (fun (k, v) -> (k, Json.Num v)) sp.Obs.sp_args
+    @
+    if sp.Obs.sp_minor_words <> 0.0 || sp.Obs.sp_promoted_words <> 0.0 then
+      [
+        ("minor_kb", Json.Num (8.0 *. sp.Obs.sp_minor_words /. 1000.0));
+        ("promoted_kb", Json.Num (8.0 *. sp.Obs.sp_promoted_words /. 1000.0));
+      ]
+    else []
+  in
+  Json.Obj
+    ([
+       ("name", Json.Str sp.Obs.sp_name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str "X");
+       ("ts", Json.Num (us sp.Obs.sp_start));
+       ("dur", Json.Num (us sp.Obs.sp_duration));
+       ("pid", Json.Num 1.0);
+       ("tid", Json.Num (float_of_int sp.Obs.sp_domain));
+     ]
+    @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+
+let thread_meta tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let to_json (snap : Obs.snapshot) =
+  let spans =
+    List.rev (List.fold_left flatten [] snap.Obs.snap_spans)
+  in
+  let tids =
+    List.sort_uniq compare (List.map (fun sp -> sp.Obs.sp_domain) spans)
+  in
+  let metas =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 1.0);
+        ("args", Json.Obj [ ("name", Json.Str "scnoise") ]);
+      ]
+    :: List.map
+         (fun tid -> thread_meta tid (Printf.sprintf "domain %d" tid))
+         tids
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ List.map span_event spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string snap = Json.to_string (to_json snap)
+
+(* Atomic, like the metrics exporter ("-" streams to stdout). *)
+let write_file path snap = Export.write_string_file path (to_string snap ^ "\n")
+
+(* The number of distinct span tracks (domains) in a snapshot — what a
+   trace viewer will render as separate rows. *)
+let n_tracks snap =
+  List.length
+    (List.sort_uniq compare
+       (List.map
+          (fun sp -> sp.Obs.sp_domain)
+          (List.fold_left flatten [] snap.Obs.snap_spans)))
+
+(* ---- minimal Trace-Event schema check ----
+
+   Accepts what about://tracing / Perfetto require of the object
+   format: a "traceEvents" array whose entries carry a string "ph", a
+   string "name", and — for "X" events — finite numeric ts/dur plus
+   pid/tid.  Used by the test suite and by `scnoise bench check-trace`
+   so CI can validate emitted artifacts. *)
+
+let validate_event i ev =
+  let fail msg = Error (Printf.sprintf "event %d: %s" i msg) in
+  match ev with
+  | Json.Obj _ -> (
+      let str name =
+        match Json.member name ev with
+        | Some (Json.Str s) -> Some s
+        | _ -> None
+      in
+      let num name =
+        match Json.member name ev with
+        | Some (Json.Num x) when Float.is_finite x -> Some x
+        | _ -> None
+      in
+      match (str "ph", str "name") with
+      | None, _ -> fail "missing string \"ph\""
+      | _, None -> fail "missing string \"name\""
+      | Some "X", _ ->
+          let required = [ "ts"; "dur"; "pid"; "tid" ] in
+          let missing =
+            List.filter (fun f -> num f = None) required
+          in
+          if missing <> [] then
+            fail
+              (Printf.sprintf "complete event lacks finite numeric %s"
+                 (String.concat ", " missing))
+          else if Option.get (num "dur") < 0.0 then fail "negative duration"
+          else Ok ()
+      | Some "M", _ -> Ok ()
+      | Some ph, _ ->
+          if String.length ph = 1 then Ok ()
+          else fail (Printf.sprintf "unknown phase %S" ph))
+  | _ -> fail "not an object"
+
+let validate j =
+  match Json.member "traceEvents" j with
+  | None -> Error "missing \"traceEvents\""
+  | Some (Json.List events) ->
+      let rec go i = function
+        | [] -> Ok ()
+        | ev :: rest -> (
+            match validate_event i ev with
+            | Ok () -> go (i + 1) rest
+            | Error _ as e -> e)
+      in
+      if events = [] then Error "empty trace (no events)" else go 0 events
+  | Some _ -> Error "\"traceEvents\" is not an array"
+
+let validate_string s =
+  match Json.of_string s with
+  | exception Json.Parse_error msg -> Error ("not JSON: " ^ msg)
+  | j -> validate j
+
+let validate_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> validate_string s

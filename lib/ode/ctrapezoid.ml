@@ -249,14 +249,24 @@ let demod_tol = 1e-13
 
 let demod_max_iters = 12
 
+(* Distribution of refinement iteration counts chosen per frequency
+   point (exact integer buckets); a fallback rejection records as the
+   overflow bucket's predecessor via [demod_max_iters + 1].  Always-on
+   numeric-health telemetry, one atomic add per query. *)
+let h_demod_iters = Obs.histogram ~mode:Scnoise_obs.Hist.Counts "ode.demod_iters"
+
 let demod_iters st ~omega =
   let beta = 0.5 *. st.dh *. abs_float omega in
   let rho = beta *. st.dinv_norm1 in
-  if rho = 0.0 then 0
-  else if rho >= 0.25 then -1
-  else
-    let m = max 1 (int_of_float (ceil (log demod_tol /. log rho))) in
-    if m > demod_max_iters then -1 else m
+  let m =
+    if rho = 0.0 then 0
+    else if rho >= 0.25 then -1
+    else
+      let m = max 1 (int_of_float (ceil (log demod_tol /. log rho))) in
+      if m > demod_max_iters then -1 else m
+  in
+  Obs.hist_record_int h_demod_iters (if m < 0 then demod_max_iters + 1 else m);
+  m
 
 let step_demod_into st ~work ~omega ~iters ~p ~k0 ~k1 ~into =
   Obs.incr c_steps;

@@ -71,13 +71,27 @@ let run_chunks t job ~is_worker =
         Obs.incr c_chunks;
         if is_worker then Obs.incr c_worker_chunks;
         Obs.add c_items (stop - start);
-        (try
-           for i = start to stop - 1 do
-             job.body i
-           done
-         with exn ->
-           let bt = Printexc.get_raw_backtrace () in
-           record_failure t job start exn bt);
+        let run_items () =
+          try
+            for i = start to stop - 1 do
+              job.body i
+            done
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            record_failure t job start exn bt
+        in
+        (* Each claimed chunk becomes a trace span carrying the item
+           range, so a timeline shows exactly how the dynamic scheduler
+           carved the region across domains. *)
+        if Obs.is_enabled () then
+          Obs.with_span "pool.chunk"
+            ~args:
+              [
+                ("first_item", float_of_int start);
+                ("items", float_of_int (stop - start));
+              ]
+            run_items
+        else run_items ();
         claim ()
       end
     end

@@ -139,10 +139,14 @@ let test_worker_spans_rehomed () =
   match snap.Obs.snap_spans with
   | [ outer ] ->
       Alcotest.(check string) "root" "outer" outer.Obs.sp_name;
-      let items =
-        List.filter (fun s -> s.Obs.sp_name = "item") outer.Obs.sp_children
+      (* item spans sit under the per-chunk spans re-homed below outer *)
+      let count name =
+        Obs.fold_span
+          (fun n s -> if s.Obs.sp_name = name then n + 1 else n)
+          0 outer
       in
-      Alcotest.(check int) "all item spans under outer" 16 (List.length items)
+      Alcotest.(check int) "all item spans under outer" 16 (count "item");
+      Alcotest.(check bool) "chunk spans recorded" true (count "pool.chunk" > 0)
   | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans)
 
 (* --- bit-for-bit parity of the parallelised analysis layers --- *)
