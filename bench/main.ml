@@ -1032,8 +1032,13 @@ let run_instrumented ~trace ~against ~single name f =
           Printf.printf "(no baseline for %s: %s)\n" name msg;
           0
       | s ->
-          let baseline = Export.of_json_string s in
-          let report = Bench_diff.diff ~baseline ~current:snap () in
+          (* the baseline may be a full snapshot or a pruned
+             scnoise.bench-metrics document *)
+          let baseline = Bench_diff.metrics_of_json_string s in
+          let report =
+            Bench_diff.diff_metrics ~baseline
+              ~current:(Bench_diff.of_snapshot snap) ()
+          in
           Printf.printf "-- vs %s --\n" path;
           Bench_diff.print report;
           report.Bench_diff.regressions)

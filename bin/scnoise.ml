@@ -44,6 +44,11 @@ module Bench_diff = Scnoise_obs.Bench_diff
 module Pool = Scnoise_par.Pool
 module Check = Scnoise_check.Check
 module Finding = Scnoise_check.Finding
+module Canon = Scnoise_lang.Canon
+module Sp = Scnoise_serve.Protocol
+module Sx = Scnoise_serve.Exec
+module Sv = Scnoise_serve.Server
+module Scl = Scnoise_serve.Client
 
 open Cmdliner
 
@@ -894,12 +899,15 @@ let report_cmd =
 
 (* ---- bench: regression gate over metrics artifacts ---- *)
 
+(* Reads either a full scnoise.metrics snapshot or a pruned
+   scnoise.bench-metrics document, as the flattened metric list the
+   gate actually compares. *)
 let read_metrics path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | s -> (
-      match Export.of_json_string s with
-      | snap -> Ok snap
+      match Bench_diff.metrics_of_json_string s with
+      | metrics -> Ok metrics
       | exception Json.Parse_error msg ->
           Error (Printf.sprintf "%s: %s" path msg))
 
@@ -910,7 +918,9 @@ let bench_diff_cmd =
         Printf.eprintf "scnoise: %s\n" msg;
         2
     | Ok baseline, Ok current ->
-        let report = Bench_diff.diff ~threshold_pct:threshold ~baseline ~current () in
+        let report =
+          Bench_diff.diff_metrics ~threshold_pct:threshold ~baseline ~current ()
+        in
         Bench_diff.print ~all report;
         if report.Bench_diff.regressions > 0 then 1 else 0
   in
@@ -969,9 +979,541 @@ let bench_check_trace_cmd =
     (Cmd.info "check-trace" ~doc)
     Term.(const (fun () paths -> run paths) $ setup_term $ paths_arg)
 
+let bench_prune_cmd =
+  let run in_path out_path =
+    match read_metrics in_path with
+    | Error msg ->
+        Printf.eprintf "scnoise: %s\n" msg;
+        2
+    | Ok metrics ->
+        Export.write_string_file out_path
+          (Bench_diff.metrics_to_json_string metrics ^ "\n");
+        if out_path <> "-" then
+          Printf.printf "# pruned %s -> %s (%d metrics)\n" in_path out_path
+            (List.length metrics);
+        0
+  in
+  let in_arg =
+    let doc = "Metrics JSON to prune (full snapshot or already pruned)." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"IN")
+  in
+  let out_arg =
+    let doc = "Destination ($(b,-) streams to stdout; may equal IN)." in
+    Arg.(required & pos 1 (some string) None & info [] ~doc ~docv:"OUT")
+  in
+  let doc =
+    "Flatten a metrics snapshot down to the scalar metrics the $(b,bench \
+     diff) gate reads (scnoise.bench-metrics/1) — what the committed \
+     baselines store, two orders of magnitude smaller than raw snapshots."
+  in
+  Cmd.v
+    (Cmd.info "prune" ~doc)
+    Term.(const (fun () i o -> run i o) $ setup_term $ in_arg $ out_arg)
+
+(* ---- bench serve: load generator against a forked daemon ---- *)
+
+(* The default workload deck (the bundled switched-RC testbench,
+   embedded so the bench runs from any directory). *)
+let bench_serve_deck =
+  ".param rs = 1k\n.param c  = 1n\n.param T  = {5 * rs * c}\n\n\
+   S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\n\
+   .clock duty period={T} duty=0.5\n.output vout\n\
+   .psd fmin=0 fmax=16k points=33\n.end\n"
+
+let bench_serve_cmd =
+  let run clients requests spp cache_entries deck_path json_path =
+    let deck =
+      match deck_path with
+      | None -> bench_serve_deck
+      | Some "-" -> In_channel.input_all In_channel.stdin
+      | Some path -> In_channel.with_open_text path In_channel.input_all
+    in
+    (* two frequency ranges, exercised singly and as a batch envelope *)
+    let ranges = [| (0.0, 16e3, 33); (100.0, 8e3, 25) |] in
+    let psd_req ?id (fmin, fmax, points) =
+      {
+        Sp.rq_id = id;
+        rq_deck = Some deck;
+        rq_deck_name = "<bench>";
+        rq_op =
+          Sp.Psd
+            {
+              p_fmin = Some fmin;
+              p_fmax = Some fmax;
+              p_points = Some points;
+              p_log = None;
+              p_spp = Some spp;
+              p_engine = None;
+            };
+      }
+    in
+    let sock =
+      let f = Filename.temp_file "scnoise-serve" ".sock" in
+      Sys.remove f;
+      f
+    in
+    (* Fork the daemon BEFORE any pool domain exists in this process:
+       fork only carries the calling thread into the child, so forking
+       after Domain.spawn would leave dead domains' locks behind. *)
+    match Unix.fork () with
+    | 0 ->
+        Logs.set_level None;
+        (try
+           Sv.run
+             (Sv.create
+                ~exec:(Sx.create ~cache_entries ())
+                (Sv.config ~queue_limit:(max 64 (clients * 4))
+                   (Sv.Unix_path sock)))
+         with _ -> ());
+        Stdlib.exit 0
+    | daemon_pid -> (
+        let fail fmt =
+          Printf.ksprintf
+            (fun msg ->
+              (try Unix.kill daemon_pid Sys.sigterm with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] daemon_pid);
+              Printf.eprintf "scnoise: bench serve: %s\n" msg;
+              1)
+            fmt
+        in
+        (* cold baseline: everything a one-shot CLI run does (parse,
+           elaborate, compile, prepare, sweep) on a fresh executor;
+           median of three *)
+        let cold_s =
+          let one () =
+            let t0 = Scnoise_obs.Clock.now () in
+            let reply =
+              Sx.handle (Sx.create ()) (Sp.Single (psd_req ranges.(0)))
+            in
+            if not (Sp.reply_ok reply) then
+              failwith ("cold run failed: " ^ Json.to_string reply);
+            Scnoise_obs.Clock.elapsed t0
+          in
+          let samples = List.sort compare [ one (); one (); one () ] in
+          List.nth samples 1
+        in
+        (* direct sweeps at jobs 1 and 4 — the parity reference *)
+        let direct =
+          match Deck.load_string ~name:"<bench>" deck with
+          | Error msg -> Error msg
+          | Ok loaded -> (
+              let e = loaded.Deck.elab in
+              match
+                Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
+                  e.Elab.clock
+              with
+              | exception Compile.Error msg -> Error msg
+              | sys -> (
+                  match Pwl.observable sys e.Elab.output_node with
+                  | exception Not_found -> Error "output not observable"
+                  | output ->
+                      Ok
+                        (Array.map
+                           (fun (fmin, fmax, points) ->
+                             let freqs = Grid.linspace fmin fmax points in
+                             Array.map
+                               (fun jobs ->
+                                 let pool = Pool.create ~jobs () in
+                                 let eng =
+                                   Psd.prepare ~samples_per_phase:spp ~pool
+                                     sys ~output
+                                 in
+                                 let v = Psd.sweep ~pool eng freqs in
+                                 Pool.shutdown pool;
+                                 v)
+                               [| 1; 4 |])
+                           ranges)))
+        in
+        match direct with
+        | Error msg -> fail "%s" msg
+        | Ok direct -> (
+            match Scl.connect (Sv.Unix_path sock) with
+            | Error msg -> fail "cannot connect to daemon: %s" msg
+            | Ok warm_conn -> (
+                (* warm the cache: one pass over both ranges *)
+                Array.iter
+                  (fun r -> ignore (Scl.rpc warm_conn (Sp.request_to_json (psd_req r))))
+                  ranges;
+                (* concurrent load phase: [clients] domains, each issuing
+                   [requests] single sweeps (alternating ranges) with a
+                   batch envelope every 8th iteration *)
+                let client_loop k () =
+                  match Scl.connect (Sv.Unix_path sock) with
+                  | Error msg -> Error msg
+                  | Ok conn ->
+                      let lats = ref [] in
+                      let ok = ref true in
+                      for i = 0 to requests - 1 do
+                        let r = ranges.((k + i) mod Array.length ranges) in
+                        let t0 = Scnoise_obs.Clock.now () in
+                        let reply =
+                          if i mod 8 = 7 then
+                            Scl.rpc conn
+                              (Sp.batch_to_json
+                                 (Array.to_list
+                                    (Array.map (fun r -> psd_req r) ranges)))
+                          else Scl.rpc conn (Sp.request_to_json (psd_req r))
+                        in
+                        (match reply with
+                        | Ok j when Sp.reply_ok j ->
+                            lats := Scnoise_obs.Clock.elapsed t0 :: !lats
+                        | Ok _ | Error _ -> ok := false)
+                      done;
+                      Scl.close conn;
+                      if !ok then Ok !lats else Error "request failed"
+                in
+                let domains =
+                  List.init clients (fun k -> Domain.spawn (client_loop k))
+                in
+                let results = List.map Domain.join domains in
+                match
+                  List.find_map
+                    (function Error m -> Some m | Ok _ -> None)
+                    results
+                with
+                | Some msg -> fail "client failed: %s" msg
+                | None -> (
+                    let lats =
+                      List.concat_map
+                        (function Ok l -> l | Error _ -> [])
+                        results
+                      |> Array.of_list
+                    in
+                    (* latency probe: one client, all warm. Under the
+                       concurrent load phase a request's latency is
+                       dominated by queue wait behind the other
+                       clients (admission is serial by design), so the
+                       p50/p99 that stand against the cold one-shot
+                       are measured closed-loop from a single client
+                       afterwards; the load-phase samples only feed
+                       the aggregate throughput figure. *)
+                    let probe_lats =
+                      Array.init
+                        (max 32 requests)
+                        (fun i ->
+                          let r = ranges.(i mod Array.length ranges) in
+                          let t0 = Scnoise_obs.Clock.now () in
+                          match
+                            Scl.rpc warm_conn (Sp.request_to_json (psd_req r))
+                          with
+                          | Ok j when Sp.reply_ok j ->
+                              Scnoise_obs.Clock.elapsed t0
+                          | Ok _ | Error _ -> infinity)
+                    in
+                    Array.sort compare probe_lats;
+                    let pct q =
+                      probe_lats.(min
+                                    (Array.length probe_lats - 1)
+                                    (int_of_float
+                                       (q
+                                       *. float_of_int
+                                            (Array.length probe_lats))))
+                    in
+                    (* parity: one served reply per range vs both direct
+                       job counts, compared bit for bit *)
+                    let parity_ok = ref true in
+                    Array.iteri
+                      (fun ri r ->
+                        match Scl.rpc warm_conn (Sp.request_to_json (psd_req r)) with
+                        | Error _ -> parity_ok := false
+                        | Ok reply -> (
+                            match
+                              Option.bind (Sp.reply_result reply)
+                                (fun res ->
+                                  Sp.float_array_field res "psd_V2_per_Hz")
+                            with
+                            | None -> parity_ok := false
+                            | Some served ->
+                                Array.iter
+                                  (fun dir ->
+                                    if
+                                      Array.length served <> Array.length dir
+                                      || not
+                                           (Array.for_all2
+                                              (fun a b ->
+                                                Int64.bits_of_float a
+                                                = Int64.bits_of_float b)
+                                              served dir)
+                                    then parity_ok := false)
+                                  direct.(ri)))
+                      ranges;
+                    (* daemon-side cache counters *)
+                    let hits, misses =
+                      match
+                        Scl.rpc warm_conn
+                          (Sp.request_to_json
+                             {
+                               Sp.rq_id = None;
+                               rq_deck = None;
+                               rq_deck_name = "<request>";
+                               rq_op = Sp.Stats;
+                             })
+                      with
+                      | Ok reply -> (
+                          match Sp.reply_result reply with
+                          | Some res -> (
+                              match
+                                Option.bind (Json.member "cache" res)
+                                  (Json.member "results")
+                              with
+                              | Some rc ->
+                                  let n k =
+                                    match Json.member k rc with
+                                    | Some (Json.Num x) -> int_of_float x
+                                    | _ -> 0
+                                  in
+                                  (n "hits", n "misses")
+                              | None -> (0, 0))
+                          | None -> (0, 0))
+                      | Error _ -> (0, 0)
+                    in
+                    (* graceful remote stop *)
+                    ignore
+                      (Scl.rpc warm_conn
+                         (Sp.request_to_json
+                            {
+                              Sp.rq_id = None;
+                              rq_deck = None;
+                              rq_deck_name = "<request>";
+                              rq_op = Sp.Shutdown;
+                            }));
+                    Scl.close warm_conn;
+                    ignore (Unix.waitpid [] daemon_pid);
+                    let total = Array.length lats in
+                    let sum = Array.fold_left ( +. ) 0.0 lats in
+                    let p50 = pct 0.50 and p99 = pct 0.99 in
+                    let hit_ratio =
+                      if hits + misses = 0 then 0.0
+                      else float_of_int hits /. float_of_int (hits + misses)
+                    in
+                    let speedup = cold_s /. p50 in
+                    (* EXP-S1: service-mode latency table *)
+                    let t = Table.create [ "metric"; "value" ] in
+                    List.iter
+                      (fun (k, v) -> Table.add_row t [ k; v ])
+                      [
+                        ("clients", string_of_int clients);
+                        ("requests (warm, per client)", string_of_int requests);
+                        ( "warm p50 latency, ms (1-client probe)",
+                          Printf.sprintf "%.3f" (1e3 *. p50) );
+                        ( "warm p99 latency, ms (1-client probe)",
+                          Printf.sprintf "%.3f" (1e3 *. p99) );
+                        ( "warm sweeps/s (aggregate)",
+                          Printf.sprintf "%.0f"
+                            (float_of_int total /. (sum /. float_of_int clients)) );
+                        ("cold one-shot, ms", Printf.sprintf "%.1f" (1e3 *. cold_s));
+                        ("speedup cold/warm-p50", Printf.sprintf "%.1fx" speedup);
+                        ("result-cache hit ratio", Printf.sprintf "%.2f" hit_ratio);
+                        ("parity vs direct (jobs 1,4)",
+                         if !parity_ok then "ok" else "MISMATCH");
+                      ];
+                    Printf.printf "# EXP-S1: serve latency, %d clients x %d requests\n"
+                      clients requests;
+                    Table.print t;
+                    Printf.printf
+                      "SERVE-SMOKE: clients=%d requests=%d warm_p50_ms=%.3f \
+                       cold_ms=%.1f speedup=%.1f hit_ratio=%.2f parity=%s\n"
+                      clients total (1e3 *. p50) (1e3 *. cold_s) speedup
+                      hit_ratio
+                      (if !parity_ok then "ok" else "mismatch");
+                    (* machine-readable artifact next to the other bench
+                       metrics (BENCH_METRICS_DIR) or wherever --json says *)
+                    let artifact =
+                      match json_path with
+                      | Some p -> Some p
+                      | None ->
+                          Option.map
+                            (fun d -> Filename.concat d "BENCH_serve.json")
+                            (Sys.getenv_opt "BENCH_METRICS_DIR")
+                    in
+                    Option.iter
+                      (fun path ->
+                        let metrics =
+                          Bench_diff.
+                            [
+                              { m_name = "serve:warm p50_s"; m_value = p50; m_floor = floor_s };
+                              { m_name = "serve:warm p99_s"; m_value = p99; m_floor = floor_s };
+                              { m_name = "serve:cold_s"; m_value = cold_s; m_floor = floor_s };
+                            ]
+                        in
+                        Export.write_string_file path
+                          (Bench_diff.metrics_to_json_string metrics ^ "\n");
+                        Printf.printf "# wrote %s\n" path)
+                      artifact;
+                    if !parity_ok then 0 else 1))))
+  in
+  let clients_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc)
+  in
+  let requests_arg =
+    let doc = "Warm requests per client." in
+    Arg.(value & opt int 32 & info [ "requests" ] ~doc)
+  in
+  let cache_arg =
+    let doc = "Daemon result-cache capacity." in
+    Arg.(value & opt int Sx.default_cache_entries & info [ "cache-entries" ] ~doc)
+  in
+  let deck_arg =
+    let doc =
+      "Workload deck ($(b,-) reads stdin; default: the bundled switched-RC \
+       testbench)."
+    in
+    Arg.(value & opt (some string) None & info [ "deck" ] ~doc ~docv:"DECK")
+  in
+  let json_arg =
+    let doc =
+      "Write the latency metrics as a scnoise.bench-metrics document to \
+       $(docv) (default: BENCH_serve.json under $(b,BENCH_METRICS_DIR) when \
+       set)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let doc =
+    "Load-test a forked `scnoise serve` daemon: concurrent clients replay \
+     PSD sweeps (singles and batch envelopes), reporting warm p50/p99 \
+     latency, throughput, cache hit ratio, the cold/warm speedup and a \
+     bit-level parity check against direct in-process sweeps at 1 and 4 \
+     jobs (exit 1 on mismatch)."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun () clients requests spp cache deck json ->
+          run clients requests spp cache deck json)
+      $ setup_term $ clients_arg $ requests_arg $ spp_arg $ cache_arg
+      $ deck_arg $ json_arg)
+
 let bench_cmd =
-  let doc = "Performance telemetry utilities (regression diff, trace checks)." in
-  Cmd.group (Cmd.info "bench" ~doc) [ bench_diff_cmd; bench_check_trace_cmd ]
+  let doc =
+    "Performance telemetry utilities (regression diff, trace checks, \
+     baseline pruning, daemon load generator)."
+  in
+  Cmd.group (Cmd.info "bench" ~doc)
+    [ bench_diff_cmd; bench_check_trace_cmd; bench_prune_cmd; bench_serve_cmd ]
+
+(* ---- deck utilities ---- *)
+
+let deck_hash_cmd =
+  let run canon path =
+    match Deck.load_file path with
+    | Error msg ->
+        Printf.eprintf "scnoise: %s\n" msg;
+        1
+    | Ok loaded ->
+        if canon then
+          print_string (Canon.canonical loaded.Deck.elab loaded.Deck.ast)
+        else print_endline (Canon.hash_loaded loaded);
+        0
+  in
+  let path_arg =
+    let doc = "Netlist deck ($(b,-) reads stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"DECK")
+  in
+  let canon_arg =
+    let doc = "Print the canonical document being hashed instead of its hash." in
+    Arg.(value & flag & info [ "canon" ] ~doc)
+  in
+  let doc =
+    "Print the canonical content hash of a deck — the serve cache key.  \
+     Comments, layout, parameter order and spelling of evaluated \
+     expressions do not change the hash; any electrical change does.  \
+     Analysis directives are excluded (they are request defaults, not \
+     circuit content)."
+  in
+  Cmd.v
+    (Cmd.info "hash" ~doc)
+    Term.(const (fun () canon path -> run canon path)
+          $ setup_term $ canon_arg $ path_arg)
+
+let deck_cmd =
+  let doc = "Netlist deck utilities (content hashing)." in
+  Cmd.group (Cmd.info "deck" ~doc) [ deck_hash_cmd ]
+
+(* ---- serve: the analysis daemon ---- *)
+
+let serve_cmd =
+  let run metrics trace socket port host cache_entries queue_limit timeout
+      max_frame =
+    with_obs metrics trace @@ fun () ->
+    match (socket, port) with
+    | None, None ->
+        Printf.eprintf
+          "scnoise: serve needs an address: --socket PATH or --port N\n";
+        2
+    | Some _, Some _ ->
+        Printf.eprintf "scnoise: choose one of --socket / --port\n";
+        2
+    | _ -> (
+        let addr =
+          match socket with
+          | Some path -> Sv.Unix_path path
+          | None -> Sv.Tcp (host, Option.get port)
+        in
+        let cfg = Sv.config ~max_frame ~queue_limit ?timeout_s:timeout addr in
+        match Sv.create ~exec:(Sx.create ~cache_entries ()) cfg with
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "scnoise: cannot listen on %s: %s\n"
+              (match addr with
+              | Sv.Unix_path p -> p
+              | Sv.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+              (Unix.error_message e);
+            1
+        | server ->
+            Sv.run server;
+            0)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let port_arg =
+    let doc = "Listen on TCP port $(docv) instead of a Unix socket." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~doc ~docv:"PORT")
+  in
+  let host_arg =
+    let doc = "Bind address for --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc ~docv:"HOST")
+  in
+  let cache_arg =
+    let doc =
+      "Result-cache capacity (the prepared-solver tier holds a quarter of \
+       this)."
+    in
+    Arg.(value & opt int Sx.default_cache_entries
+         & info [ "cache-entries" ] ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission queue bound; beyond it requests get an overload \
+               error immediately." in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Maximum seconds a request may wait in the queue before being \
+       answered with a timeout error."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let max_frame_arg =
+    let doc = "Largest accepted request frame, bytes." in
+    Arg.(value & opt int Sp.default_max_frame & info [ "max-frame" ] ~doc)
+  in
+  let doc =
+    "Run the persistent noise-analysis daemon: length-prefixed JSON \
+     requests (psd, variance, contrib, transfer, check, stats, batch \
+     envelopes) over a Unix or TCP socket, with a content-addressed \
+     result cache and a prepared-solver cache keyed by the canonical deck \
+     hash (see $(b,scnoise deck hash)).  Served results are bit-identical \
+     to direct CLI runs.  SIGINT/SIGTERM drain in-flight work, then exit."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun () metrics trace socket port host cache queue timeout frame ->
+          run metrics trace socket port host cache queue timeout frame)
+      $ setup_term $ metrics_arg $ trace_arg $ socket_arg $ port_arg
+      $ host_arg $ cache_arg $ queue_arg $ timeout_arg $ max_frame_arg)
 
 (* ---- main ---- *)
 
@@ -992,5 +1534,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; check_cmd; info_cmd; psd_cmd; variance_cmd; contrib_cmd;
-            transfer_cmd; report_cmd; bench_cmd;
+            transfer_cmd; report_cmd; bench_cmd; deck_cmd; serve_cmd;
           ]))

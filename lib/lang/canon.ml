@@ -1,0 +1,109 @@
+open Ast
+
+(* The canonical form of a deck: every parameter reference and
+   arithmetic expression replaced by its evaluated value, comments and
+   layout gone (they never reach the AST), [.param]/[.end] dropped, and
+   the clock/temperature/output directives hoisted into a fixed header —
+   so any two decks that elaborate to the same circuit (same elements in
+   the same card order) canonicalise to the same bytes no matter how
+   they were formatted or how their parameters were named and ordered.
+
+   Element cards keep deck order: element order fixes the compiled
+   state ordering, and the content hash must only identify decks whose
+   analysis results are bit-identical.
+
+   Analysis directives (.psd, .contrib, ...) are *excluded*: they are
+   request defaults, not part of the circuit, so decks differing only in
+   directives share prepared solvers in the analysis cache. *)
+
+let version = "scnoise.canon/1"
+
+let num ~params x = { e = Num (Elab.eval_const ~params x); eloc = Loc.dummy }
+
+let num_opt ~params = Option.map (num ~params)
+
+let canon_wave ~params = function
+  | Dc v -> Dc (num ~params v)
+  | Sin { offset; amp; freq; phase_deg } ->
+      Sin
+        {
+          offset = num ~params offset;
+          amp = num ~params amp;
+          freq = num ~params freq;
+          phase_deg = num_opt ~params phase_deg;
+        }
+  | Pwl pts ->
+      Pwl (List.map (fun (t, v) -> (num ~params t, num ~params v)) pts)
+
+let canon_card ~params = function
+  | Resistor r -> Resistor { r with r = num ~params r.r }
+  | Capacitor c -> Capacitor { c with c = num ~params c.c }
+  | Switch s -> Switch { s with r_on = num ~params s.r_on }
+  | Vsource v -> Vsource { v with wave = canon_wave ~params v.wave }
+  | Isource i -> Isource { i with wave = canon_wave ~params i.wave }
+  | Noise n ->
+      let kind =
+        match n.kind with
+        | White { psd } -> White { psd = num ~params psd }
+        | Flicker f ->
+            Flicker
+              {
+                psd_1hz = num ~params f.psd_1hz;
+                fmin = num ~params f.fmin;
+                fmax = num ~params f.fmax;
+                sections_per_decade = num_opt ~params f.sections_per_decade;
+              }
+      in
+      Noise { n with kind }
+  | Opamp_integrator o ->
+      Opamp_integrator
+        { o with ugf = num ~params o.ugf; noise = num_opt ~params o.noise }
+  | Opamp_single_stage o ->
+      Opamp_single_stage
+        {
+          o with
+          gm = num ~params o.gm;
+          rout = num ~params o.rout;
+          cout = num ~params o.cout;
+          noise = num_opt ~params o.noise;
+        }
+
+(* The clock header comes from the *elaborated* schedule, so the three
+   AST spellings (duty / two_phase / phases) canonicalise identically
+   whenever they produce the same phase durations. *)
+let canonical (loaded_elab : Elab.t) (deck : Ast.deck) =
+  let params = loaded_elab.Elab.params in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ".clock phases";
+  Array.iter
+    (fun d ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printer.float_str d))
+    (Scnoise_circuit.Clock.durations loaded_elab.Elab.clock);
+  Buffer.add_char buf '\n';
+  (match loaded_elab.Elab.temperature with
+  | Some t ->
+      Buffer.add_string buf (".temp " ^ Printer.float_str t);
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (".output " ^ loaded_elab.Elab.output_node);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun { s; sloc = _ } ->
+      match s with
+      | Card c ->
+          Buffer.add_string buf (Printer.card (canon_card ~params c));
+          Buffer.add_char buf '\n'
+      | Param _ | Clock _ | Output _ | Temp _ | Analysis _ | End -> ())
+    deck.stmts;
+  Buffer.contents buf
+
+(* MD5 over the canonical bytes (stdlib [Digest]; no external deps).
+   This is the content address of the analysis caches: two decks share a
+   hash iff their compiled systems — and therefore every analysis
+   result — are bit-identical. *)
+let hash elab deck = Digest.to_hex (Digest.string (canonical elab deck))
+
+let hash_loaded (l : Deck.loaded) = hash l.Deck.elab l.Deck.ast

@@ -1,0 +1,23 @@
+(** Canonical form and content hash of an elaborated deck — the cache
+    key of the analysis service.
+
+    The canonical form inlines every evaluated parameter/expression,
+    drops comments, layout, [.param] and [.end], hoists clock /
+    temperature / output into a fixed header and keeps element cards in
+    deck order (card order fixes the compiled state ordering).  Analysis
+    directives are excluded: they are request defaults, not part of the
+    circuit, so decks differing only in directives share one hash (and
+    therefore share prepared solvers). *)
+
+val version : string
+(** First line of every canonical document, [scnoise.canon/1]. *)
+
+val canonical : Elab.t -> Ast.deck -> string
+(** The canonical text.  Requires the deck to be the one [Elab.t] was
+    elaborated from. *)
+
+val hash : Elab.t -> Ast.deck -> string
+(** Hex MD5 of {!canonical} — the content address used by the serve
+    cache and printed by [scnoise deck hash]. *)
+
+val hash_loaded : Deck.loaded -> string

@@ -25,15 +25,21 @@ let load_ast source ast =
 let load_string ~name text =
   Result.bind (parse_string ~name text) (fun (source, ast) -> load_ast source ast)
 
+(* "-" reads the deck from stdin, so scripts and service clients can
+   pipe decks without temp files; diagnostics then quote "<stdin>". *)
 let load_file path =
-  match Source.of_file path with
-  | exception Sys_error msg -> Error msg
-  | source -> (
-      match Obs.with_span "lang.parse" (fun () -> Parser.parse source) with
-      | ast -> load_ast source ast
-      | exception (Diag.Error _ as e) -> render_error source e)
+  if path = "-" then
+    load_string ~name:"<stdin>" (In_channel.input_all In_channel.stdin)
+  else
+    match Source.of_file path with
+    | exception Sys_error msg -> Error msg
+    | source -> (
+        match Obs.with_span "lang.parse" (fun () -> Parser.parse source) with
+        | ast -> load_ast source ast
+        | exception (Diag.Error _ as e) -> render_error source e)
 
 let looks_like_path name =
-  Filename.check_suffix name ".scn"
+  name = "-"
+  || Filename.check_suffix name ".scn"
   || String.contains name '/'
   || Sys.file_exists name

@@ -17,9 +17,10 @@ val parse_string : name:string -> string -> (Source.t * Ast.deck, string) result
 val load_string : name:string -> string -> (loaded, string) result
 
 val load_file : string -> (loaded, string) result
-(** [Error] also covers unreadable files ([Sys_error]). *)
+(** [Error] also covers unreadable files ([Sys_error]).  The path ["-"]
+    reads the deck from standard input (diagnostics quote [<stdin>]). *)
 
 val looks_like_path : string -> bool
 (** Heuristic used by the CLI to route an argument to the deck loader
-    rather than the built-in circuit registry: a [.scn] suffix, a path
-    separator, or an existing file. *)
+    rather than the built-in circuit registry: ["-"] (stdin), a [.scn]
+    suffix, a path separator, or an existing file. *)

@@ -82,6 +82,14 @@ let rec eval env x =
       | ("min" | "max" | "pow"), _ -> arity 2 nan
       | _ -> Diag.error x.eloc "unknown function %S" f)
 
+(* Re-evaluate an expression of an already-elaborated deck against its
+   final parameter environment (no used-tracking, no duplicates — the
+   elaborator rejects redefinition).  Powers the canonical printer. *)
+let eval_const ~params x =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace env k (v, ref true)) params;
+  eval env x
+
 let eval_int env x what =
   let v = eval env x in
   let i = int_of_float v in

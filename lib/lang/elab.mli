@@ -53,3 +53,9 @@ type t = {
 
 val elaborate : Ast.deck -> t
 (** Raises {!Diag.Error}. *)
+
+val eval_const : params:(string * float) list -> Ast.expr -> float
+(** Evaluate an expression of an {e already-elaborated} deck against its
+    evaluated [params] (see {!t}'s [params] field).  Same semantics as
+    elaboration-time evaluation; raises {!Diag.Error} only on
+    expressions the elaborator would itself have rejected. *)

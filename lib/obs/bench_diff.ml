@@ -111,6 +111,56 @@ let of_snapshot (snap : Obs.snapshot) =
   in
   timers @ hists @ spans @ counters
 
+(* ---- pruned baseline documents ----
+
+   A full Export snapshot carries every histogram bucket and span tree
+   — tens of thousands of lines of which the gate reads a few dozen
+   flattened metrics.  The pruned document stores exactly the flattened
+   metric list (`scnoise bench prune` converts committed baselines), so
+   a baseline diff reads the same numbers from a file two orders of
+   magnitude smaller.  Readers accept both formats. *)
+
+let schema = "scnoise.bench-metrics/1"
+
+let metrics_to_json metrics =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "metrics",
+        Json.List
+          (List.map
+             (fun m ->
+               Json.Obj
+                 [
+                   ("name", Json.Str m.m_name);
+                   ("value", Json.Num m.m_value);
+                   ("floor", Json.Num m.m_floor);
+                 ])
+             metrics) );
+    ]
+
+let metrics_to_json_string metrics = Json.to_string (metrics_to_json metrics)
+
+let metric_of_json j =
+  match
+    (Json.member "name" j, Json.member "value" j, Json.member "floor" j)
+  with
+  | Some (Json.Str name), Some (Json.Num value), Some (Json.Num floor) ->
+      { m_name = name; m_value = value; m_floor = floor }
+  | _ -> raise (Json.Parse_error "bench metric needs name/value/floor fields")
+
+(* Accepts a pruned scnoise.bench-metrics/1 document or any full
+   scnoise.metrics snapshot (flattened on the fly). *)
+let metrics_of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> (
+      match Json.member "metrics" j with
+      | Some (Json.List items) -> List.map metric_of_json items
+      | _ -> raise (Json.Parse_error "bench metrics document has no metrics"))
+  | _ -> of_snapshot (Export.of_json j)
+
+let metrics_of_json_string s = metrics_of_json (Json.of_string s)
+
 type verdict = Unchanged | Regression | Improvement
 
 type row = {
@@ -139,8 +189,7 @@ let judge ~threshold_pct base cur floor =
   in
   (rel, verdict)
 
-let diff ?(threshold_pct = 25.0) ~baseline ~current () =
-  let base = of_snapshot baseline and cur = of_snapshot current in
+let diff_metrics ?(threshold_pct = 25.0) ~baseline:base ~current:cur () =
   let base_tbl = Hashtbl.create 64 in
   List.iter (fun m -> Hashtbl.replace base_tbl m.m_name m) base;
   let rows = ref [] and only_cur = ref [] in
@@ -179,6 +228,10 @@ let diff ?(threshold_pct = 25.0) ~baseline ~current () =
       List.length (List.filter (fun r -> r.r_verdict = Regression) rows);
     threshold_pct;
   }
+
+let diff ?threshold_pct ~baseline ~current () =
+  diff_metrics ?threshold_pct ~baseline:(of_snapshot baseline)
+    ~current:(of_snapshot current) ()
 
 (* ---- rendering ---- *)
 

@@ -1,0 +1,109 @@
+(* Bounded LRU cache used by both serve tiers (results and prepared
+   solvers).
+
+   Capacities are small (tens of entries: each prepared solver pins a
+   sampled covariance trace plus per-phase LU factors), so eviction does
+   a linear scan for the oldest access tick instead of maintaining an
+   intrusive list.  Probes bump a logical clock; a mutex makes the cache
+   safe to share between the server loop and direct library users
+   (tests drive {!Exec} from several domains).
+
+   Hits/misses/evictions are mirrored into [Obs] counters
+   ([serve.cache.<name>.hit] etc.) for the metrics artifacts, and kept
+   as per-instance fields for the daemon's [stats] reply (the registry
+   counters are process-global, so a fresh cache must not inherit the
+   counts of a previous instance). *)
+
+module Obs = Scnoise_obs.Obs
+
+type 'a slot = { value : 'a; mutable tick : int }
+
+type 'a t = {
+  name : string;
+  cap : int;
+  mutex : Mutex.t;
+  table : (string, 'a slot) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  c_hit : Obs.counter;
+  c_miss : Obs.counter;
+  c_evict : Obs.counter;
+}
+
+let create ~name ~cap =
+  if cap < 1 then invalid_arg "Cache.create: cap must be >= 1";
+  {
+    name;
+    cap;
+    mutex = Mutex.create ();
+    table = Hashtbl.create (2 * cap);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    c_hit = Obs.counter (Printf.sprintf "serve.cache.%s.hit" name);
+    c_miss = Obs.counter (Printf.sprintf "serve.cache.%s.miss" name);
+    c_evict = Obs.counter (Printf.sprintf "serve.cache.%s.evict" name);
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some slot ->
+          t.clock <- t.clock + 1;
+          slot.tick <- t.clock;
+          t.hits <- t.hits + 1;
+          Obs.incr t.c_hit;
+          Some slot.value
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.incr t.c_miss;
+          None)
+
+let evict_oldest_locked t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !oldest with
+      | Some (_, best) when best <= slot.tick -> ()
+      | _ -> oldest := Some (key, slot.tick))
+    t.table;
+  match !oldest with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      Obs.incr t.c_evict
+  | None -> ()
+
+let put t key value =
+  locked t (fun () ->
+      t.clock <- t.clock + 1;
+      (match Hashtbl.find_opt t.table key with
+      | Some _ -> Hashtbl.remove t.table key
+      | None -> ());
+      if Hashtbl.length t.table >= t.cap then evict_oldest_locked t;
+      Hashtbl.replace t.table key { value; tick = t.clock })
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let cap t = t.cap
+
+let name t = t.name
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.cap;
+      })

@@ -1,0 +1,35 @@
+(** Bounded, mutex-guarded LRU cache for the serve tiers.
+
+    Small capacities by design (prepared solvers pin covariance traces
+    and LU factors), so eviction is a linear scan for the
+    least-recently-used entry.  Hit/miss/eviction counts feed both the
+    [Obs] registry ([serve.cache.<name>.*] counters) and the daemon's
+    [stats] reply. *)
+
+type 'a t
+
+val create : name:string -> cap:int -> 'a t
+(** Raises [Invalid_argument] when [cap < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Probe; refreshes recency on hit. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert (or replace), evicting the least-recently-used entry when
+    the cache is full. *)
+
+val length : 'a t -> int
+
+val cap : 'a t -> int
+
+val name : 'a t -> string
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val stats : 'a t -> stats

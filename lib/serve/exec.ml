@@ -1,0 +1,503 @@
+(* Request execution with the two-tier content-addressed cache.
+
+   Tier 1 maps (deck hash, op, fully-resolved parameters) to the reply
+   [result] JSON: a repeated request costs one parse + elaborate + hash
+   and no numerics at all.
+
+   Tier 2 maps the deck hash to the prepared solver state: the compiled
+   PWL system, the observability vector, and — per samples-per-phase
+   setting — the prepared PSD / transfer engines (sampled periodic
+   covariance, monodromy, per-phase discretisations).  A warm request
+   that misses tier 1 skips straight to the frequency loop, which is
+   the part that the PR-4 domain pool parallelises.
+
+   Every numeric path calls exactly the library entry points the CLI
+   calls, with the same argument resolution (request parameter beats
+   deck directive beats builtin default), so served values are
+   bit-identical to direct `scnoise` runs — the parity property the
+   tests and `scnoise bench serve` assert.
+
+   Replies never raise: failures become structured error replies with
+   the stable codes documented in {!Protocol}. *)
+
+module Json = Scnoise_obs.Json
+module Obs = Scnoise_obs.Obs
+module Clock = Scnoise_obs.Clock
+module Deck = Scnoise_lang.Deck
+module Elab = Scnoise_lang.Elab
+module Canon = Scnoise_lang.Canon
+module Diag = Scnoise_lang.Diag
+module Check = Scnoise_check.Check
+module Finding = Scnoise_check.Finding
+module Pwl = Scnoise_circuit.Pwl
+module Compile = Scnoise_circuit.Compile
+module Psd = Scnoise_core.Psd
+module Covariance = Scnoise_core.Covariance
+module Contrib = Scnoise_core.Contrib
+module Transfer = Scnoise_core.Transfer
+module Grid = Scnoise_util.Grid
+module Pool = Scnoise_par.Pool
+module P = Protocol
+
+let c_requests = Obs.counter "serve.requests"
+
+let c_errors = Obs.counter "serve.errors"
+
+let c_batches = Obs.counter "serve.batches"
+
+let h_request = Obs.histogram "serve.request_s"
+
+exception Err of string * string
+
+let err code fmt = Printf.ksprintf (fun m -> raise (Err (code, m))) fmt
+
+(* Tier-2 entry: everything frequency-independent about one circuit.
+   The engine alists are tiny (one entry per distinct spp seen) and are
+   only mutated under the executor mutex. *)
+type prepared = {
+  pr_sys : Pwl.t;
+  pr_output : Scnoise_linalg.Vec.t;
+  pr_directives : Elab.analysis list;
+  pr_stable : bool;
+  mutable pr_psd : (int * Psd.engine) list;
+  mutable pr_transfer : (int * Transfer.engine) list;
+}
+
+type t = {
+  results : Json.t Cache.t;
+  solvers : prepared Cache.t;
+  mutex : Mutex.t;
+  started : float;
+  mutable served : int;
+  mutable failed : int;
+  stop : bool Atomic.t;
+}
+
+let default_cache_entries = 32
+
+let create ?(cache_entries = default_cache_entries) () =
+  {
+    results = Cache.create ~name:"results" ~cap:cache_entries;
+    solvers = Cache.create ~name:"prepared" ~cap:(max 1 (cache_entries / 4));
+    mutex = Mutex.create ();
+    started = Clock.now ();
+    served = 0;
+    failed = 0;
+    stop = Atomic.make false;
+  }
+
+let stopping t = Atomic.get t.stop
+
+let request_stop t = Atomic.set t.stop true
+
+(* ---- deck pipeline (mirrors the CLI's pick_deck) ---- *)
+
+let load_deck ~name text =
+  match Deck.load_string ~name text with
+  | Error msg -> raise (Err ("deck", msg))
+  | Ok loaded -> loaded
+
+let erc_gate (loaded : Deck.loaded) =
+  let errs =
+    List.filter
+      (fun f -> f.Finding.severity = Finding.Error)
+      (Check.check_elab loaded.Deck.elab)
+  in
+  match errs with
+  | [] -> ()
+  | errs ->
+      raise
+        (Err
+           ( "erc",
+             String.concat "\n"
+               (List.map (Finding.render ~source:loaded.Deck.source) errs) ))
+
+(* Compile (or fetch) the tier-2 entry.  The ERC gate runs on every
+   request — it is structural and cheap — so a cached circuit never
+   bypasses the checks a direct CLI run would perform. *)
+let prepared_entry t ~name (loaded : Deck.loaded) hash =
+  erc_gate loaded;
+  match Cache.find t.solvers hash with
+  | Some p -> p
+  | None ->
+      let e = loaded.Deck.elab in
+      let sys =
+        match
+          Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
+            e.Elab.clock
+        with
+        | exception Compile.Error msg -> err "compile" "%s: %s" name msg
+        | sys -> sys
+      in
+      let output =
+        match Pwl.observable sys e.Elab.output_node with
+        | exception Not_found ->
+            raise
+              (Err
+                 ( "output",
+                   Diag.render loaded.Deck.source e.Elab.output_loc
+                     (Printf.sprintf
+                        "output node %S is not an observable state (it is \
+                         resistive or source-driven)"
+                        e.Elab.output_node) ))
+        | v -> v
+      in
+      let p =
+        {
+          pr_sys = sys;
+          pr_output = output;
+          pr_directives = List.map fst e.Elab.analyses;
+          pr_stable = Pwl.is_stable sys;
+          pr_psd = [];
+          pr_transfer = [];
+        }
+      in
+      Cache.put t.solvers hash p;
+      p
+
+(* [true] when the engine already existed (the request skipped straight
+   to the frequency loop). *)
+let psd_engine p spp =
+  match List.assoc_opt spp p.pr_psd with
+  | Some e -> (e, true)
+  | None ->
+      let e = Psd.prepare ~samples_per_phase:spp p.pr_sys ~output:p.pr_output in
+      p.pr_psd <- (spp, e) :: p.pr_psd;
+      (e, false)
+
+let transfer_engine p spp =
+  match List.assoc_opt spp p.pr_transfer with
+  | Some e -> (e, true)
+  | None ->
+      let e =
+        Transfer.prepare ~samples_per_phase:spp p.pr_sys ~output:p.pr_output
+      in
+      p.pr_transfer <- (spp, e) :: p.pr_transfer;
+      (e, false)
+
+let require_stable p =
+  if not p.pr_stable then
+    err "unstable" "circuit is not stable; no steady-state noise"
+
+(* request parameter beats deck directive beats builtin default — the
+   CLI's resolution rule, verbatim *)
+let resolve cli directive default =
+  match cli with Some v -> v | None -> Option.value directive ~default
+
+let fstr x = Printf.sprintf "%.17g" x
+
+let result_key hash op params = String.concat "\x00" (hash :: op :: params)
+
+let floats xs = Json.List (Array.to_list (Array.map (fun x -> Json.Num x) xs))
+
+let level ~prepared = if prepared then "prepared" else "cold"
+
+(* ---- analysis ops ----
+
+   Each handler returns [(result, cache_level)] and takes the parsed
+   request parameters.  [cached] consults tier 1 first and stores the
+   freshly computed result on a miss. *)
+
+let cached t key compute =
+  match Cache.find t.results key with
+  | Some r -> (r, "result")
+  | None ->
+      let r, lvl = compute () in
+      Cache.put t.results key r;
+      (r, lvl)
+
+let run_psd t p hash (q : P.psd_params) =
+  let dfmin, dfmax, dpoints, dlog, dengine =
+    match
+      List.find_map
+        (function
+          | Elab.Psd { fmin; fmax; points; log; engine } ->
+              Some (fmin, fmax, points, log, engine)
+          | _ -> None)
+        p.pr_directives
+    with
+    | Some d -> d
+    | None -> (None, None, None, false, None)
+  in
+  let engine = resolve q.P.p_engine dengine "mft" in
+  if engine <> "mft" then
+    err "engine" "engine %S is not served (the daemon caches prepared MFT \
+                  solvers; run `scnoise psd --engine %s` directly)" engine
+      engine;
+  let fmin = resolve q.P.p_fmin dfmin 0.0 in
+  let fmax = resolve q.P.p_fmax dfmax 16e3 in
+  let points = resolve q.P.p_points dpoints 33 in
+  let log = Option.value q.P.p_log ~default:false || dlog in
+  let spp = Option.value q.P.p_spp ~default:96 in
+  let key =
+    result_key hash "psd"
+      [ fstr fmin; fstr fmax; string_of_int points; string_of_bool log;
+        string_of_int spp ]
+  in
+  cached t key (fun () ->
+      require_stable p;
+      let freqs =
+        if log then Grid.logspace (max fmin 1e-3) fmax points
+        else Grid.linspace fmin fmax points
+      in
+      let eng, prepared = psd_engine p spp in
+      let values = Psd.sweep eng freqs in
+      ( Json.Obj
+          [ ("freqs", floats freqs); ("psd_V2_per_Hz", floats values) ],
+        level ~prepared ))
+
+let run_variance t p hash spp =
+  let spp = Option.value spp ~default:96 in
+  let key = result_key hash "variance" [ string_of_int spp ] in
+  cached t key (fun () ->
+      require_stable p;
+      (* the PSD engine's sampled covariance IS the CLI's
+         [Covariance.sample ~samples_per_phase:spp sys] — same call,
+         same defaults — so reusing it keeps variance bit-identical
+         while sharing tier-2 state with psd requests *)
+      let eng, prepared = psd_engine p spp in
+      let cov = Psd.covariance eng in
+      let vb = Covariance.variance_at_boundary cov p.pr_output in
+      let va = Covariance.average_variance cov p.pr_output in
+      ( Json.Obj
+          [
+            ("boundary_V2", Json.Num vb);
+            ("average_V2", Json.Num va);
+            ("closure_error", Json.Num (Covariance.closure_error cov));
+          ],
+        level ~prepared ))
+
+let run_contrib t p hash (f : float option) spp =
+  let df =
+    List.find_map
+      (function Elab.Contrib { f } -> f | _ -> None)
+      p.pr_directives
+  in
+  let f = resolve f df 1e3 in
+  let spp = Option.value spp ~default:96 in
+  let key = result_key hash "contrib" [ fstr f; string_of_int spp ] in
+  cached t key (fun () ->
+      require_stable p;
+      (* per-source PSDs restrict the noise inputs, so there is no
+         shared solver to reuse: contrib is cold unless tier 1 hits *)
+      let parts =
+        Contrib.per_source_psd ~samples_per_phase:spp p.pr_sys
+          ~output:p.pr_output ~f
+      in
+      let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 parts in
+      ( Json.Obj
+          [
+            ("f_Hz", Json.Num f);
+            ( "sources",
+              Json.List
+                (List.map
+                   (fun (label, s) ->
+                     Json.Obj
+                       [
+                         ("name", Json.Str label);
+                         ("psd_V2_per_Hz", Json.Num s);
+                       ])
+                   parts) );
+            ("total_V2_per_Hz", Json.Num total);
+          ],
+        "cold" ))
+
+let run_transfer t p hash (q : P.transfer_params) =
+  let dfmin, dfmax, dpoints, dk =
+    match
+      List.find_map
+        (function
+          | Elab.Transfer { fmin; fmax; points; k } ->
+              Some (fmin, fmax, points, k)
+          | _ -> None)
+        p.pr_directives
+    with
+    | Some d -> d
+    | None -> (None, None, None, None)
+  in
+  let fmin = resolve q.P.t_fmin dfmin 1.0 in
+  let fmax = resolve q.P.t_fmax dfmax 2e3 in
+  let points = resolve q.P.t_points dpoints 21 in
+  let k_range = resolve q.P.t_k dk 0 in
+  let spp = Option.value q.P.t_spp ~default:96 in
+  if Array.length p.pr_sys.Pwl.inputs = 0 then
+    err "inputs" "circuit has no signal inputs";
+  let key =
+    result_key hash "transfer"
+      [ fstr fmin; fstr fmax; string_of_int points; string_of_int k_range;
+        string_of_int spp ]
+  in
+  cached t key (fun () ->
+      let eng, prepared = transfer_engine p spp in
+      let freqs = Grid.linspace fmin fmax points in
+      let hs =
+        Array.map (fun f -> Transfer.harmonics eng ~input:0 ~f ~k_range) freqs
+      in
+      let h0_re = Array.map (fun h -> h.(k_range).Scnoise_linalg.Cx.re) hs in
+      let h0_im = Array.map (fun h -> h.(k_range).Scnoise_linalg.Cx.im) hs in
+      let side =
+        if k_range = 0 then []
+        else
+          [
+            ( "harmonics",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun h ->
+                        Json.List
+                          (List.init k_range (fun i ->
+                               Json.Num
+                                 (Scnoise_linalg.Cx.modulus
+                                    h.(k_range + i + 1)))))
+                      hs)) );
+          ]
+      in
+      ( Json.Obj
+          ([
+             ("freqs", floats freqs);
+             ("h0_re", floats h0_re);
+             ("h0_im", floats h0_im);
+           ]
+          @ side),
+        level ~prepared ))
+
+(* `check` reports findings rather than gating on them, and findings
+   carry line:col positions that the canonical (layout-insensitive)
+   hash deliberately erases — so check results are never cached. *)
+let run_check ~name text =
+  match Deck.load_string ~name text with
+  | Error msg -> raise (Err ("deck", msg))
+  | Ok loaded ->
+      let e = loaded.Deck.elab in
+      let findings = Check.check_elab e in
+      let nerr = Finding.errors findings in
+      let compile_error =
+        if nerr > 0 then None
+        else
+          match
+            Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
+              e.Elab.clock
+          with
+          | exception Compile.Error msg -> Some (name ^ ": " ^ msg)
+          | sys -> (
+              match Pwl.observable sys e.Elab.output_node with
+              | exception Not_found ->
+                  Some
+                    (Diag.render loaded.Deck.source e.Elab.output_loc
+                       (Printf.sprintf
+                          "output node %S is not an observable state (it is \
+                           resistive or source-driven)"
+                          e.Elab.output_node))
+              | _ -> None)
+      in
+      Json.Obj
+        ([
+           ("deck", Json.Str name);
+           ("findings", Json.List (List.map Finding.to_json findings));
+           ("errors", Json.Num (float_of_int nerr));
+           ("warnings", Json.Num (float_of_int (Finding.warnings findings)));
+           ("compile_ok", Json.Bool (nerr = 0 && compile_error = None));
+         ]
+        @
+        match compile_error with
+        | Some msg -> [ ("compile_error", Json.Str msg) ]
+        | None -> [])
+
+(* ---- stats ---- *)
+
+let cache_stats_json (s : Cache.stats) =
+  Json.Obj
+    [
+      ("entries", Json.Num (float_of_int s.Cache.entries));
+      ("capacity", Json.Num (float_of_int s.Cache.capacity));
+      ("hits", Json.Num (float_of_int s.Cache.hits));
+      ("misses", Json.Num (float_of_int s.Cache.misses));
+      ("evictions", Json.Num (float_of_int s.Cache.evictions));
+    ]
+
+let stats_json t =
+  Json.Obj
+    [
+      ("uptime_s", Json.Num (Clock.now () -. t.started));
+      ("served", Json.Num (float_of_int t.served));
+      ("errors", Json.Num (float_of_int t.failed));
+      ("jobs", Json.Num (float_of_int (Pool.default_jobs ())));
+      ( "cache",
+        Json.Obj
+          [
+            ("results", cache_stats_json (Cache.stats t.results));
+            ("prepared", cache_stats_json (Cache.stats t.solvers));
+          ] );
+    ]
+
+(* ---- dispatch ---- *)
+
+let deck_of rq =
+  match rq.P.rq_deck with
+  | Some text -> text
+  | None ->
+      err "protocol" "op %S requires a \"deck\" field" (P.op_name rq.P.rq_op)
+
+let run_request t rq =
+  match rq.P.rq_op with
+  | P.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], None)
+  | P.Stats -> (stats_json t, None)
+  | P.Shutdown ->
+      Atomic.set t.stop true;
+      (Json.Obj [ ("stopping", Json.Bool true) ], None)
+  | P.Check -> (run_check ~name:rq.P.rq_deck_name (deck_of rq), None)
+  | P.Psd _ | P.Variance _ | P.Contrib _ | P.Transfer _ ->
+      let name = rq.P.rq_deck_name in
+      let loaded = load_deck ~name (deck_of rq) in
+      let hash = Canon.hash_loaded loaded in
+      let p = prepared_entry t ~name loaded hash in
+      let result, lvl =
+        match rq.P.rq_op with
+        | P.Psd q -> run_psd t p hash q
+        | P.Variance { v_spp } -> run_variance t p hash v_spp
+        | P.Contrib { c_f; c_spp } -> run_contrib t p hash c_f c_spp
+        | P.Transfer q -> run_transfer t p hash q
+        | _ -> assert false
+      in
+      (result, Some lvl)
+
+let handle_request t rq =
+  let t0 = Clock.now () in
+  Obs.incr c_requests;
+  t.served <- t.served + 1;
+  match run_request t rq with
+  | result, cache ->
+      let elapsed_s = Clock.elapsed t0 in
+      Obs.hist_record h_request elapsed_s;
+      P.ok_reply ?id:rq.P.rq_id ~op:(P.op_name rq.P.rq_op) ?cache ~elapsed_s
+        result
+  | exception Err (code, message) ->
+      Obs.incr c_errors;
+      t.failed <- t.failed + 1;
+      P.error_reply ?id:rq.P.rq_id ~code message
+  | exception exn ->
+      (* the daemon must survive anything a request throws *)
+      Obs.incr c_errors;
+      t.failed <- t.failed + 1;
+      P.error_reply ?id:rq.P.rq_id ~code:"internal" (Printexc.to_string exn)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Requests are executed one at a time (each one is internally parallel
+   across the domain pool); the mutex makes direct multi-domain use of
+   an executor — the test harness drives it without a server — behave
+   like the daemon's serialised queue. *)
+let handle t env =
+  locked t (fun () ->
+      match env with
+      | P.Single rq -> handle_request t rq
+      | P.Batch (id, rqs) ->
+          Obs.incr c_batches;
+          P.batch_reply ?id (List.map (handle_request t) rqs))
+
+let handle_string t s =
+  match P.envelope_of_string s with
+  | Error msg -> P.error_reply ~code:"protocol" msg
+  | Ok env -> handle t env

@@ -1,0 +1,39 @@
+(** Request execution with the two-tier content-addressed cache.
+
+    Tier 1 (results) is keyed by (canonical deck hash, op, resolved
+    parameters); tier 2 (prepared) retains per-circuit solver state —
+    compiled system, observability vector and the prepared PSD/transfer
+    engines per samples-per-phase — so warm requests skip straight to
+    the frequency loop.  Parameter resolution follows the CLI rule
+    (request beats deck directive beats builtin default) and the numeric
+    paths call the same library entry points, making served results
+    bit-identical to direct `scnoise` runs.
+
+    Executors never raise out of {!handle}: failures become structured
+    error replies with the stable codes documented in {!Protocol}. *)
+
+type t
+
+val default_cache_entries : int
+
+val create : ?cache_entries:int -> unit -> t
+(** [cache_entries] bounds the tier-1 result cache; the tier-2 solver
+    cache holds a quarter of that (at least one). *)
+
+val handle : t -> Protocol.envelope -> Scnoise_obs.Json.t
+(** Execute one envelope and return the reply.  Requests run one at a
+    time under a mutex (each request is internally parallel across the
+    shared domain pool); batches execute their requests in order. *)
+
+val handle_string : t -> string -> Scnoise_obs.Json.t
+(** Parse a frame payload and {!handle} it; malformed payloads yield a
+    [protocol] error reply. *)
+
+val stats_json : t -> Scnoise_obs.Json.t
+(** The payload of a [stats] reply. *)
+
+val stopping : t -> bool
+(** True once a [shutdown] request was served (or {!request_stop} was
+    called); the server drains and exits. *)
+
+val request_stop : t -> unit

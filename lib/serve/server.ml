@@ -1,0 +1,341 @@
+(* The daemon: a single-threaded [Unix.select] event loop over
+   length-prefixed JSON frames, with admission control in front of the
+   executor.
+
+   Concurrency model: I/O is multiplexed across any number of client
+   connections, while requests execute one at a time — each request is
+   internally parallel across the PR-4 domain pool, so running two
+   sweeps concurrently would only fight over the same cores and destroy
+   the latency profile.  Admission control is therefore a bounded FIFO
+   of decoded frames: when the queue is full new frames get an
+   [overload] error reply immediately, and frames that waited longer
+   than [timeout_s] are answered with a [timeout] error instead of
+   being executed (compute is not preemptible, so the timeout bounds
+   queueing delay, which is what actually grows under load).
+
+   Shutdown (SIGINT, SIGTERM, or a [shutdown] request) drains: queued
+   requests still execute, replies still flush, new frames are refused
+   with a [shutdown] error, and the listener closes as soon as the
+   drain begins.
+
+   Frame discipline: a header announcing more than [max_frame] bytes
+   (or garbage that decodes to a huge length) cannot be resynchronised
+   — the reply is an [oversized] error and the connection closes after
+   the flush.  A well-framed payload that fails to parse as JSON is
+   recoverable: the client gets a [protocol] error reply and the
+   connection stays open. *)
+
+module Obs = Scnoise_obs.Obs
+module Clock = Scnoise_obs.Clock
+module P = Protocol
+
+let log_src = Logs.Src.create "scnoise.serve" ~doc:"analysis daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let c_conns = Obs.counter "serve.connections"
+
+let c_overload = Obs.counter "serve.overload"
+
+let c_timeouts = Obs.counter "serve.timeouts"
+
+let h_queue_depth = Obs.histogram ~mode:Scnoise_obs.Hist.Counts "serve.queue_depth"
+
+let h_queue_wait = Obs.histogram "serve.queue_wait_s"
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  max_frame : int;
+  queue_limit : int;
+  timeout_s : float option;
+  handle_signals : bool;
+}
+
+let config ?(max_frame = P.default_max_frame) ?(queue_limit = 64) ?timeout_s
+    ?(handle_signals = true) addr =
+  { addr; max_frame; queue_limit; timeout_s; handle_signals }
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  inbuf : Buffer.t;
+  mutable outbuf : string;  (* bytes not yet written *)
+  mutable out_off : int;
+  mutable drop_input : bool;  (* unsynchronisable stream: close after flush *)
+  mutable closed : bool;
+}
+
+type pending = { pc : conn; payload : string; arrived : float }
+
+type t = {
+  cfg : config;
+  exec : Exec.t;
+  listener : Unix.file_descr;
+  mutable conns : conn list;
+  queue : pending Queue.t;
+  stop : bool Atomic.t;
+}
+
+let string_of_addr = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- setup ---- *)
+
+let listen_on = function
+  | Unix_path path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      fd
+
+let create ?(exec = Exec.create ()) cfg =
+  let listener = listen_on cfg.addr in
+  Unix.set_nonblock listener;
+  {
+    cfg;
+    exec;
+    listener;
+    conns = [];
+    queue = Queue.create ();
+    stop = Atomic.make false;
+  }
+
+let request_stop t = Atomic.set t.stop true
+
+let draining t = Atomic.get t.stop || Exec.stopping t.exec
+
+(* ---- per-connection I/O ---- *)
+
+let send_reply conn json =
+  let frame = P.encode_frame (Scnoise_obs.Json.to_string json) in
+  conn.outbuf <- String.sub conn.outbuf conn.out_off
+                   (String.length conn.outbuf - conn.out_off) ^ frame;
+  conn.out_off <- 0
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns
+  end
+
+let flush_conn t conn =
+  let len = String.length conn.outbuf - conn.out_off in
+  if len > 0 then
+    match Unix.write_substring conn.fd conn.outbuf conn.out_off len with
+    | n -> conn.out_off <- conn.out_off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        close_conn t conn
+
+let pending_output conn = String.length conn.outbuf - conn.out_off > 0
+
+(* Decode as many complete frames as the connection buffer holds.
+   Returns the decoded payloads in arrival order. *)
+let drain_frames t conn =
+  let payloads = ref [] in
+  let continue = ref (not conn.drop_input) in
+  while !continue do
+    let buf = Buffer.contents conn.inbuf in
+    let have = String.length buf in
+    if have < P.header_len then continue := false
+    else begin
+      let len = P.decode_len buf 0 in
+      if len > t.cfg.max_frame then begin
+        (* can't skip what we can't trust: reply and drop the stream *)
+        send_reply conn
+          (P.error_reply ~code:"oversized"
+             (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                len t.cfg.max_frame));
+        conn.drop_input <- true;
+        Buffer.clear conn.inbuf;
+        continue := false
+      end
+      else if have < P.header_len + len then continue := false
+      else begin
+        let payload = String.sub buf P.header_len len in
+        Buffer.clear conn.inbuf;
+        Buffer.add_substring conn.inbuf buf (P.header_len + len)
+          (have - P.header_len - len);
+        payloads := payload :: !payloads
+      end
+    end
+  done;
+  List.rev !payloads
+
+let read_conn t conn =
+  let scratch = Bytes.create 65536 in
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> close_conn t conn
+  | n ->
+      if not conn.drop_input then begin
+        Buffer.add_subbytes conn.inbuf scratch 0 n;
+        List.iter
+          (fun payload ->
+            if draining t then
+              send_reply conn
+                (P.error_reply ~code:"shutdown"
+                   "daemon is shutting down; request refused")
+            else if Queue.length t.queue >= t.cfg.queue_limit then begin
+              Obs.incr c_overload;
+              send_reply conn
+                (P.error_reply ~code:"overload"
+                   (Printf.sprintf
+                      "request queue is full (%d pending); retry later"
+                      (Queue.length t.queue)))
+            end
+            else begin
+              Queue.add { pc = conn; payload; arrived = Clock.now () } t.queue;
+              Obs.hist_record_int h_queue_depth (Queue.length t.queue)
+            end)
+          (drain_frames t conn)
+      end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn t conn
+
+let accept_conns t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listener with
+    | fd, sockaddr ->
+        Unix.set_nonblock fd;
+        let peer =
+          match sockaddr with
+          | Unix.ADDR_UNIX _ -> "unix"
+          | Unix.ADDR_INET (ip, port) ->
+              Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+        in
+        Obs.incr c_conns;
+        Log.debug (fun m -> m "accepted connection from %s" peer);
+        t.conns <-
+          {
+            fd;
+            peer;
+            inbuf = Buffer.create 4096;
+            outbuf = "";
+            out_off = 0;
+            drop_input = false;
+            closed = false;
+          }
+          :: t.conns
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ---- request execution ---- *)
+
+let serve_pending t { pc; payload; arrived } =
+  if pc.closed then ()
+  else begin
+    let waited = Clock.now () -. arrived in
+    Obs.hist_record h_queue_wait waited;
+    let reply =
+      match t.cfg.timeout_s with
+      | Some limit when waited > limit ->
+          Obs.incr c_timeouts;
+          P.error_reply ~code:"timeout"
+            (Printf.sprintf
+               "request waited %.3f s in queue (limit %.3f s); dropped" waited
+               limit)
+      | _ -> Exec.handle_string t.exec payload
+    in
+    send_reply pc reply;
+    flush_conn t pc
+  end
+
+(* ---- main loop ---- *)
+
+let run t =
+  let previous_handlers = ref [] in
+  if t.cfg.handle_signals then begin
+    let install signal =
+      let old =
+        Sys.signal signal
+          (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))
+      in
+      previous_handlers := (signal, old) :: !previous_handlers
+    in
+    install Sys.sigint;
+    install Sys.sigterm;
+    previous_handlers :=
+      (Sys.sigpipe, Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      :: !previous_handlers
+  end;
+  Log.info (fun m -> m "listening on %s" (string_of_addr t.cfg.addr));
+  let listener_open = ref true in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        t.conns;
+      if !listener_open then
+        (try Unix.close t.listener with Unix.Unix_error _ -> ());
+      (match t.cfg.addr with
+      | Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ());
+      List.iter (fun (s, h) -> ignore (Sys.signal s h)) !previous_handlers)
+    (fun () ->
+      while not !finished do
+        (* once draining, stop accepting so clients fail fast *)
+        if draining t && !listener_open then begin
+          (try Unix.close t.listener with Unix.Unix_error _ -> ());
+          listener_open := false;
+          Log.info (fun m -> m "draining: %d queued request(s)"
+                       (Queue.length t.queue))
+        end;
+        let reads =
+          (if !listener_open then [ t.listener ] else [])
+          @ List.filter_map
+              (fun c -> if c.drop_input then None else Some c.fd)
+              t.conns
+        in
+        let writes =
+          List.filter_map
+            (fun c -> if pending_output c then Some c.fd else None)
+            t.conns
+        in
+        (match Unix.select reads writes [] 0.2 with
+        | readable, writable, _ ->
+            if !listener_open && List.memq t.listener readable then
+              accept_conns t;
+            List.iter
+              (fun c ->
+                if (not c.closed) && List.memq c.fd writable then
+                  flush_conn t c)
+              t.conns;
+            List.iter
+              (fun c ->
+                if (not c.closed) && List.memq c.fd readable then
+                  read_conn t c)
+              t.conns
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (* execute everything admitted so far, one request at a time *)
+        while not (Queue.is_empty t.queue) do
+          serve_pending t (Queue.pop t.queue)
+        done;
+        (* a drop_input conn is done once its error reply flushed *)
+        List.iter
+          (fun c -> if c.drop_input && not (pending_output c) then
+              close_conn t c)
+          t.conns;
+        if draining t && Queue.is_empty t.queue
+           && not (List.exists pending_output t.conns)
+        then finished := true
+      done;
+      Log.info (fun m -> m "shut down cleanly"))

@@ -1,0 +1,41 @@
+(** The analysis daemon: a single-threaded [Unix.select] event loop
+    over length-prefixed JSON frames with admission control in front of
+    an {!Exec} executor.
+
+    I/O is multiplexed across any number of connections while requests
+    execute one at a time — each request is internally parallel across
+    the shared domain pool.  Admission control is a bounded FIFO: a
+    full queue answers [overload] immediately and frames that queued
+    longer than [timeout_s] are answered [timeout] instead of executed.
+    SIGINT/SIGTERM (or a [shutdown] request) drain: queued work
+    finishes, replies flush, new frames get [shutdown] errors. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  max_frame : int;  (** frames beyond this are unrecoverable: error + close *)
+  queue_limit : int;
+  timeout_s : float option;  (** bound on queueing delay, not on compute *)
+  handle_signals : bool;  (** false in tests (the loop runs in a domain) *)
+}
+
+val config :
+  ?max_frame:int -> ?queue_limit:int -> ?timeout_s:float ->
+  ?handle_signals:bool -> addr -> config
+(** Defaults: [max_frame] {!Protocol.default_max_frame}, [queue_limit]
+    64, no timeout, signals handled. *)
+
+type t
+
+val create : ?exec:Exec.t -> config -> t
+(** Bind and listen (a stale Unix socket path is replaced).  Raises
+    [Unix.Unix_error] when the address is unavailable. *)
+
+val run : t -> unit
+(** Serve until drained after a stop request; closes the listener, all
+    connections and removes the Unix socket path on the way out. *)
+
+val request_stop : t -> unit
+(** Ask the loop to drain and exit (what the signal handlers call);
+    safe from another domain. *)

@@ -319,7 +319,85 @@ let test_elab_directives () =
 let test_looks_like_path () =
   Alcotest.(check bool) "scn" true (Deck.looks_like_path "foo.scn");
   Alcotest.(check bool) "slash" true (Deck.looks_like_path "decks/foo");
+  Alcotest.(check bool) "stdin" true (Deck.looks_like_path "-");
   Alcotest.(check bool) "name" false (Deck.looks_like_path "switched-rc")
+
+(* --- canonical content hash (the serve cache key) --- *)
+
+module Canon = Scnoise_lang.Canon
+
+let hash_of text =
+  match Deck.load_string ~name:"canon.scn" text with
+  | Ok l -> Canon.hash l.Deck.elab l.Deck.ast
+  | Error msg -> Alcotest.fail msg
+
+let canon_base =
+  ".param rs = 1k\n\
+   .param c  = 1n\n\
+   S1 vout 0 {rs} closed=0\n\
+   C1 vout 0 {c}\n\
+   .clock duty period={5 * rs * c} duty=0.5\n\
+   .output vout\n\
+   .end\n"
+
+let test_canon_layout_invariant () =
+  let base = hash_of canon_base in
+  (* comments, blank lines and spacing do not matter *)
+  let noisy =
+    "* a comment\n\n.param rs = 1k   ; trailing note\n\
+     .param c  =   1n\n\n\n\
+     S1   vout 0   {rs}   closed=0\n\
+     C1 vout 0 {c}\n\
+     .clock duty period={5 * rs * c} duty=0.5\n\
+     .output vout\n.end\n"
+  in
+  Alcotest.(check string) "comments+whitespace" base (hash_of noisy);
+  (* parameter order and expression spelling do not matter once
+     evaluated *)
+  let reordered =
+    ".param c  = 1n\n\
+     .param rs = 1000\n\
+     S1 vout 0 {rs} closed=0\n\
+     C1 vout 0 {c * 1}\n\
+     .clock duty period=5u duty=0.5\n\
+     .output vout\n\
+     .end\n"
+  in
+  Alcotest.(check string) "param order+spelling" base (hash_of reordered);
+  (* analysis directives are request defaults, not circuit content *)
+  let with_directive =
+    canon_base |> String.split_on_char '\n'
+    |> List.map (fun l ->
+           if l = ".end" then ".psd fmin=0 fmax=16k points=33\n.end" else l)
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "directives excluded" base (hash_of with_directive)
+
+let test_canon_value_sensitive () =
+  let base = hash_of canon_base in
+  let changed_value =
+    ".param rs = 1k\n.param c  = 2n\n\
+     S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\
+     .clock duty period={5 * rs * c} duty=0.5\n.output vout\n.end\n"
+  in
+  if hash_of changed_value = base then
+    Alcotest.fail "changed capacitor value must change the hash";
+  let changed_clock =
+    ".param rs = 1k\n.param c  = 1n\n\
+     S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\
+     .clock duty period={5 * rs * c} duty=0.3\n.output vout\n.end\n"
+  in
+  if hash_of changed_clock = base then
+    Alcotest.fail "changed duty cycle must change the hash";
+  (* the canonical document leads with its format version *)
+  match Deck.load_string ~name:"canon.scn" canon_base with
+  | Error msg -> Alcotest.fail msg
+  | Ok l ->
+      let doc = Canon.canonical l.Deck.elab l.Deck.ast in
+      if not (String.length doc > String.length Canon.version
+              && String.sub doc 0 (String.length Canon.version)
+                 = Canon.version)
+      then Alcotest.fail "canonical document must start with the version"
 
 let () =
   Alcotest.run "lang"
@@ -367,5 +445,12 @@ let () =
         [
           Alcotest.test_case "directives" `Quick test_elab_directives;
           Alcotest.test_case "looks_like_path" `Quick test_looks_like_path;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "layout invariant" `Quick
+            test_canon_layout_invariant;
+          Alcotest.test_case "value sensitive" `Quick
+            test_canon_value_sensitive;
         ] );
     ]

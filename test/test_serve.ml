@@ -1,0 +1,489 @@
+(* End-to-end tests of the analysis daemon: framing, the two-tier
+   cache, concurrent clients, and — the load-bearing property — bit
+   parity of served results against direct library runs at several job
+   counts.  The server runs in a domain of this process listening on a
+   throwaway Unix socket; clients are real sockets through the real
+   framing code. *)
+
+module Sp = Scnoise_serve.Protocol
+module Sx = Scnoise_serve.Exec
+module Sv = Scnoise_serve.Server
+module Scl = Scnoise_serve.Client
+module Json = Scnoise_obs.Json
+module Deck = Scnoise_lang.Deck
+module Elab = Scnoise_lang.Elab
+module Compile = Scnoise_circuit.Compile
+module Pwl = Scnoise_circuit.Pwl
+module Psd = Scnoise_core.Psd
+module Covariance = Scnoise_core.Covariance
+module Contrib = Scnoise_core.Contrib
+module Transfer = Scnoise_core.Transfer
+module Grid = Scnoise_util.Grid
+module Pool = Scnoise_par.Pool
+
+(* --- fixtures --- *)
+
+let deck_a =
+  ".param rs = 1k\n.param c = 1n\n\
+   S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\
+   .clock duty period={5 * rs * c} duty=0.5\n.output vout\n.end\n"
+
+(* electrically different twin (bigger capacitor) *)
+let deck_b =
+  ".param rs = 1k\n.param c = 2n\n\
+   S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\
+   .clock duty period={5 * rs * c} duty=0.5\n.output vout\n.end\n"
+
+(* a third distinct circuit, for eviction pressure *)
+let deck_c =
+  ".param rs = 2k\n.param c = 1n\n\
+   S1 vout 0 {rs} closed=0\nC1 vout 0 {c}\n\
+   .clock duty period={5 * rs * c} duty=0.5\n.output vout\n.end\n"
+
+let deck_dir = Filename.concat ".." "examples/decks"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* --- direct (in-process) references, replicating the CLI's calls --- *)
+
+let compiled_of deck =
+  match Deck.load_string ~name:"direct" deck with
+  | Error msg -> Alcotest.fail msg
+  | Ok l -> (
+      let e = l.Deck.elab in
+      let sys =
+        Compile.compile ?temperature:e.Elab.temperature e.Elab.netlist
+          e.Elab.clock
+      in
+      match Pwl.observable sys e.Elab.output_node with
+      | exception Not_found -> Alcotest.fail "output not observable"
+      | output -> (sys, output))
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let direct_psd ~jobs deck freqs =
+  let sys, output = compiled_of deck in
+  with_pool jobs (fun pool ->
+      let eng = Psd.prepare ~samples_per_phase:96 ~pool sys ~output in
+      Psd.sweep ~pool eng freqs)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let check_bits what a b =
+  if not (bits_equal a b) then
+    Alcotest.failf "%s: served values are not bit-identical" what
+
+(* --- server harness --- *)
+
+let tmp_sock () =
+  let f = Filename.temp_file "scnoise-test" ".sock" in
+  Sys.remove f;
+  f
+
+let with_server ?cache_entries ?max_frame f =
+  let sock = tmp_sock () in
+  let exec = Sx.create ?cache_entries () in
+  let server =
+    Sv.create ~exec
+      (Sv.config ?max_frame ~handle_signals:false (Sv.Unix_path sock))
+  in
+  let d = Domain.spawn (fun () -> Sv.run server) in
+  let stopped = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !stopped then Sv.request_stop server;
+      Domain.join d)
+    (fun () -> f (Sv.Unix_path sock) (fun () -> stopped := true))
+
+let connect addr =
+  match Scl.connect addr with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let rpc conn json =
+  match Scl.rpc conn json with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "rpc: %s" msg
+
+let no_deck_req op = { Sp.rq_id = None; rq_deck = None; rq_deck_name = "<request>"; rq_op = op }
+
+let psd_req ?id ?(deck = deck_a) ?fmin ?fmax ?points ?spp () =
+  {
+    Sp.rq_id = id;
+    rq_deck = Some deck;
+    rq_deck_name = "<test>";
+    rq_op =
+      Sp.Psd
+        {
+          p_fmin = fmin;
+          p_fmax = fmax;
+          p_points = points;
+          p_log = None;
+          p_spp = spp;
+          p_engine = None;
+        };
+  }
+
+let result_of what reply =
+  if not (Sp.reply_ok reply) then
+    Alcotest.failf "%s: error reply %s" what (Json.to_string reply);
+  match Sp.reply_result reply with
+  | Some r -> r
+  | None -> Alcotest.failf "%s: reply has no result" what
+
+let psd_values what reply =
+  match Sp.float_array_field (result_of what reply) "psd_V2_per_Hz" with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: no psd_V2_per_Hz" what
+
+let num_of what j name =
+  match Json.member name j with
+  | Some (Json.Num x) -> x
+  | _ -> Alcotest.failf "%s: missing number %S" what name
+
+let expect_error what code reply =
+  if Sp.reply_ok reply then
+    Alcotest.failf "%s: expected %s error, got ok" what code;
+  match Sp.reply_error_code reply with
+  | Some c when c = code -> ()
+  | c ->
+      Alcotest.failf "%s: expected error code %S, got %S" what code
+        (Option.value c ~default:"<none>")
+
+(* --- tests --- *)
+
+let test_ping_stats () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      let reply = rpc conn (Sp.request_to_json (no_deck_req Sp.Ping)) in
+      ignore (result_of "ping" reply);
+      let stats = result_of "stats" (rpc conn (Sp.request_to_json (no_deck_req Sp.Stats))) in
+      ignore (num_of "stats" stats "uptime_s");
+      (match Json.member "cache" stats with
+      | Some _ -> ()
+      | None -> Alcotest.fail "stats has no cache section");
+      Scl.close conn)
+
+let test_psd_parity_and_cache_levels () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      let send ?fmax () =
+        rpc conn (Sp.request_to_json (psd_req ?fmax ()))
+      in
+      let r1 = send () in
+      Alcotest.(check (option string)) "first is cold" (Some "cold")
+        (Sp.reply_cache r1);
+      let r2 = send () in
+      Alcotest.(check (option string)) "repeat hits result tier"
+        (Some "result") (Sp.reply_cache r2);
+      (* a new frequency range reuses the prepared solver *)
+      let r3 = send ~fmax:8e3 () in
+      Alcotest.(check (option string)) "new range hits prepared tier"
+        (Some "prepared") (Sp.reply_cache r3);
+      (* bit parity at the CLI defaults (fmin 0, fmax 16e3, 33 points) *)
+      let freqs = Grid.linspace 0.0 16e3 33 in
+      let served = psd_values "psd" r1 in
+      check_bits "jobs=1" served (direct_psd ~jobs:1 deck_a freqs);
+      check_bits "jobs=4" served (direct_psd ~jobs:4 deck_a freqs);
+      check_bits "result-tier replay" served (psd_values "psd2" r2);
+      let freqs8 = Grid.linspace 0.0 8e3 33 in
+      check_bits "prepared-tier range" (psd_values "psd3" r3)
+        (direct_psd ~jobs:1 deck_a freqs8);
+      Scl.close conn)
+
+let test_variance_contrib_parity () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      let sys, output = compiled_of deck_a in
+      (* variance: CLI calls Covariance.sample at spp then reads both
+         variances and the closure error *)
+      let vr =
+        result_of "variance"
+          (rpc conn
+             (Sp.request_to_json
+                {
+                  Sp.rq_id = None;
+                  rq_deck = Some deck_a;
+                  rq_deck_name = "<test>";
+                  rq_op = Sp.Variance { v_spp = None };
+                }))
+      in
+      let cov = Covariance.sample ~samples_per_phase:96 sys in
+      check_bits "variance"
+        [|
+          num_of "variance" vr "boundary_V2";
+          num_of "variance" vr "average_V2";
+          num_of "variance" vr "closure_error";
+        |]
+        [|
+          Covariance.variance_at_boundary cov output;
+          Covariance.average_variance cov output;
+          Covariance.closure_error cov;
+        |];
+      (* contrib at an explicit frequency *)
+      let cr =
+        result_of "contrib"
+          (rpc conn
+             (Sp.request_to_json
+                {
+                  Sp.rq_id = None;
+                  rq_deck = Some deck_a;
+                  rq_deck_name = "<test>";
+                  rq_op = Sp.Contrib { c_f = Some 2e3; c_spp = None };
+                }))
+      in
+      let direct =
+        Contrib.per_source_psd ~samples_per_phase:96 sys ~output ~f:2e3
+      in
+      let served =
+        match Json.member "sources" cr with
+        | Some (Json.List l) ->
+            List.map
+              (fun s ->
+                ( (match Json.member "name" s with
+                  | Some (Json.Str n) -> n
+                  | _ -> Alcotest.fail "contrib source has no name"),
+                  num_of "contrib" s "psd_V2_per_Hz" ))
+              l
+        | _ -> Alcotest.fail "contrib reply has no sources"
+      in
+      Alcotest.(check int) "same source count" (List.length direct)
+        (List.length served);
+      List.iter2
+        (fun (ln, lv) (rn, rv) ->
+          Alcotest.(check string) "source label" ln rn;
+          check_bits ("contrib " ^ ln) [| lv |] [| rv |])
+        direct served;
+      Scl.close conn)
+
+let test_transfer_parity_and_inputs_error () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      (* switched-rc has no signal input: structured error *)
+      expect_error "transfer w/o inputs" "inputs"
+        (rpc conn
+           (Sp.request_to_json
+              {
+                Sp.rq_id = None;
+                rq_deck = Some deck_a;
+                rq_deck_name = "<test>";
+                rq_op =
+                  Sp.Transfer
+                    {
+                      t_fmin = None;
+                      t_fmax = None;
+                      t_points = None;
+                      t_k = None;
+                      t_spp = None;
+                    };
+              }));
+      (* the integrator deck has Vin: compare H0 bit for bit *)
+      let deck = read_file (Filename.concat deck_dir "sc_integrator.scn") in
+      let tr =
+        result_of "transfer"
+          (rpc conn
+             (Sp.request_to_json
+                {
+                  Sp.rq_id = None;
+                  rq_deck = Some deck;
+                  rq_deck_name = "<test>";
+                  rq_op =
+                    Sp.Transfer
+                      {
+                        t_fmin = Some 10.0;
+                        t_fmax = Some 1e3;
+                        t_points = Some 5;
+                        t_k = None;
+                        t_spp = Some 48;
+                      };
+                }))
+      in
+      let sys, output = compiled_of deck in
+      let eng = Transfer.prepare ~samples_per_phase:48 sys ~output in
+      let freqs = Grid.linspace 10.0 1e3 5 in
+      let h =
+        Array.map (fun f -> Transfer.harmonics eng ~input:0 ~f ~k_range:0) freqs
+      in
+      let get name =
+        match Sp.float_array_field tr name with
+        | Some v -> v
+        | None -> Alcotest.failf "transfer: no %s" name
+      in
+      check_bits "H0 re" (get "h0_re")
+        (Array.map (fun h -> h.(0).Scnoise_linalg.Cx.re) h);
+      check_bits "H0 im" (get "h0_im")
+        (Array.map (fun h -> h.(0).Scnoise_linalg.Cx.im) h);
+      Scl.close conn)
+
+let test_batch_order_and_partial_failure () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      let reply =
+        rpc conn
+          (Sp.batch_to_json ~id:"b1"
+             [
+               psd_req ~id:"one" ();
+               { (no_deck_req (Sp.Variance { v_spp = None })) with
+                 rq_id = Some "broken" };
+               psd_req ~id:"two" ~deck:deck_b ();
+             ])
+      in
+      if not (Sp.reply_ok reply) then Alcotest.fail "batch envelope failed";
+      (match Json.member "id" reply with
+      | Some (Json.Str "b1") -> ()
+      | _ -> Alcotest.fail "batch id not echoed");
+      match Json.member "results" reply with
+      | Some (Json.List [ r1; r2; r3 ]) ->
+          ignore (result_of "batch[0]" r1);
+          expect_error "batch[1] missing deck" "protocol" r2;
+          (* sub-request replies keep their ids and their order *)
+          (match (Json.member "id" r1, Json.member "id" r3) with
+          | Some (Json.Str "one"), Some (Json.Str "two") -> ()
+          | _ -> Alcotest.fail "sub-request ids not echoed in order");
+          let freqs = Grid.linspace 0.0 16e3 33 in
+          check_bits "batch deck_b" (psd_values "batch[2]" r3)
+            (direct_psd ~jobs:1 deck_b freqs)
+      | _ -> Alcotest.fail "batch reply shape")
+
+let test_malformed_and_oversized_frames () =
+  with_server ~max_frame:4096 (fun addr _ ->
+      (* valid frame, garbage JSON: error reply, connection survives *)
+      let conn = connect addr in
+      (match Scl.rpc_string conn "{not json" with
+      | Ok s -> expect_error "garbage json" "protocol" (Json.of_string s)
+      | Error msg -> Alcotest.failf "garbage json: %s" msg);
+      (* unknown op in valid JSON: still a protocol error *)
+      (match Scl.rpc_string conn "{\"op\": \"frobnicate\"}" with
+      | Ok s -> expect_error "unknown op" "protocol" (Json.of_string s)
+      | Error msg -> Alcotest.failf "unknown op: %s" msg);
+      (* the same connection still serves valid requests *)
+      ignore
+        (result_of "ping after garbage"
+           (rpc conn (Sp.request_to_json (no_deck_req Sp.Ping))));
+      Scl.close conn;
+      (* a header past max-frame gets an oversized error, then close *)
+      let conn2 = connect addr in
+      Scl.send_raw conn2 "\xff\xff\xff\xff";
+      (match Scl.rpc_string conn2 "" with
+      | Ok s -> expect_error "oversized" "oversized" (Json.of_string s)
+      | Error msg -> Alcotest.failf "oversized: %s" msg);
+      Scl.close conn2;
+      (* a deck that does not parse is a structured deck error *)
+      let conn3 = connect addr in
+      expect_error "bad deck" "deck"
+        (rpc conn3 (Sp.request_to_json (psd_req ~deck:"Z1 what\n.end\n" ())));
+      (* and the daemon is still alive for everyone *)
+      ignore
+        (result_of "ping after abuse"
+           (rpc conn3 (Sp.request_to_json (no_deck_req Sp.Ping))));
+      Scl.close conn3)
+
+let test_eviction_under_small_cache () =
+  with_server ~cache_entries:2 (fun addr _ ->
+      let conn = connect addr in
+      let sweep deck = rpc conn (Sp.request_to_json (psd_req ~deck ())) in
+      ignore (result_of "a" (sweep deck_a));
+      ignore (result_of "b" (sweep deck_b));
+      ignore (result_of "c" (sweep deck_c));
+      let stats =
+        result_of "stats" (rpc conn (Sp.request_to_json (no_deck_req Sp.Stats)))
+      in
+      let results =
+        match Option.bind (Json.member "cache" stats) (Json.member "results") with
+        | Some r -> r
+        | None -> Alcotest.fail "stats has no results cache"
+      in
+      let entries = int_of_float (num_of "stats" results "entries") in
+      let evictions = int_of_float (num_of "stats" results "evictions") in
+      Alcotest.(check bool) "capacity respected" true (entries <= 2);
+      Alcotest.(check bool) "evictions happened" true (evictions >= 1);
+      (* evicted work recomputes correctly *)
+      let freqs = Grid.linspace 0.0 16e3 33 in
+      check_bits "deck_a after eviction" (psd_values "a2" (sweep deck_a))
+        (direct_psd ~jobs:1 deck_a freqs);
+      Scl.close conn)
+
+let test_concurrent_clients_bit_identical () =
+  with_server (fun addr _ ->
+      let freqs = Grid.linspace 0.0 16e3 33 in
+      let expect_a = direct_psd ~jobs:4 deck_a freqs in
+      let expect_b = direct_psd ~jobs:1 deck_b freqs in
+      (* a mix of requests that will be cold, prepared and result-tier
+         hits, from several domains at once *)
+      let client k () =
+        let conn = connect addr in
+        let ok = ref true in
+        for i = 0 to 7 do
+          let deck, expect =
+            if (k + i) mod 2 = 0 then (deck_a, expect_a) else (deck_b, expect_b)
+          in
+          let reply = rpc conn (Sp.request_to_json (psd_req ~deck ())) in
+          if not (bits_equal (psd_values "concurrent" reply) expect) then
+            ok := false
+        done;
+        Scl.close conn;
+        !ok
+      in
+      let domains = List.init 4 (fun k -> Domain.spawn (client k)) in
+      let oks = List.map Domain.join domains in
+      Alcotest.(check (list bool)) "all clients bit-identical"
+        [ true; true; true; true ] oks)
+
+let test_shutdown_request_drains () =
+  with_server (fun addr mark_stopped ->
+      let conn = connect addr in
+      ignore
+        (result_of "shutdown"
+           (rpc conn (Sp.request_to_json (no_deck_req Sp.Shutdown))));
+      Scl.close conn;
+      (* the daemon exits on its own: joining must not hang, and new
+         connections must fail once it is gone *)
+      mark_stopped ();
+      let gone = ref false in
+      (try
+         for _ = 1 to 100 do
+           if not !gone then
+             match Scl.connect ~attempts:1 addr with
+             | Error _ -> gone := true
+             | Ok c ->
+                 Scl.close c;
+                 Unix.sleepf 0.05
+         done
+       with _ -> gone := true);
+      Alcotest.(check bool) "daemon exited after shutdown" true !gone)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping+stats" `Quick test_ping_stats;
+          Alcotest.test_case "malformed+oversized frames" `Quick
+            test_malformed_and_oversized_frames;
+          Alcotest.test_case "batch order+partial failure" `Quick
+            test_batch_order_and_partial_failure;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "psd parity + cache tiers" `Quick
+            test_psd_parity_and_cache_levels;
+          Alcotest.test_case "variance+contrib" `Quick
+            test_variance_contrib_parity;
+          Alcotest.test_case "transfer" `Quick
+            test_transfer_parity_and_inputs_error;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients_bit_identical;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "eviction" `Quick test_eviction_under_small_cache;
+          Alcotest.test_case "shutdown drains" `Quick
+            test_shutdown_request_drains;
+        ] );
+    ]
