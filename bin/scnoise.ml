@@ -400,7 +400,11 @@ let check_cmd =
               print_endline
                 (Json.to_string
                    (Json.Obj
-                      [ ("deck", Json.Str path); ("error", Json.Str msg) ]))
+                      [
+                        ("schema", Json.Str "scnoise.check/1");
+                        ("deck", Json.Str path);
+                        ("error", Json.Str msg);
+                      ]))
             else Printf.eprintf "scnoise: %s\n" msg;
             1
         | Ok loaded ->
@@ -409,10 +413,15 @@ let check_cmd =
             let nerr = Finding.errors findings in
             let nwarn = Finding.warnings findings in
             if json then
+              (* findings arrive sorted ({!Finding.compare}) and the
+                 printer is deterministic, so the artifact is
+                 byte-stable across runs — the scnoise.metrics/2
+                 convention *)
               print_endline
                 (Json.to_string
                    (Json.Obj
                       [
+                        ("schema", Json.Str "scnoise.check/1");
                         ("deck", Json.Str path);
                         ( "findings",
                           Json.List (List.map Finding.to_json findings) );
@@ -475,8 +484,10 @@ let check_cmd =
   let doc =
     "Run the electrical-rule check (ERC) over a .scn deck: floating \
      nodes, capacitor islands, source shorts, degenerate switches, \
-     out-of-range phases, noiseless circuits, unused parameters and \
-     beyond-Nyquist sweeps, each as a located file:line:col finding."
+     out-of-range phases, noiseless circuits, unused parameters, \
+     beyond-Nyquist sweeps, structurally singular per-phase MNA blocks, \
+     dead noise sources, isolated outputs, dimension mismatches and \
+     low-capture sweep bands, each as a located file:line:col finding."
   in
   Cmd.v
     (Cmd.info "check" ~doc)

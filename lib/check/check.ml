@@ -1,10 +1,20 @@
 module Netlist = Scnoise_circuit.Netlist
 module Clock = Scnoise_circuit.Clock
+module Sparsity = Scnoise_circuit.Sparsity
 module Elab = Scnoise_lang.Elab
 module Loc = Scnoise_lang.Loc
 module Obs = Scnoise_obs.Obs
 
 (* Node ids are dense: 0 is ground, 1 .. n_nodes the named nodes. *)
+
+(* per-pass wall-time health histograms: check.pass_s.classic /
+   .structural / .reach / .units *)
+let time_pass name f =
+  let h = Obs.histogram ("check.pass_s." ^ name) in
+  let t0 = Scnoise_obs.Clock.now () in
+  let r = f () in
+  Obs.hist_record h (Scnoise_obs.Clock.now () -. t0);
+  r
 
 let phase_list = function
   | [ p ] -> Printf.sprintf "phase %d" p
@@ -16,6 +26,7 @@ let plural n = if n = 1 then "" else "s"
 
 let check ?output ?(locate_element = fun _ -> None)
     ?(locate_node = fun _ -> None) nl clock =
+  let t_classic = Scnoise_obs.Clock.now () in
   let n = Netlist.n_nodes nl + 1 in
   let els = Netlist.elements nl in
   let nph = Clock.n_phases clock in
@@ -35,11 +46,12 @@ let check ?output ?(locate_element = fun _ -> None)
   let held id = id = 0 || driven.(id) in
   let node_finding ~rule ~severity id message =
     let subject = node_name id in
-    Finding.make ?loc:(locate_node subject) ~rule ~severity ~subject message
+    Finding.make ?loc:(locate_node subject) ~anchor:("node:" ^ subject) ~rule
+      ~severity ~subject message
   in
   let element_finding ~rule ~severity name message =
-    Finding.make ?loc:(locate_element name) ~rule ~severity ~subject:name
-      message
+    Finding.make ?loc:(locate_element name) ~anchor:("element:" ^ name) ~rule
+      ~severity ~subject:name message
   in
 
   (* ERC001: per-phase connectivity to the reference (ground + driven
@@ -302,8 +314,38 @@ let check ?output ?(locate_element = fun _ -> None)
            | _ -> None)
   in
 
+  Obs.hist_record
+    (Obs.histogram "check.pass_s.classic")
+    (Scnoise_obs.Clock.now () -. t_classic);
+
+  (* ERC011–ERC013: structural-rank prediction and phase-sequenced
+     noise-path reachability over the sparsity digest (no matrices) *)
+  let sp = Sparsity.of_netlist nl clock in
+  let floating = Array.init nph (fun _ -> Array.make n false) in
+  Hashtbl.iter
+    (fun i ps -> List.iter (fun p -> floating.(p).(i) <- true) !ps)
+    floating_phases;
+  let erc011 =
+    time_pass "structural" (fun () ->
+        Structural.check ~node_name ~locate_node ~floating sp)
+  in
+  let reach =
+    time_pass "reach" (fun () ->
+        let out_id =
+          match output with
+          | None -> None
+          | Some o -> Option.map Netlist.node_id (Netlist.find_node nl o)
+        in
+        Reach.check ~node_name ~locate_element ~locate_node ~floating
+          ~output:out_id sp)
+  in
+  (* ERC006 already reports a fully noiseless output; the phase-aware
+     rules would only restate it per source *)
+  let reach = if erc006 <> [] then [] else reach in
+
   let findings =
-    Finding.sort (erc001 @ erc002 @ switch_rules @ erc006 @ erc008)
+    Finding.sort
+      (erc001 @ erc002 @ switch_rules @ erc006 @ erc008 @ erc011 @ reach)
   in
   Finding.record findings;
   findings
@@ -318,35 +360,74 @@ let check_elab (e : Elab.t) =
   let erc007 =
     List.map
       (fun (pname, loc) ->
-        Finding.make ~loc ~rule:"ERC007-unused-param"
-          ~severity:Finding.Warning ~subject:pname
+        Finding.make ~loc ~anchor:("param:" ^ pname)
+          ~rule:"ERC007-unused-param" ~severity:Finding.Warning ~subject:pname
           (Printf.sprintf "parameter %S is never used" pname))
       e.Elab.unused_params
   in
   let erc009 =
     let nyquist = 0.5 /. Clock.period e.Elab.clock in
-    let over what f loc =
+    let over ~anchor what f loc =
       if f > nyquist then
         Some
-          (Finding.make ~loc ~rule:"ERC009-nyquist" ~severity:Finding.Warning
-             ~subject:what
+          (Finding.make ~loc ~anchor ~rule:"ERC009-nyquist"
+             ~severity:Finding.Warning ~subject:what
              (Printf.sprintf
                 "%s fmax %g Hz is beyond the clock Nyquist frequency %g Hz; \
                  the spectrum there aliases the baseband"
                 what f nyquist))
       else None
     in
-    List.filter_map
-      (fun (a, loc) ->
+    List.mapi
+      (fun i (a, loc) ->
+        let anchor = "analysis:" ^ string_of_int i in
         match a with
-        | Elab.Psd { fmax = Some f; _ } -> over ".psd" f loc
-        | Elab.Transfer { fmax = Some f; _ } -> over ".transfer" f loc
+        | Elab.Psd { fmax = Some f; _ } -> over ~anchor ".psd" f loc
+        | Elab.Transfer { fmax = Some f; _ } -> over ~anchor ".transfer" f loc
         | _ -> None)
       e.Elab.analyses
+    |> List.filter_map Fun.id
   in
-  let deck_only = erc007 @ erc009 in
+  let units =
+    time_pass "units" (fun () ->
+        let erc014 = Units.check_dims e in
+        let erc015 =
+          Units.check_bandwidth
+            (Sparsity.of_netlist e.Elab.netlist e.Elab.clock)
+            e
+        in
+        erc014 @ erc015)
+  in
+  let deck_only = erc007 @ erc009 @ units in
   Finding.record deck_only;
   Finding.sort (structural @ deck_only)
+
+(* Re-derive a finding's location from its position-free anchor against
+   any elaboration with the same canonical hash: the serve tier caches
+   verdicts without positions and calls this per request, so a warm hit
+   from a differently-laid-out deck still gets correct carets. *)
+let resolve_anchor (e : Elab.t) anchor =
+  match String.index_opt anchor ':' with
+  | None -> None
+  | Some i -> (
+      let kind = String.sub anchor 0 i in
+      let arg = String.sub anchor (i + 1) (String.length anchor - i - 1) in
+      let nth_opt l n = if n < 0 then None else List.nth_opt l n in
+      match kind with
+      | "element" -> List.assoc_opt arg e.Elab.element_locs
+      | "node" -> List.assoc_opt arg e.Elab.node_locs
+      | "param" -> (
+          match List.assoc_opt arg e.Elab.param_exprs with
+          | Some x -> Some x.Scnoise_lang.Ast.eloc
+          | None -> List.assoc_opt arg e.Elab.unused_params)
+      | "slot" ->
+          Option.bind (int_of_string_opt arg) (nth_opt e.Elab.value_slots)
+          |> Option.map (fun (s : Elab.slot) ->
+                 s.Elab.slot_expr.Scnoise_lang.Ast.eloc)
+      | "analysis" ->
+          Option.bind (int_of_string_opt arg) (nth_opt e.Elab.analyses)
+          |> Option.map snd
+      | _ -> None)
 
 let ill_conditioned_count () =
   Obs.counter_value "lu_ill_conditioned"

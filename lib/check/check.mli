@@ -41,7 +41,30 @@
       during a subsequent analysis had a diagonal-ratio condition
       estimate worse than 1e12 (reported from the
       [lu_ill_conditioned] / [clu_ill_conditioned] observability
-      counters, see {!ill_conditioned}). *)
+      counters, see {!ill_conditioned}).
+    - [ERC011-structural-singular] (error): a per-phase MNA block fails
+      magnitude-aware structural rank.  Entries below
+      [SCNOISE_ERC011_RTOL] times the block's magnitude scale are
+      dropped and maximum bipartite matching is run on the surviving
+      pattern; a deficient matching names the minimal (Hall-violator)
+      node set whose rows the eventual LU would pivot to near-zero on.
+      Predicts [ERC010] before any factorisation happens
+      ({!Structural}).
+    - [ERC012-dead-source] (warning): a noise source with no
+      phase-sequenced path — conductive within a phase, capacitive
+      charge transfer across phase boundaries — to the output.  Deleting
+      it changes the PSD by exactly zero ({!Reach}).
+    - [ERC013-output-isolated] (warning): no noise source at all reaches
+      the output through the phase-sequenced reachability graph; the
+      path-aware strengthening of [ERC006] ({!Reach}).
+    - [ERC014-dimension-mismatch] (error, decks only): SI-dimension
+      inference over [.param] expression trees and card values
+      contradicts a slot's expected dimension — e.g. a farad-valued
+      param used as a resistance ({!Units}).
+    - [ERC015-band-capture] (warning, decks only): the [.psd] sweep band
+      captures less than [SCNOISE_ERC015_MIN_CAPTURE] (default 0.1) of
+      the static kT/C noise power spread over the clock rate
+      ({!Units}). *)
 
 module Netlist = Scnoise_circuit.Netlist
 module Clock = Scnoise_circuit.Clock
@@ -55,15 +78,24 @@ val check :
   Netlist.t ->
   Clock.t ->
   Finding.t list
-(** Structural rules (ERC001–ERC006, ERC008) over any netlist,
-    programmatic or elaborated.  [output] enables ERC006 and exempts the
+(** Structural rules (ERC001–ERC006, ERC008) and the phase-aware
+    passes (ERC011–ERC013) over any netlist, programmatic or
+    elaborated.  [output] enables ERC006/ERC012/ERC013 and exempts the
     output node from ERC008; the locate functions attach deck locations
     to findings when available.  The result is sorted
     ({!Finding.compare}) and recorded ({!Finding.record}). *)
 
 val check_elab : Elab.t -> Finding.t list
-(** {!check} plus the deck-only rules (ERC007, ERC009), with locations
-    from the elaborator's maps. *)
+(** {!check} plus the deck-only rules (ERC007, ERC009, ERC014, ERC015)
+    and the phase-aware structural passes (ERC011–ERC013), with
+    locations from the elaborator's maps. *)
+
+val resolve_anchor : Elab.t -> string -> Loc.t option
+(** Map a finding's position-free [anchor] (["element:R1"], ["node:a"],
+    ["param:c"], ["slot:3"], ["analysis:0"]) back to a deck location in
+    [e]'s maps.  Total: unknown kinds or names yield [None].  The serve
+    tier uses this to re-attach carets to verdicts cached under the
+    canonical (layout-erasing) deck hash. *)
 
 val ill_conditioned_count : unit -> int
 (** Current sum of the [lu_ill_conditioned] and [clu_ill_conditioned]

@@ -19,17 +19,21 @@ type t = {
   subject : string;
   message : string;
   loc : Loc.t option;
+  anchor : string option;
 }
 
-let make ?loc ~rule ~severity ~subject message =
-  { rule; severity; subject; message; loc }
+let make ?loc ?anchor ~rule ~severity ~subject message =
+  { rule; severity; subject; message; loc; anchor }
 
 let compare a b =
   let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
   if c <> 0 then c
   else
     let c = String.compare a.rule b.rule in
-    if c <> 0 then c else String.compare a.subject b.subject
+    if c <> 0 then c
+    else
+      let c = String.compare a.subject b.subject in
+      if c <> 0 then c else String.compare a.message b.message
 
 let sort fs = List.stable_sort compare fs
 
@@ -44,18 +48,57 @@ let render ?source f =
            f.message)
   | _ -> to_string f
 
+let json_fields f =
+  [
+    ("rule", Json.Str f.rule);
+    ("severity", Json.Str (severity_label f.severity));
+    ("subject", Json.Str f.subject);
+    ("message", Json.Str f.message);
+  ]
+
+let anchor_field f =
+  [
+    ( "anchor",
+      match f.anchor with Some a -> Json.Str a | None -> Json.Null );
+  ]
+
 let to_json f =
   Json.Obj
-    [
-      ("rule", Json.Str f.rule);
-      ("severity", Json.Str (severity_label f.severity));
-      ("subject", Json.Str f.subject);
-      ("message", Json.Str f.message);
-      ( "loc",
-        match f.loc with
-        | Some l -> Json.Str (Loc.to_string l)
-        | None -> Json.Null );
-    ]
+    (json_fields f
+    @ [
+        ( "loc",
+          match f.loc with
+          | Some l -> Json.Str (Loc.to_string l)
+          | None -> Json.Null );
+      ]
+    @ anchor_field f)
+
+let to_json_positionless f = Json.Obj (json_fields f @ anchor_field f)
+
+let of_json j =
+  match j with
+  | Json.Obj fields ->
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Json.Str s) -> Some s
+        | _ -> None
+      in
+      let severity_of_label = function
+        | "error" -> Some Error
+        | "warning" -> Some Warning
+        | "info" -> Some Info
+        | _ -> None
+      in
+      Option.bind (str "rule") (fun rule ->
+          Option.bind (str "severity") (fun sl ->
+              Option.bind (severity_of_label sl) (fun severity ->
+                  Option.bind (str "subject") (fun subject ->
+                      Option.map
+                        (fun message ->
+                          make ?anchor:(str "anchor") ~rule ~severity ~subject
+                            message)
+                        (str "message")))))
+  | _ -> None
 
 let errors fs = List.length (List.filter (fun f -> f.severity = Error) fs)
 
@@ -65,6 +108,16 @@ let c_errors = Obs.counter "check.findings.error"
 
 let c_warnings = Obs.counter "check.findings.warning"
 
+(* rule ids all start "ERCnnn-"; the per-rule counter keys on that
+   stable prefix so renaming a rule's slug never splits its series *)
+let rule_key rule =
+  match String.index_opt rule '-' with
+  | Some i -> String.sub rule 0 i
+  | None -> rule
+
 let record fs =
   Obs.add c_errors (errors fs);
-  Obs.add c_warnings (warnings fs)
+  Obs.add c_warnings (warnings fs);
+  List.iter
+    (fun f -> Obs.incr (Obs.counter ("check.rule." ^ rule_key f.rule)))
+    fs

@@ -21,15 +21,19 @@ type t = {
   subject : string;  (** the offending node, element or directive *)
   message : string;  (** self-contained, includes the subject *)
   loc : Loc.t option;  (** deck location when elaborated from a deck *)
+  anchor : string option;  (** position-free re-location key
+      (["element:R1"], ["node:a"], ["param:c"], ["slot:3"],
+      ["analysis:0"]): lets a cached, layout-independent finding get its
+      [loc] re-resolved against any deck with the same canonical hash *)
 }
 
 val make :
-  ?loc:Loc.t -> rule:string -> severity:severity -> subject:string ->
-  string -> t
+  ?loc:Loc.t -> ?anchor:string -> rule:string -> severity:severity ->
+  subject:string -> string -> t
 
 val compare : t -> t -> int
 (** Errors first, then warnings, then infos; ties broken by rule id,
-    then subject — a deterministic report order. *)
+    then subject, then message — a deterministic report order. *)
 
 val sort : t list -> t list
 
@@ -42,6 +46,17 @@ val render : ?source:Source.t -> t -> string
     under a caret (same shape as {!Scnoise_lang.Diag.render}). *)
 
 val to_json : t -> Scnoise_obs.Json.t
+(** Full record, [loc] as a ["file:line:col"] string (or [null]). *)
+
+val to_json_positionless : t -> Scnoise_obs.Json.t
+(** {!to_json} without the [loc] field: the layout-independent shape the
+    serve tier caches under the canonical deck hash.  Locations are
+    re-derived per request from [anchor] (see
+    {!Check.resolve_anchor}). *)
+
+val of_json : Scnoise_obs.Json.t -> t option
+(** Inverse of {!to_json_positionless} ([loc] is ignored if present);
+    [None] when the object is missing a required field. *)
 
 val errors : t list -> int
 
@@ -49,4 +64,5 @@ val warnings : t list -> int
 
 val record : t list -> unit
 (** Bump the [check.findings.error] / [check.findings.warning]
-    {!Scnoise_obs.Obs} counters. *)
+    {!Scnoise_obs.Obs} counters, plus one [check.rule.ERCnnn] counter
+    per finding. *)

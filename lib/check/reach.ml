@@ -1,0 +1,171 @@
+module Sparsity = Scnoise_circuit.Sparsity
+
+(* Vertex (node, phase) is indexed [(node - 1) * n_phases + phase];
+   ground never appears (it neither carries nor emits noise signal). *)
+
+let check ~node_name ~locate_element ~locate_node ~floating ~output
+    (sp : Sparsity.t) =
+  match output with
+  | None -> []
+  | Some out when out <= 0 -> []
+  | Some out ->
+      let n = sp.Sparsity.n_nodes in
+      let nph = sp.Sparsity.n_phases in
+      let classes = sp.Sparsity.classes in
+      (* a node can carry noise signal (its voltage is not deterministic) *)
+      let emitter i =
+        i > 0
+        &&
+        match classes.(i) with
+        | Sparsity.Dynamic | Sparsity.Resistive | Sparsity.Driven_opamp -> true
+        | Sparsity.Ground | Sparsity.Driven_vsource -> false
+      in
+      (* a node accepts injected current (it is not held by a source);
+         op-amp outputs only accept through their sense edge *)
+      let receiver i =
+        i > 0
+        &&
+        match classes.(i) with
+        | Sparsity.Dynamic | Sparsity.Resistive -> true
+        | Sparsity.Ground | Sparsity.Driven_vsource | Sparsity.Driven_opamp ->
+            false
+      in
+      let state i =
+        i > 0
+        &&
+        match classes.(i) with
+        | Sparsity.Dynamic | Sparsity.Driven_opamp -> true
+        | Sparsity.Ground | Sparsity.Driven_vsource | Sparsity.Resistive ->
+            false
+      in
+      let nv = n * nph in
+      let v node p = ((node - 1) * nph) + p in
+      (* reversed adjacency: we BFS backwards from the output layer *)
+      let radj = Array.make nv [] in
+      let add_edge a b p = radj.(v b p) <- v a p :: radj.(v b p) in
+      let couple a b =
+        for p = 0 to nph - 1 do
+          if emitter a && receiver b then add_edge a b p;
+          if emitter b && receiver a then add_edge b a p
+        done
+      in
+      List.iter
+        (fun (e : Sparsity.cap_edge) ->
+          if e.Sparsity.c_n1 > 0 && e.Sparsity.c_n2 > 0 then
+            couple e.Sparsity.c_n1 e.Sparsity.c_n2)
+        sp.Sparsity.cap_edges;
+      Array.iteri
+        (fun p edges ->
+          List.iter
+            (fun (e : Sparsity.cond_edge) ->
+              let a = e.Sparsity.g_n1 and b = e.Sparsity.g_n2 in
+              if a > 0 && b > 0 then begin
+                if emitter a && receiver b then add_edge a b p;
+                if emitter b && receiver a then add_edge b a p
+              end)
+            edges)
+        sp.Sparsity.cond_edges;
+      List.iter
+        (fun (s : Sparsity.sense) ->
+          let out_n = s.Sparsity.s_out in
+          if out_n > 0 then
+            List.iter
+              (fun t ->
+                if emitter t then
+                  for p = 0 to nph - 1 do
+                    add_edge t out_n p
+                  done)
+              [ s.Sparsity.s_plus; s.Sparsity.s_minus ])
+        sp.Sparsity.senses;
+      (* charge transfer across the phase boundary: state nodes keep
+         their value into the next phase (cyclically) *)
+      for node = 1 to n do
+        if state node then
+          for p = 0 to nph - 1 do
+            radj.(v node ((p + 1) mod nph)) <- v node p :: radj.(v node ((p + 1) mod nph))
+          done
+      done;
+      (* reverse BFS from the output in every phase *)
+      let reaches_output = Array.make nv false in
+      let queue = Queue.create () in
+      for p = 0 to nph - 1 do
+        reaches_output.(v out p) <- true;
+        Queue.add (v out p) queue
+      done;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        List.iter
+          (fun y ->
+            if not reaches_output.(y) then begin
+              reaches_output.(y) <- true;
+              Queue.add y queue
+            end)
+          radj.(x)
+      done;
+      let phases_of = function
+        | None -> List.init nph Fun.id
+        | Some ps -> ps
+      in
+      (* the (node, phase) vertices where the source actually enters the
+         system: injecting into a held node is absorbed by the source *)
+      let starts (inj : Sparsity.injection) =
+        List.concat_map
+          (fun node ->
+            if inj.Sparsity.i_direct || receiver node then
+              List.map (fun p -> (node, p)) (phases_of inj.Sparsity.i_phases)
+            else [])
+          inj.Sparsity.i_nodes
+      in
+      (* suppress sources whose defect a more specific rule already
+         names: a never-closed switch (ERC004/ERC005), a source all of
+         whose terminals are held so its current is absorbed by the
+         ideal sources (ERC003 territory when it matters), and a source
+         whose every entry point is an ERC001-floating node *)
+      let considered =
+        List.filter
+          (fun (inj : Sparsity.injection) ->
+            inj.Sparsity.i_phases <> Some []
+            &&
+            let ss = starts inj in
+            ss <> [] && List.exists (fun (n, p) -> not floating.(p).(n)) ss)
+          sp.Sparsity.injections
+      in
+      let alive inj =
+        List.exists (fun (n, p) -> reaches_output.(v n p)) (starts inj)
+      in
+      let elem_of_label l =
+        match Filename.chop_suffix_opt ~suffix:".vn" l with
+        | Some e -> e
+        | None -> l
+      in
+      let dead = List.filter (fun i -> not (alive i)) considered in
+      let n_inj = List.length considered in
+      if n_inj > 0 && List.length dead = n_inj then
+        [
+          Finding.make
+            ?loc:(locate_node (node_name out))
+            ~anchor:("node:" ^ node_name out)
+            ~rule:"ERC013-output-isolated" ~severity:Finding.Warning
+            ~subject:(node_name out)
+            (Printf.sprintf
+               "output node %S is unreachable from all %d noise source%s in \
+                every phase sequence: every computed spectrum will be \
+                identically zero"
+               (node_name out) n_inj
+               (if n_inj = 1 then "" else "s"));
+        ]
+      else
+        List.map
+          (fun (inj : Sparsity.injection) ->
+            let elem = elem_of_label inj.Sparsity.i_label in
+            Finding.make
+              ?loc:(locate_element elem)
+              ~anchor:("element:" ^ elem) ~rule:"ERC012-dead-source"
+              ~severity:Finding.Warning ~subject:inj.Sparsity.i_label
+              (Printf.sprintf
+                 "noise source %S can never reach output %S: no conductive \
+                  path within a phase or capacitive charge transfer across \
+                  phase boundaries connects them; it contributes exactly \
+                  zero to every spectrum"
+                 inj.Sparsity.i_label (node_name out)))
+          dead

@@ -1,0 +1,30 @@
+(** ERC012 / ERC013: phase-sequenced noise-path reachability.
+
+    Builds a layered digraph over (node, phase) pairs: conductive and
+    capacitive couplings propagate signal within a phase (into nodes
+    that are not held by a source), op-amp inputs propagate to their
+    outputs, and state-carrying nodes (capacitor nodes and integrator
+    outputs) carry their value across each phase boundary — the
+    charge-transfer edges that make switched-capacitor paths visible
+    even when no single phase connects source to output.
+
+    A noise source none of whose injection points reaches the output in
+    any phase sequence is dead: deleting it changes every computed
+    spectrum by exactly zero (the compiled system is block-diagonal
+    across the cut).  ERC012 flags each such source; when {e every}
+    source is dead, a single ERC013 on the output node replaces the
+    per-source findings.  Both are warnings — the deck still computes,
+    the result just ignores those sources. *)
+
+val check :
+  node_name:(int -> string) ->
+  locate_element:(string -> Scnoise_lang.Loc.t option) ->
+  locate_node:(string -> Scnoise_lang.Loc.t option) ->
+  floating:bool array array ->
+  output:int option ->
+  Scnoise_circuit.Sparsity.t ->
+  Finding.t list
+(** [floating.(p).(i)] must be ERC001's verdict for node [i] in phase
+    [p]: sources whose every entry point is already reported floating
+    (and switches that never close, ERC004/ERC005) are not re-reported
+    here.  [output] is the output node's id. *)

@@ -1,0 +1,186 @@
+type node_class =
+  | Ground
+  | Dynamic
+  | Resistive
+  | Driven_vsource
+  | Driven_opamp
+
+type cond_edge = { g_n1 : int; g_n2 : int; g : float; g_elem : string }
+
+type cap_edge = { c_n1 : int; c_n2 : int; c : float; c_elem : string }
+
+type sense = {
+  s_plus : int;
+  s_minus : int;
+  s_out : int;
+  s_gain : float;
+  s_elem : string;
+  s_integrator : bool;
+}
+
+type injection = {
+  i_label : string;
+  i_nodes : int list;
+  i_phases : int list option;
+  i_direct : bool;
+}
+
+type t = {
+  n_nodes : int;
+  n_phases : int;
+  classes : node_class array;
+  cap_edges : cap_edge list;
+  cond_edges : cond_edge list array;
+  senses : sense list;
+  injections : injection list;
+}
+
+let of_netlist nl clock =
+  let els = Netlist.elements nl in
+  let n_all = Netlist.n_nodes nl in
+  let n_phases = Clock.n_phases clock in
+  (* classification mirrors Compile: driven wins over dynamic wins over
+     resistive *)
+  let driven_v = Array.make (n_all + 1) false in
+  let driven_o = Array.make (n_all + 1) false in
+  let has_cap = Array.make (n_all + 1) false in
+  List.iter
+    (function
+      | Netlist.Vsource { n; _ } -> driven_v.(n) <- true
+      | Netlist.Opamp_integrator { out; _ } -> driven_o.(out) <- true
+      | Netlist.Capacitor { n1; n2; _ } ->
+          if n1 > 0 then has_cap.(n1) <- true;
+          if n2 > 0 then has_cap.(n2) <- true
+      | Netlist.Opamp_single_stage { out; _ } -> has_cap.(out) <- true
+      | Netlist.Resistor _ | Netlist.Switch _ | Netlist.Isource _
+      | Netlist.Noise_isource _ | Netlist.Flicker_isource _ ->
+          ())
+    els;
+  let classes =
+    Array.init (n_all + 1) (fun i ->
+        if i = 0 then Ground
+        else if driven_v.(i) then Driven_vsource
+        else if driven_o.(i) then Driven_opamp
+        else if has_cap.(i) then Dynamic
+        else Resistive)
+  in
+  let cap_edges =
+    List.filter_map
+      (function
+        | Netlist.Capacitor { name; n1; n2; c } ->
+            Some { c_n1 = n1; c_n2 = n2; c; c_elem = name }
+        | Netlist.Opamp_single_stage { name; out; cout; _ } ->
+            Some { c_n1 = out; c_n2 = 0; c = cout; c_elem = name }
+        | _ -> None)
+      els
+  in
+  let cond_edges =
+    Array.init n_phases (fun p ->
+        List.filter_map
+          (function
+            | Netlist.Resistor { name; n1; n2; r; _ } ->
+                Some { g_n1 = n1; g_n2 = n2; g = 1.0 /. r; g_elem = name }
+            | Netlist.Switch { name; n1; n2; r_on; closed_in; _ }
+              when List.mem p closed_in ->
+                Some { g_n1 = n1; g_n2 = n2; g = 1.0 /. r_on; g_elem = name }
+            | Netlist.Opamp_single_stage { name; out; rout; _ } ->
+                Some { g_n1 = out; g_n2 = 0; g = 1.0 /. rout; g_elem = name }
+            | _ -> None)
+          els)
+  in
+  let senses =
+    List.filter_map
+      (function
+        | Netlist.Opamp_integrator { name; plus; minus; out; ugf; _ } ->
+            Some
+              {
+                s_plus = plus;
+                s_minus = minus;
+                s_out = out;
+                s_gain = ugf;
+                s_elem = name;
+                s_integrator = true;
+              }
+        | Netlist.Opamp_single_stage { name; plus; minus; out; gm; _ } ->
+            Some
+              {
+                s_plus = plus;
+                s_minus = minus;
+                s_out = out;
+                s_gain = gm;
+                s_elem = name;
+                s_integrator = false;
+              }
+        | _ -> None)
+      els
+  in
+  let valid_phases ps =
+    List.sort_uniq compare (List.filter (fun p -> p >= 0 && p < n_phases) ps)
+  in
+  let terminals ids = List.sort_uniq compare (List.filter (fun i -> i > 0) ids) in
+  let injections =
+    List.filter_map
+      (function
+        | Netlist.Resistor { name; n1; n2; noisy = true; _ } ->
+            Some
+              {
+                i_label = name;
+                i_nodes = terminals [ n1; n2 ];
+                i_phases = None;
+                i_direct = false;
+              }
+        | Netlist.Switch { name; n1; n2; noisy = true; closed_in; _ } ->
+            Some
+              {
+                i_label = name;
+                i_nodes = terminals [ n1; n2 ];
+                i_phases = Some (valid_phases closed_in);
+                i_direct = false;
+              }
+        | Netlist.Noise_isource { name; n1; n2; psd } when psd > 0.0 ->
+            Some
+              {
+                i_label = name;
+                i_nodes = terminals [ n1; n2 ];
+                i_phases = None;
+                i_direct = false;
+              }
+        | Netlist.Flicker_isource { name; n1; n2; psd_1hz; _ }
+          when psd_1hz > 0.0 ->
+            Some
+              {
+                i_label = name;
+                i_nodes = terminals [ n1; n2 ];
+                i_phases = None;
+                i_direct = false;
+              }
+        | Netlist.Opamp_integrator { name; out; input_noise_psd; _ }
+          when input_noise_psd > 0.0 ->
+            Some
+              {
+                i_label = name ^ ".vn";
+                i_nodes = terminals [ out ];
+                i_phases = None;
+                i_direct = true;
+              }
+        | Netlist.Opamp_single_stage { name; out; input_noise_psd; _ }
+          when input_noise_psd > 0.0 ->
+            Some
+              {
+                i_label = name ^ ".vn";
+                i_nodes = terminals [ out ];
+                i_phases = None;
+                i_direct = true;
+              }
+        | _ -> None)
+      els
+  in
+  {
+    n_nodes = n_all;
+    n_phases;
+    classes;
+    cap_edges;
+    cond_edges;
+    senses;
+    injections;
+  }

@@ -1,0 +1,76 @@
+(** Structural digest of a netlist + clock: the per-phase MNA sparsity
+    pattern the compiler would assemble, without building or factoring
+    any matrix.
+
+    {!Compile} classifies nodes, stamps per-phase Laplacians, and LU-
+    factors two blocks: the phase-independent dynamic capacitance block
+    [C_dd] and each phase's resistive conductance block [G_rr].  The
+    static-analysis passes in [Scnoise_check] need exactly the patterns
+    and magnitudes of those stamps — singularity of a Laplacian block is
+    a graph property — so this module exposes them as labelled edge
+    lists, cheap enough to run at admission time on every request. *)
+
+module Netlist := Netlist
+module Clock := Clock
+
+type node_class =
+  | Ground
+  | Dynamic  (** touches a capacitor (or single-stage output): a state *)
+  | Resistive  (** purely algebraic; Schur-eliminated by the compiler *)
+  | Driven_vsource  (** held by a voltage source *)
+  | Driven_opamp  (** integrator op-amp output: held within a phase,
+      but its state crosses phase boundaries *)
+
+type cond_edge = {
+  g_n1 : int;
+  g_n2 : int;  (** node ids; [0] is ground *)
+  g : float;  (** conductance magnitude of the stamp, siemens *)
+  g_elem : string;  (** stamping element's name *)
+}
+
+type cap_edge = {
+  c_n1 : int;
+  c_n2 : int;
+  c : float;  (** capacitance magnitude of the stamp, farads *)
+  c_elem : string;
+}
+
+type sense = {
+  s_plus : int;
+  s_minus : int;
+  s_out : int;
+  s_gain : float;  (** ugf (integrator, 1/s) or gm (single-stage, A/V) *)
+  s_elem : string;
+  s_integrator : bool;  (** true: output is a {!Driven_opamp} state;
+      false: transconductance into a {!Dynamic} output node *)
+}
+
+type injection = {
+  i_label : string;  (** matches the compiler's noise-source label *)
+  i_nodes : int list;  (** non-ground terminals where the source injects
+      current (for op-amp input noise: the output node, where the
+      equivalent source acts) *)
+  i_phases : int list option;  (** [None]: active in every phase;
+      [Some ps]: only in phases [ps] (noisy switches) *)
+  i_direct : bool;  (** true for op-amp input-referred noise: it forces
+      the output state directly rather than injecting a current, so it
+      is effective even though the node is held *)
+}
+
+type t = {
+  n_nodes : int;  (** named (non-ground) nodes; ids are 1..n_nodes *)
+  n_phases : int;
+  classes : node_class array;  (** length [n_nodes + 1], index 0 ground *)
+  cap_edges : cap_edge list;  (** phase-independent capacitive stamps *)
+  cond_edges : cond_edge list array;  (** per-phase conductive stamps:
+      resistors, closed switches, single-stage output conductances *)
+  senses : sense list;  (** op-amp controlled sources (phase-independent) *)
+  injections : injection list;  (** every noise source the compiler
+      would stamp, in element order *)
+}
+
+val of_netlist : Netlist.t -> Clock.t -> t
+(** Pure pattern extraction: never raises on structurally defective
+    decks (switch phases outside the clock schedule are ignored, exactly
+    as an open switch), so it can run before any ERC rule has vetted the
+    deck. *)

@@ -3,7 +3,7 @@ type binop = Add | Sub | Mul | Div | Pow
 type expr = { e : expr_node; eloc : Loc.t }
 
 and expr_node =
-  | Num of float
+  | Num of float * string
   | Ref of string
   | Neg of expr
   | Bin of binop * expr * expr

@@ -10,7 +10,10 @@ type binop = Add | Sub | Mul | Div | Pow
 type expr = { e : expr_node; eloc : Loc.t }
 
 and expr_node =
-  | Num of float
+  | Num of float * string
+      (** value plus its canonical unit annotation from the lexer
+          (["ohm"], ["F"], ["Hz"], ["V"], ["A"], ["s"], ["K"], or [""]
+          when the literal carried none) *)
   | Ref of string  (** parameter or built-in constant ([pi]) *)
   | Neg of expr
   | Bin of binop * expr * expr

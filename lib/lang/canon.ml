@@ -18,7 +18,9 @@ open Ast
 
 let version = "scnoise.canon/1"
 
-let num ~params x = { e = Num (Elab.eval_const ~params x); eloc = Loc.dummy }
+(* Unit annotations are dropped: they change nothing about the compiled
+   system, so "1pF" and "1e-12" must share a content address. *)
+let num ~params x = { e = Num (Elab.eval_const ~params x, ""); eloc = Loc.dummy }
 
 let num_opt ~params = Option.map (num ~params)
 

@@ -19,6 +19,8 @@ type analysis =
       k : int option;
     }
 
+type slot = { slot_what : string; slot_dim : string; slot_expr : Ast.expr }
+
 type t = {
   netlist : Netlist.t;
   clock : Clock.t;
@@ -30,6 +32,8 @@ type t = {
   unused_params : (string * Loc.t) list;
   element_locs : (string * Loc.t) list;
   node_locs : (string * Loc.t) list;
+  value_slots : slot list;
+  param_exprs : (string * Ast.expr) list;
 }
 
 (* ---- expression evaluation ---- *)
@@ -40,7 +44,7 @@ let constants = [ ("pi", Float.pi) ]
    latter feeds the ERC unused-parameter rule. *)
 let rec eval env x =
   match x.e with
-  | Num v -> v
+  | Num (v, _) -> v
   | Ref name -> (
       match Hashtbl.find_opt env name with
       | Some (v, used) ->
@@ -134,6 +138,81 @@ let eval_wave env loc = function
           let t1, v1 = arr.(!i) and t2, v2 = arr.(!i + 1) in
           v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
         end
+
+(* ---- dimension-annotated value slots ----
+
+   Every element-card value, clock/temp directive, and analysis
+   parameter has an expected physical dimension fixed by its syntactic
+   position.  We expose the raw expression trees tagged with those
+   dimensions so the checker's units-inference pass (ERC014) can verify
+   annotated literals without re-parsing the deck.  The [slot_dim]
+   grammar is the one {!Scnoise_check} parses: unit atoms possibly
+   squared ("A2"), an optional "/" divisor, "1" for dimensionless. *)
+
+let slot what dim e = { slot_what = what; slot_dim = dim; slot_expr = e }
+
+let opt_slot what dim = function Some e -> [ slot what dim e ] | None -> []
+
+let wave_slots what dim = function
+  | Dc v -> [ slot (what ^ " dc") dim v ]
+  | Sin { offset; amp; freq; phase_deg } ->
+      slot (what ^ " offset") dim offset
+      :: slot (what ^ " amp") dim amp
+      :: slot (what ^ " freq") "Hz" freq
+      :: opt_slot (what ^ " phase") "1" phase_deg
+  | Pwl pts ->
+      List.concat_map
+        (fun (t, v) ->
+          [ slot (what ^ " pwl time") "s" t; slot (what ^ " pwl value") dim v ])
+        pts
+
+let card_slots = function
+  | Resistor { name; r; _ } -> [ slot (name ^ " r") "ohm" r ]
+  | Capacitor { name; c; _ } -> [ slot (name ^ " c") "F" c ]
+  | Switch { name; r_on; _ } -> [ slot (name ^ " r_on") "ohm" r_on ]
+  | Vsource { name; wave; _ } -> wave_slots name "V" wave
+  | Isource { name; wave; _ } -> wave_slots name "A" wave
+  | Noise { name; kind = White { psd }; _ } ->
+      [ slot (name ^ " psd") "A2/Hz" psd ]
+  | Noise { name; kind = Flicker f; _ } ->
+      slot (name ^ " psd1hz") "A2/Hz" f.psd_1hz
+      :: slot (name ^ " fmin") "Hz" f.fmin
+      :: slot (name ^ " fmax") "Hz" f.fmax
+      :: opt_slot (name ^ " spd") "1" f.sections_per_decade
+  | Opamp_integrator { name; ugf; noise; _ } ->
+      slot (name ^ " ugf") "Hz" ugf :: opt_slot (name ^ " noise") "V2/Hz" noise
+  | Opamp_single_stage { name; gm; rout; cout; noise; _ } ->
+      slot (name ^ " gm") "A/V" gm
+      :: slot (name ^ " rout") "ohm" rout
+      :: slot (name ^ " cout") "F" cout
+      :: opt_slot (name ^ " noise") "V2/Hz" noise
+
+let clock_slots = function
+  | Clock_duty { period; duty } ->
+      [ slot ".clock period" "s" period; slot ".clock duty" "1" duty ]
+  | Clock_two_phase { period; gap } ->
+      slot ".clock period" "s" period :: opt_slot ".clock gap" "1" gap
+  | Clock_phases ds -> List.map (fun d -> slot ".clock phase" "s" d) ds
+
+let analysis_slots = function
+  | Ast.Psd { fmin; fmax; points; _ } ->
+      opt_slot ".psd fmin" "Hz" fmin
+      @ opt_slot ".psd fmax" "Hz" fmax
+      @ opt_slot ".psd points" "1" points
+  | Ast.Variance -> []
+  | Ast.Contrib { f } -> opt_slot ".contrib f" "Hz" f
+  | Ast.Transfer { fmin; fmax; points; k } ->
+      opt_slot ".transfer fmin" "Hz" fmin
+      @ opt_slot ".transfer fmax" "Hz" fmax
+      @ opt_slot ".transfer points" "1" points
+      @ opt_slot ".transfer k" "1" k
+
+let stmt_slots = function
+  | Card c -> card_slots c
+  | Clock c -> clock_slots c
+  | Temp e -> [ slot ".temp" "K" e ]
+  | Analysis a -> analysis_slots a
+  | Param _ | Output _ | End -> []
 
 (* ---- elaboration ---- *)
 
@@ -329,4 +408,11 @@ let elaborate (deck : Ast.deck) =
     unused_params;
     element_locs = List.rev !element_locs;
     node_locs;
+    value_slots = List.concat_map (fun { s; sloc = _ } -> stmt_slots s) deck.stmts;
+    param_exprs =
+      List.filter_map
+        (function
+          | { s = Param { pname; value }; sloc = _ } -> Some (pname, value)
+          | _ -> None)
+        deck.stmts;
   }

@@ -36,6 +36,14 @@ type analysis =
       k : int option;
     }
 
+type slot = { slot_what : string; slot_dim : string; slot_expr : Ast.expr }
+(** One value position in the deck whose physical dimension is fixed by
+    syntax: [slot_what] names it for diagnostics ("R1 r", ".clock
+    period"), [slot_dim] is the expected dimension ("ohm", "F", "Hz",
+    "V", "A", "s", "K", "A/V", "A2/Hz", "V2/Hz", or "1" for
+    dimensionless), and [slot_expr] is the raw expression tree with
+    locations and unit annotations intact. *)
+
 type t = {
   netlist : Netlist.t;
   clock : Clock.t;
@@ -49,6 +57,10 @@ type t = {
       by any later expression, deck order *)
   element_locs : (string * Loc.t) list;  (** element name → its card *)
   node_locs : (string * Loc.t) list;  (** node name → first reference *)
+  value_slots : slot list;  (** every dimensioned value position, deck
+      order — consumed by the units ERC pass *)
+  param_exprs : (string * Ast.expr) list;  (** raw [.param] expression
+      trees, deck order *)
 }
 
 val elaborate : Ast.deck -> t

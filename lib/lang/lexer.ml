@@ -1,6 +1,9 @@
 type token =
   | IDENT of string
-  | NUMBER of float
+  | NUMBER of float * string
+      (** value and canonical unit annotation ([""] when the literal
+          carried none): ["ohm"], ["F"], ["Hz"], ["V"], ["A"], ["s"] or
+          ["K"] *)
   | DIRECTIVE of string
   | LBRACE
   | RBRACE
@@ -28,26 +31,58 @@ let is_ident_start c = is_letter c || c = '_'
 
 let is_ident_char c = is_letter c || is_digit c || c = '_'
 
+(* Unit tails after the SI scale ("2.5pF", "10kohm") canonicalise to a
+   dimension annotation the checker's units-inference pass consumes.
+   Unrecognised tails stay silently ignored (SPICE convention), so
+   decks that never spell units behave exactly as before. *)
+let unit_of_tail s =
+  match s with
+  | "ohm" | "ohms" -> Some "ohm"
+  | "f" | "farad" | "farads" -> Some "F"
+  | "hz" | "hertz" -> Some "Hz"
+  | "v" | "volt" | "volts" -> Some "V"
+  | "a" | "amp" | "amps" | "ampere" | "amperes" -> Some "A"
+  | "s" | "sec" | "second" | "seconds" -> Some "s"
+  | "kelvin" -> Some "K"
+  | _ -> None
+
 (* SI suffix table, as a decimal exponent so the suffix can be spliced
    into the literal and the value stays correctly rounded (10u lexes to
    exactly 1e-5, not 10.0 *. 1e-6).  "meg" must be tried before the
-   single-letter "m". *)
-let suffix_exp loc letters =
+   single-letter "m".  A whole-word unit name binds before a scale
+   letter ("1farad" is one farad, not femto-junk) — but the bare "f"
+   keeps its SPICE meaning, femto.  Returns (decimal exponent,
+   canonical unit annotation or ""). *)
+let suffix_parse loc letters =
   let s = String.lowercase_ascii letters in
   let starts p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
-  if s = "" then 0
-  else if starts "meg" then 6
+  if s = "" then (0, "")
   else
-    match s.[0] with
-    | 't' -> 12
-    | 'g' -> 9
-    | 'k' -> 3
-    | 'm' -> -3
-    | 'u' -> -6
-    | 'n' -> -9
-    | 'p' -> -12
-    | 'f' -> -15
-    | _ -> Diag.error loc "unknown SI suffix %S on number" letters
+    match unit_of_tail s with
+    | Some u when String.length s > 1 -> (0, u)
+    | _ ->
+        let scale, tail =
+          if starts "meg" then (Some 6, String.sub s 3 (String.length s - 3))
+          else
+            let se =
+              match s.[0] with
+              | 't' -> Some 12
+              | 'g' -> Some 9
+              | 'k' -> Some 3
+              | 'm' -> Some (-3)
+              | 'u' -> Some (-6)
+              | 'n' -> Some (-9)
+              | 'p' -> Some (-12)
+              | 'f' -> Some (-15)
+              | _ -> None
+            in
+            (se, String.sub s 1 (String.length s - 1))
+        in
+        (match (scale, unit_of_tail s) with
+        | Some se, _ ->
+            (se, match unit_of_tail tail with Some u -> u | None -> "")
+        | None, Some u -> (0, u) (* single-letter unit: "s", "v", "a" *)
+        | None, None -> Diag.error loc "unknown SI suffix %S on number" letters)
 
 (* Lex the payload of one physical line (the continuation '+', if any,
    already consumed) into [acc]. *)
@@ -81,8 +116,9 @@ let lex_line ~file ~lineno ~start line acc =
       | Some v -> v
       | None -> Diag.error (loc_at p0) "malformed number %S" mantissa
     in
+    let se, unit = suffix_parse (loc_at s0) letters in
     let v =
-      match suffix_exp (loc_at s0) letters with
+      match se with
       | 0 -> v
       | se ->
           let base, ex =
@@ -99,7 +135,7 @@ let lex_line ~file ~lineno ~start line acc =
           in
           float_of_string (Printf.sprintf "%se%d" base (ex + se))
     in
-    emit (NUMBER v) p0;
+    emit (NUMBER (v, unit)) p0;
     pos := !p
   in
   while !pos < n do
@@ -188,7 +224,8 @@ let tokenize source =
 
 let describe = function
   | IDENT s -> Printf.sprintf "identifier %S" s
-  | NUMBER v -> Printf.sprintf "number %g" v
+  | NUMBER (v, "") -> Printf.sprintf "number %g" v
+  | NUMBER (v, u) -> Printf.sprintf "number %g %s" v u
   | DIRECTIVE d -> Printf.sprintf "directive .%s" d
   | LBRACE -> "'{'"
   | RBRACE -> "'}'"

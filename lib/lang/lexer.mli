@@ -7,10 +7,14 @@
     - a line whose first non-blank character is [+] continues the
       previous logical line (no {!EOL} is emitted between them);
     - numbers are decimal floats with an optional SI suffix
-      ([f p n u m k meg g t], case-insensitive); alphabetic unit tails
-      after the suffix are ignored, so [10kohm], [2.5pF] and [1meg] all
-      lex as expected.  An alphabetic tail that starts with no known
-      suffix (e.g. [10q]) is a lexical error;
+      ([f p n u m k meg g t], case-insensitive); a recognised alphabetic
+      unit tail after the suffix ([ohm farad hz volt amp sec kelvin] and
+      their variants) is canonicalised into the token's unit annotation,
+      so [10kohm], [2.5pF] and [1meg] all lex as expected and carry
+      their unit when one was spelled.  A whole-word unit name binds
+      before a scale letter ([1farad] is one farad), except the bare [f]
+      which keeps its SPICE meaning, femto.  An alphabetic tail that is
+      neither a scale nor a unit (e.g. [10q]) is a lexical error;
     - identifiers are [[A-Za-z_][A-Za-z0-9_]*]; a [.] followed by a
       letter begins a directive name ([.clock], [.psd], ...).
 
@@ -18,7 +22,10 @@
 
 type token =
   | IDENT of string
-  | NUMBER of float
+  | NUMBER of float * string
+      (** value and canonical unit annotation ([""] when the literal
+          carried none): ["ohm"], ["F"], ["Hz"], ["V"], ["A"], ["s"] or
+          ["K"] *)
   | DIRECTIVE of string  (** lowercased, without the dot *)
   | LBRACE
   | RBRACE

@@ -29,12 +29,12 @@ let rec parse_primary st =
   let t = next st in
   let loc = t.Lexer.loc in
   match t.Lexer.tok with
-  | Lexer.NUMBER v -> { e = Num v; eloc = loc }
+  | Lexer.NUMBER (v, u) -> { e = Num (v, u); eloc = loc }
   | Lexer.MINUS -> (
       match (peek st).Lexer.tok with
-      | Lexer.NUMBER v ->
+      | Lexer.NUMBER (v, u) ->
           ignore (next st);
-          { e = Num (-.v); eloc = loc }
+          { e = Num (-.v, u); eloc = loc }
       | _ -> { e = Neg (parse_primary st); eloc = loc })
   | Lexer.IDENT name -> (
       match (peek st).Lexer.tok with
@@ -93,15 +93,15 @@ and parse_expr st =
 let parse_value st =
   let t = peek st in
   match t.Lexer.tok with
-  | Lexer.NUMBER v ->
+  | Lexer.NUMBER (v, u) ->
       ignore (next st);
-      { e = Num v; eloc = t.Lexer.loc }
+      { e = Num (v, u); eloc = t.Lexer.loc }
   | Lexer.MINUS -> (
       ignore (next st);
       match (peek st).Lexer.tok with
-      | Lexer.NUMBER v ->
+      | Lexer.NUMBER (v, u) ->
           ignore (next st);
-          { e = Num (-.v); eloc = t.Lexer.loc }
+          { e = Num (-.v, u); eloc = t.Lexer.loc }
       | _ -> syntax_error (peek st) "a number after '-'")
   | Lexer.LBRACE -> (
       ignore (next st);
@@ -120,9 +120,9 @@ let parse_node st =
   let t = next st in
   match t.Lexer.tok with
   | Lexer.IDENT name -> { nname = name; nloc = t.Lexer.loc }
-  | Lexer.NUMBER v ->
+  | Lexer.NUMBER (v, u) ->
       let i = int_of_float v in
-      if float_of_int i <> v || i < 0 then
+      if float_of_int i <> v || i < 0 || u <> "" then
         Diag.error t.Lexer.loc "node names must be identifiers or nonnegative integers";
       { nname = string_of_int i; nloc = t.Lexer.loc }
   | _ -> syntax_error t "a node name"
@@ -139,9 +139,9 @@ let parse_int_list st =
   let one () =
     let t = next st in
     match t.Lexer.tok with
-    | Lexer.NUMBER v ->
+    | Lexer.NUMBER (v, u) ->
         let i = int_of_float v in
-        if float_of_int i <> v || i < 0 then
+        if float_of_int i <> v || i < 0 || u <> "" then
           Diag.error t.Lexer.loc "expected a nonnegative integer";
         i
     | _ -> syntax_error t "an integer"

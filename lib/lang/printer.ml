@@ -9,9 +9,26 @@ let prec = function Add | Sub -> 1 | Mul | Div -> 2 | Pow -> 3
 
 let op_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Pow -> "^"
 
+(* Unit annotations survive the parse → print → parse round-trip by
+   printing a spelling the lexer maps back to the same canonical unit.
+   "F" and "s" need whole-word forms: a bare "f"/"s" tail would re-lex
+   as femto / second and "1s" is fine but "1F" would become 1e-15. *)
+let unit_tail = function
+  | "" -> ""
+  | "ohm" -> "ohm"
+  | "F" -> "farad"
+  | "Hz" -> "hz"
+  | "V" -> "volt"
+  | "A" -> "amp"
+  | "s" -> "sec"
+  | "K" -> "kelvin"
+  | u -> u
+
+let num_str v u = float_str v ^ unit_tail u
+
 let rec expr_prec level x =
   match x.e with
-  | Num v -> float_str v
+  | Num (v, u) -> num_str v u
   | Ref n -> n
   | Neg a ->
       let s = "-" ^ expr_prec 4 a in
@@ -30,7 +47,7 @@ let rec expr_prec level x =
 let expr x = expr_prec 0 x
 
 let value x =
-  match x.e with Num v -> float_str v | _ -> "{" ^ expr x ^ "}"
+  match x.e with Num (v, u) -> num_str v u | _ -> "{" ^ expr x ^ "}"
 
 let node n = n.nname
 

@@ -67,6 +67,104 @@ let test_unused_param () =
   expect_one "unused_param.scn" ~rule:"ERC007-unused-param"
     ~severity:Finding.Warning ~line:3 ~col:1
 
+let test_structural_singular () =
+  expect_one "structural_singular.scn" ~rule:"ERC011-structural-singular"
+    ~severity:Finding.Error ~line:6 ~col:8
+
+let test_dead_source () =
+  expect_one "dead_source.scn" ~rule:"ERC012-dead-source"
+    ~severity:Finding.Warning ~line:7 ~col:1
+
+let test_isolated_output () =
+  expect_one "isolated_output.scn" ~rule:"ERC013-output-isolated"
+    ~severity:Finding.Warning ~line:8 ~col:4
+
+let test_unit_mismatch () =
+  expect_one "unit_mismatch.scn" ~rule:"ERC014-dimension-mismatch"
+    ~severity:Finding.Error ~line:3 ~col:11
+
+let test_band_low () =
+  expect_one "band_low.scn" ~rule:"ERC015-band-capture"
+    ~severity:Finding.Warning ~line:7 ~col:1
+
+(* --- phase-aware passes: the semantic claims behind the rules --- *)
+
+let lu_count () =
+  Scnoise_obs.Obs.counter_value "lu_factorizations"
+  + Scnoise_obs.Obs.counter_value "clu_factorizations"
+
+(* The admission path (ERC gate, then compile only when clean) must
+   reject an ERC011 deck before ANY LU factorisation runs — the whole
+   point of predicting singularity structurally.  Bypassing the gate
+   reproduces the old behaviour: compile burns the factorisation and
+   only post-hoc ERC010 notices. *)
+let test_erc011_before_any_lu () =
+  let loaded = load (Filename.concat bad_dir "structural_singular.scn") in
+  let e = loaded.Deck.elab in
+  let before = lu_count () in
+  let fs = Check.check_elab e in
+  (match
+     List.filter (fun f -> f.Finding.rule = "ERC011-structural-singular") fs
+   with
+  | [ _ ] -> ()
+  | _ -> Alcotest.failf "expected one ERC011, got:\n%s" (show fs));
+  Alcotest.(check bool) "gate rejects" true (Finding.errors fs > 0);
+  Alcotest.(check int) "rejected path runs zero LU factorisations" before
+    (lu_count ());
+  let module Elab = Scnoise_lang.Elab in
+  let module Compile = Scnoise_circuit.Compile in
+  let since = Check.ill_conditioned_count () in
+  (match Compile.compile e.Elab.netlist e.Elab.clock with
+  | exception Compile.Error _ -> ()
+  | _ -> ());
+  Alcotest.(check bool) "ungated compile burns LU" true (lu_count () > before);
+  match Check.ill_conditioned ~since with
+  | _ :: _ -> ()
+  | [] -> Alcotest.fail "expected post-hoc ERC010 on the ungated path"
+
+(* ERC012 is a theorem, not a heuristic: the compiled system is
+   block-diagonal across the cut, so deleting the dead source changes
+   the spectrum by exactly zero — bitwise. *)
+let test_dead_source_psd_parity () =
+  let module Netlist = Scnoise_circuit.Netlist in
+  let module Clock = Scnoise_circuit.Clock in
+  let module Compile = Scnoise_circuit.Compile in
+  let module Pwl = Scnoise_circuit.Pwl in
+  let module Psd = Scnoise_core.Psd in
+  let build ~island_noisy =
+    let nl = Netlist.create () in
+    let out = Netlist.node nl "out" and iso = Netlist.node nl "iso" in
+    Netlist.resistor ~name:"R1" nl out Netlist.ground 10e3;
+    Netlist.capacitor ~name:"C1" nl out Netlist.ground 1e-12;
+    Netlist.resistor ~name:"R2" ~noisy:island_noisy nl iso Netlist.ground
+      10e3;
+    Netlist.capacitor ~name:"C2" nl iso Netlist.ground 1e-12;
+    nl
+  in
+  let clock = Clock.duty ~period:1e-6 ~duty:0.5 in
+  let noisy = build ~island_noisy:true in
+  (match
+     List.filter
+       (fun f -> f.Finding.rule = "ERC012-dead-source")
+       (Check.check ~output:"out" noisy clock)
+   with
+  | [ f ] -> Alcotest.(check string) "subject" "R2" f.Finding.subject
+  | fs -> Alcotest.failf "expected one ERC012, got:\n%s" (show fs));
+  let psd nl =
+    let sys = Compile.compile nl clock in
+    let output = Pwl.observable sys "out" in
+    let eng = Psd.prepare ~samples_per_phase:32 sys ~output in
+    Psd.sweep eng [| 1e3; 10e3; 100e3 |]
+  in
+  let a = psd noisy and b = psd (build ~island_noisy:false) in
+  Array.iteri
+    (fun i va ->
+      if Int64.bits_of_float va <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "deleting the dead source changed the psd at %g Hz: \
+                        %h vs %h"
+          [| 1e3; 10e3; 100e3 |].(i) va b.(i))
+    a
+
 (* --- structural rules straight on a programmatic netlist --- *)
 
 let test_cap_island () =
@@ -263,6 +361,19 @@ let () =
           Alcotest.test_case "phase range" `Quick test_phase_range;
           Alcotest.test_case "noiseless" `Quick test_noiseless;
           Alcotest.test_case "unused param" `Quick test_unused_param;
+          Alcotest.test_case "structural singular" `Quick
+            test_structural_singular;
+          Alcotest.test_case "dead source" `Quick test_dead_source;
+          Alcotest.test_case "isolated output" `Quick test_isolated_output;
+          Alcotest.test_case "unit mismatch" `Quick test_unit_mismatch;
+          Alcotest.test_case "band low" `Quick test_band_low;
+        ] );
+      ( "phase-aware",
+        [
+          Alcotest.test_case "erc011 before any lu" `Quick
+            test_erc011_before_any_lu;
+          Alcotest.test_case "dead source psd parity" `Quick
+            test_dead_source_psd_parity;
         ] );
       ( "structural",
         [

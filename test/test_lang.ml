@@ -25,7 +25,7 @@ let tokens_of text =
 
 let number_of text =
   match tokens_of text with
-  | { Lexer.tok = Lexer.NUMBER v; _ } :: _ -> v
+  | { Lexer.tok = Lexer.NUMBER (v, _); _ } :: _ -> v
   | _ -> Alcotest.failf "%S did not lex as a number" text
 
 let test_lexer_suffixes () =
@@ -51,6 +51,36 @@ let test_lexer_suffixes () =
   check "2.5pF" 2.5e-12;
   check "1megHz" 1e6
 
+let number_unit_of text =
+  match tokens_of text with
+  | { Lexer.tok = Lexer.NUMBER (v, u); _ } :: _ -> (v, u)
+  | _ -> Alcotest.failf "%S did not lex as a number" text
+
+let test_lexer_unit_tails () =
+  let check s v u =
+    let gv, gu = number_unit_of s in
+    if gv <> v || gu <> u then
+      Alcotest.failf "%S: expected (%.17g, %S), got (%.17g, %S)" s v u gv gu
+  in
+  (* scale prefix + canonical unit *)
+  check "10kohm" 1e4 "ohm";
+  check "2.5pF" 2.5e-12 "F";
+  check "1megHz" 1e6 "Hz";
+  check "3uV" 3e-6 "V";
+  check "9mA" 9e-3 "A";
+  check "1us" 1e-6 "s";
+  (* whole-word units with no scale *)
+  check "5ohm" 5.0 "ohm";
+  check "2farad" 2.0 "F";
+  check "1hz" 1.0 "Hz";
+  check "12volts" 12.0 "V";
+  check "1sec" 1.0 "s";
+  check "300kelvin" 300.0 "K";
+  (* a bare trailing scale letter stays a scale, never a unit *)
+  check "7f" 7e-15 "";
+  check "300K" 3e5 "";
+  check "42" 42.0 ""
+
 let test_lexer_comments_and_continuation () =
   let toks =
     tokens_of "* a full-line comment\nR1 a 0 1k ; trailing comment\n+ noiseless\n"
@@ -60,7 +90,7 @@ let test_lexer_comments_and_continuation () =
       (fun { Lexer.tok; _ } ->
         match tok with
         | Lexer.IDENT s -> "id:" ^ s
-        | Lexer.NUMBER v -> Printf.sprintf "num:%g" v
+        | Lexer.NUMBER (v, _) -> Printf.sprintf "num:%g" v
         | Lexer.EOL -> "eol"
         | Lexer.EOF -> "eof"
         | _ -> "other")
@@ -93,8 +123,8 @@ let test_parser_negative_literal () =
   let d = parse_text ".param x = -3\nR1 a 0 -2.5\n" in
   match List.map (fun s -> s.Ast.s) d.Ast.stmts with
   | [
-   Ast.Param { value = { Ast.e = Ast.Num v1; _ }; _ };
-   Ast.Card (Ast.Resistor { r = { Ast.e = Ast.Num v2; _ }; _ });
+   Ast.Param { value = { Ast.e = Ast.Num (v1, _); _ }; _ };
+   Ast.Card (Ast.Resistor { r = { Ast.e = Ast.Num (v2, _); _ }; _ });
   ] ->
       Alcotest.(check (float 0.0)) "param" (-3.0) v1;
       Alcotest.(check (float 0.0)) "r" (-2.5) v2
@@ -159,6 +189,20 @@ let check_roundtrip name text =
   Alcotest.(check string) (name ^ " idempotent") printed (Printer.deck ast')
 
 let test_roundtrip_kitchen_sink () = check_roundtrip "kitchen sink" kitchen_sink
+
+(* unit tails survive print → parse with their canonical spellings *)
+let test_roundtrip_units () =
+  check_roundtrip "unit tails"
+    ".param rload = 10kohm\n\
+     .param cval = 2.5pF\n\
+     R1 a 0 {rload}\n\
+     C1 a 0 {cval}\n\
+     V1 b dc 1V\n\
+     S1 a b 1k closed=0\n\
+     .clock duty period=1us duty=0.5\n\
+     .output a\n\
+     .psd fmin=1hz fmax=1megHz\n\
+     .end\n"
 
 let test_roundtrip_shipped_decks () =
   let decks = Sys.readdir deck_dir in
@@ -405,6 +449,7 @@ let () =
       ( "lexer",
         [
           Alcotest.test_case "si suffixes" `Quick test_lexer_suffixes;
+          Alcotest.test_case "unit tails" `Quick test_lexer_unit_tails;
           Alcotest.test_case "comments+continuation" `Quick
             test_lexer_comments_and_continuation;
           Alcotest.test_case "error loc" `Quick test_lexer_error_loc;
@@ -421,6 +466,7 @@ let () =
       ( "printer",
         [
           Alcotest.test_case "kitchen sink" `Quick test_roundtrip_kitchen_sink;
+          Alcotest.test_case "unit tails" `Quick test_roundtrip_units;
           Alcotest.test_case "shipped decks" `Quick
             test_roundtrip_shipped_decks;
           Alcotest.test_case "float_str" `Quick test_float_str_exact;

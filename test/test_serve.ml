@@ -321,6 +321,71 @@ let test_transfer_parity_and_inputs_error () =
         (Array.map (fun h -> h.(0).Scnoise_linalg.Cx.im) h);
       Scl.close conn)
 
+(* deck with one warning finding (ERC007), so the check reply carries a
+   located finding whose caret must be re-derived per request *)
+let deck_warn =
+  ".param unused = 1k\n\
+   R1 vout 0 10k\nC1 vout 0 1n\n\
+   .clock duty period=1u duty=0.5\n.output vout\n.end\n"
+
+let check_req ?(deck = deck_warn) () =
+  { Sp.rq_id = None; rq_deck = Some deck; rq_deck_name = "<test>";
+    rq_op = Sp.Check }
+
+let finding_locs what reply =
+  match Json.member "findings" (result_of what reply) with
+  | Some (Json.List l) ->
+      List.map
+        (fun f ->
+          match Json.member "loc" f with
+          | Some (Json.Str s) -> s
+          | _ -> Alcotest.failf "%s: finding without loc" what)
+        l
+  | _ -> Alcotest.failf "%s: reply has no findings" what
+
+let test_check_verdict_cache () =
+  with_server (fun addr _ ->
+      let conn = connect addr in
+      let send deck = rpc conn (Sp.request_to_json (check_req ~deck ())) in
+      let r1 = send deck_warn in
+      Alcotest.(check (option string)) "first is cold" (Some "cold")
+        (Sp.reply_cache r1);
+      let r2 = send deck_warn in
+      Alcotest.(check (option string)) "repeat hits result tier"
+        (Some "result") (Sp.reply_cache r2);
+      (* byte-identical findings cold vs warm *)
+      Alcotest.(check string) "cold/warm byte parity"
+        (Json.to_string (result_of "check cold" r1))
+        (Json.to_string (result_of "check warm" r2));
+      (match finding_locs "check cold" r1 with
+      | [ loc ] -> Alcotest.(check string) "loc" "<test>:1:17" loc
+      | locs ->
+          Alcotest.failf "expected one finding, got %d" (List.length locs));
+      (* a layout twin (same canonical hash, shifted lines) stays warm
+         and gets its carets re-derived against its own layout *)
+      let r3 = send ("* shifted\n* by two lines\n" ^ deck_warn) in
+      Alcotest.(check (option string)) "layout twin stays warm"
+        (Some "result") (Sp.reply_cache r3);
+      (match finding_locs "check shifted" r3 with
+      | [ loc ] -> Alcotest.(check string) "re-derived loc" "<test>:3:17" loc
+      | locs ->
+          Alcotest.failf "expected one finding, got %d" (List.length locs));
+      (* the hits are visible in the tier-1 counters *)
+      let stats =
+        result_of "stats"
+          (rpc conn (Sp.request_to_json (no_deck_req Sp.Stats)))
+      in
+      let results =
+        match
+          Option.bind (Json.member "cache" stats) (Json.member "results")
+        with
+        | Some r -> r
+        | None -> Alcotest.fail "stats has no results cache"
+      in
+      Alcotest.(check bool) "nonzero tier-1 hit ratio" true
+        (num_of "stats" results "hits" >= 2.0);
+      Scl.close conn)
+
 let test_batch_order_and_partial_failure () =
   with_server (fun addr _ ->
       let conn = connect addr in
@@ -475,6 +540,8 @@ let () =
             test_psd_parity_and_cache_levels;
           Alcotest.test_case "variance+contrib" `Quick
             test_variance_contrib_parity;
+          Alcotest.test_case "check verdict cache" `Quick
+            test_check_verdict_cache;
           Alcotest.test_case "transfer" `Quick
             test_transfer_parity_and_inputs_error;
           Alcotest.test_case "concurrent clients" `Quick
