@@ -140,6 +140,17 @@ let make_stepper_cache t omega =
    in one domain-local record (same pattern as [Psd.scratch]): pooled
    sweeps get one workspace per worker, so shared engines stay
    read-only. *)
+type block_scratch = {
+  bs_width : int;
+  bs_dim : int;
+  bs_work : Ctrapezoid.block_work;
+  mutable bs_iters : int array array; (* per demod stepper, per column *)
+  bs_p0 : Cvec.panel; (* boundary values P_b(0), one column per frequency *)
+  bs_hom : Cvec.panel; (* homogeneous-correction scratch *)
+  bs_cr : float array; (* per-column cos(-w_b t_i) *)
+  bs_ci : float array; (* per-column sin(-w_b t_i) *)
+}
+
 type ws = {
   mutable w_dim : int; (* dimension the buffers are sized for *)
   mutable w_dw : Ctrapezoid.demod_work;
@@ -149,6 +160,7 @@ type ws = {
   mutable w_solve : float array; (* Clu.solve_into workspace, 2n *)
   mutable w_p0 : Cvec.t;
   mutable w_hom : Cvec.t;
+  mutable w_block : block_scratch option; (* blocked-path panels, lazy *)
   w_fb : (int, Ctrapezoid.reusable) Hashtbl.t;
       (* fallback steppers, keyed by (solver id, demod index); they
          retune in place when the frequency moves, so a whole sweep
@@ -166,6 +178,7 @@ let ws_key =
         w_solve = [||];
         w_p0 = Cvec.create 0;
         w_hom = Cvec.create 0;
+        w_block = None;
         w_fb = Hashtbl.create 16;
       })
 
@@ -184,6 +197,39 @@ let workspace t =
   if Array.length ws.w_iters < Array.length t.demods then
     ws.w_iters <- Array.make (Array.length t.demods) 0;
   ws
+
+(* Blocked-path scratch, sized for the current (dimension, width) pair;
+   recreated only when either changes, so a tiled sweep reuses one set
+   of panels per domain.  The per-stepper iteration table grows with
+   the richest solver seen on this domain. *)
+let block_scratch t ~width =
+  let ws = workspace t in
+  let n = t.nstates in
+  let fresh () =
+    {
+      bs_width = width;
+      bs_dim = n;
+      bs_work = Ctrapezoid.block_work ~dim:n ~width;
+      bs_iters =
+        Array.init (Array.length t.demods) (fun _ -> Array.make width 0);
+      bs_p0 = Cvec.panel_create ~dim:n ~width;
+      bs_hom = Cvec.panel_create ~dim:n ~width;
+      bs_cr = Array.make width 0.0;
+      bs_ci = Array.make width 0.0;
+    }
+  in
+  let bs =
+    match ws.w_block with
+    | Some bs when bs.bs_width = width && bs.bs_dim = n -> bs
+    | _ ->
+        let bs = fresh () in
+        ws.w_block <- Some bs;
+        bs
+  in
+  if Array.length bs.bs_iters < Array.length t.demods then
+    bs.bs_iters <-
+      Array.init (Array.length t.demods) (fun _ -> Array.make width 0);
+  bs
 
 let check_traj t traj =
   let npts = Array.length t.times in
@@ -333,3 +379,129 @@ let particular t ~omega ~forcing =
   let traj = alloc_traj t in
   particular_into t ~omega ~kl:forcing ~kr:(fun i -> forcing (i + 1)) traj;
   traj
+
+(* --- blocked multi-frequency solve ---
+
+   [solve_block_into] advances [width] frequencies' envelopes in
+   lockstep through the shared phase grid: every interval is one
+   {!Ctrapezoid.step_block_into} panel step, so the real LU factors are
+   traversed once per block instead of once per frequency.  Column [b]
+   of every panel is bitwise identical to the scalar {!solve_into} at
+   [omegas.(b)] — the blocked kernels replicate the scalar operation
+   sequences per column, and the boundary close below runs the exact
+   scalar factor/solve per frequency (the rotated monodromy genuinely
+   differs per frequency) before applying the homogeneous correction
+   panel-wide. *)
+
+let c_block_solves = Obs.counter "bvp_block_solves"
+
+let can_batch t ~omegas =
+  (not !reference_gate)
+  && Array.length omegas > 0
+  && Array.for_all
+       (fun omega ->
+         Array.for_all
+           (fun d -> Ctrapezoid.demod_refinable d ~omega)
+           t.demods)
+       omegas
+
+let alloc_block_traj t ~width =
+  Array.init (Array.length t.times) (fun _ ->
+      Cvec.panel_create ~dim:t.nstates ~width)
+
+let check_block_traj t ~width traj =
+  let npts = Array.length t.times in
+  if Array.length traj <> npts then
+    invalid_arg "Periodic_bvp: block trajectory has wrong length";
+  let len = 2 * t.nstates * width in
+  for i = 0 to npts - 1 do
+    if Array.length traj.(i) <> len then
+      invalid_arg "Periodic_bvp: block trajectory has wrong panel size"
+  done
+
+let particular_block_into t ~omegas ~forcing traj =
+  let width = Array.length omegas in
+  let bs = block_scratch t ~width in
+  (* Per-(stepper, frequency) refinement counts, recorded through the
+     same telemetry as the scalar path.  A negative count means the
+     caller skipped [can_batch]. *)
+  for s = 0 to Array.length t.demods - 1 do
+    let row = bs.bs_iters.(s) in
+    for b = 0 to width - 1 do
+      let m = Ctrapezoid.demod_iters t.demods.(s) ~omega:omegas.(b) in
+      if m < 0 then
+        invalid_arg "Periodic_bvp.solve_block_into: unbatchable frequency";
+      row.(b) <- m
+    done
+  done;
+  let npts = Array.length t.times in
+  Cvec.panel_fill_zero traj.(0);
+  for i = 1 to npts - 1 do
+    let si = t.interval_demod.(i - 1) in
+    Ctrapezoid.step_block_into t.demods.(si) ~work:bs.bs_work ~omegas
+      ~iters:bs.bs_iters.(si) ~p:traj.(i - 1) ~k0:(forcing (i - 1))
+      ~k1:(forcing i) ~into:traj.(i)
+  done
+
+let close_block_into t ~omegas traj =
+  let n = t.nstates in
+  let width = Array.length omegas in
+  let period = t.sys.Pwl.period in
+  let npts = Array.length traj in
+  let ws = workspace t in
+  let bs = block_scratch t ~width in
+  (* The rotated monodromy I - e^{-jwT} Phi differs per frequency, so
+     the factor/solve here stays per-column — same fill, factorisation
+     and solve as the scalar close, against the gathered last column. *)
+  for b = 0 to width - 1 do
+    let rot_t = Cx.cis (-.omegas.(b) *. period) in
+    let ld = Cmat.data ws.w_lhs in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let phi = Mat.get t.phi_period i j in
+        let pre = phi *. rot_t.Cx.re and pim = phi *. rot_t.Cx.im in
+        let k = 2 * ((i * n) + j) in
+        if i = j then begin
+          ld.(k) <- 1.0 -. pre;
+          ld.(k + 1) <- 0.0 -. pim
+        end
+        else begin
+          ld.(k) <- -.pre;
+          ld.(k + 1) <- -.pim
+        end
+      done
+    done;
+    Clu.factor_into ws.w_lu ws.w_lhs;
+    Cvec.panel_get_col traj.(npts - 1) ~width ~col:b ~into:ws.w_hom;
+    Clu.solve_into ws.w_lu ~work:ws.w_solve ~b:ws.w_hom ~into:ws.w_p0;
+    Cvec.panel_set_col ws.w_p0 bs.bs_p0 ~width ~col:b
+  done;
+  Log.debug (fun m ->
+      m "BVP block closed: %d points, %d frequencies" npts width);
+  (* traj.(i) += e^{-jwt_i} Phi(t_i) P_b(0), panel-wide: one blocked
+     matvec per grid point, then a per-column rotation axpy whose
+     arithmetic matches the scalar close exactly. *)
+  for i = 0 to npts - 1 do
+    for b = 0 to width - 1 do
+      let theta = -.omegas.(b) *. t.times.(i) in
+      bs.bs_cr.(b) <- cos theta;
+      bs.bs_ci.(b) <- sin theta
+    done;
+    Cmat.mul_block_into t.cphis.(i) ~width ~x:bs.bs_p0 ~into:bs.bs_hom;
+    Cvec.axpy_block_into ~width ~sre:bs.bs_cr ~sim:bs.bs_ci ~x:bs.bs_hom
+      ~into:traj.(i)
+  done
+
+let solve_block_into t ~omegas ~forcing traj =
+  let width = Array.length omegas in
+  if width < 1 then invalid_arg "Periodic_bvp.solve_block_into: empty block";
+  if !reference_gate then
+    invalid_arg
+      "Periodic_bvp.solve_block_into: reference backend is per-frequency";
+  check_block_traj t ~width traj;
+  Obs.with_span ~src "periodic_bvp.solve_block" (fun () ->
+      timed_hist h_solve (fun () ->
+          Obs.add c_solves width;
+          Obs.incr c_block_solves;
+          particular_block_into t ~omegas ~forcing traj;
+          close_block_into t ~omegas traj))

@@ -79,3 +79,32 @@ val solve_piecewise :
 
 val interval_phase : t -> int array
 (** Phase index owning each grid interval. *)
+
+(** {1 Blocked multi-frequency solve}
+
+    The batched sweep path: [width] frequencies advance in lockstep
+    through the shared phase grid as {!Cvec.panel} steps, so the
+    demodulated backend's real factors are traversed once per block
+    instead of once per frequency.  Column [b] of every panel is
+    bitwise identical to {!solve_into} at [omegas.(b)]. *)
+
+val can_batch : t -> omegas:float array -> bool
+(** Whether the blocked path can take this frequency block: the
+    demodulated backend must be active (not the reference gate) and
+    every (phase, h) stepper must be refinable at every frequency of
+    the block — a block with any fallback frequency belongs on the
+    scalar path wholesale. *)
+
+val alloc_block_traj : t -> width:int -> Cvec.panel array
+(** Fresh zero panel trajectory ([n_points] panels sized
+    [(n_states, width)]) for {!solve_block_into}. *)
+
+val solve_block_into :
+  t -> omegas:float array -> forcing:(int -> Cvec.t) -> Cvec.panel array ->
+  unit
+(** Solve the periodic BVP at every frequency of the block into the
+    panel trajectory; [forcing i] is [k(t_i)], shared by all columns
+    (the MFT forcing is frequency-independent).  Raises
+    [Invalid_argument] when the block is empty, when the reference
+    backend is active, or when some frequency is not refinable —
+    callers gate on {!can_batch} first. *)

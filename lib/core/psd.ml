@@ -8,6 +8,11 @@ module Pool = Scnoise_par.Pool
 
 let c_points = Obs.counter "psd_points"
 
+(* Sweep points a batched tile had to hand back to the scalar path
+   because some frequency in the tile needs the complex-LU fallback;
+   makes a silently-unbatched sweep visible next to psd.batch_width. *)
+let c_unbatched_points = Obs.counter "psd.unbatched_points"
+
 (* Wall time of one frequency point.  Recording is a single atomic add,
    but the two extra clock reads are only worth paying when telemetry
    has been asked for, so the hot path gates on [Obs.is_enabled]. *)
@@ -134,27 +139,197 @@ let psd e ~f =
 
 let psd_db e ~f = Scnoise_util.Db.of_power (psd e ~f)
 
-(* Each point of a sweep is an independent read-only BVP solve over the
-   prepared engine, so fanning points out across the pool is safe and —
-   because [Pool.map] places results by index — bit-identical to the
-   serial sweep at any job count. *)
-let sweep ?pool e freqs =
-  let pool = match pool with Some p -> p | None -> Pool.global () in
-  Obs.with_span "psd.sweep" (fun () ->
-      Pool.map pool (fun _ f -> psd e ~f) freqs)
+(* --- batch-width selection ---
 
-let sweep_db ?pool e freqs =
-  let pool = match pool with Some p -> p | None -> Pool.global () in
-  Obs.with_span "psd.sweep" (fun () ->
-      Pool.map pool (fun _ f -> psd_db e ~f) freqs)
+   The blocked path tiles a sweep into width-B frequency blocks, each
+   advanced in lockstep through the phase grid by panel kernels
+   ([Periodic_bvp.solve_block_into]).  [B = 1] is exactly the scalar
+   path; larger widths amortise each factor traversal over B
+   right-hand sides.  Resolution order: explicit [?batch] argument,
+   then [set_default_batch], then [SCNOISE_BATCH], then an auto width
+   from the state count and a cache budget. *)
+
+let batch_override = ref 0 (* 0 = unset *)
+
+let set_default_batch b =
+  if b < 1 then invalid_arg "Psd.set_default_batch: batch < 1";
+  batch_override := b
+
+let env_batch =
+  lazy
+    (match Sys.getenv_opt "SCNOISE_BATCH" with
+    | None | Some "" -> 0
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some b when b >= 1 -> b
+        | _ -> invalid_arg "SCNOISE_BATCH: expected a positive integer"))
+
+(* Keep the blocked working set — three stepper panels plus the two
+   trajectory panels touched per interval, ~80 n bytes per column —
+   inside a conservative 128 KiB slice of L2 next to the real factors
+   and the demod rhs (16 n^2 bytes), capped at 16 columns: panel rows
+   past that stop fitting in cache lines' worth of registers anyway. *)
+let auto_batch ~nstates =
+  if nstates < 1 then 1
+  else
+    let budget = (131072 - (16 * nstates * nstates)) / (80 * nstates) in
+    max 1 (min 16 budget)
+
+(* The process-wide width when one was pinned ([set_default_batch] or
+   SCNOISE_BATCH); [None] means sweeps auto-tune per engine. *)
+let configured_batch () =
+  if !batch_override > 0 then Some !batch_override
+  else
+    let envb = Lazy.force env_batch in
+    if envb > 0 then Some envb else None
+
+let resolve_batch ?batch e ~npoints =
+  let b =
+    match batch with
+    | Some b ->
+        if b < 1 then invalid_arg "Psd.sweep: batch < 1";
+        b
+    | None ->
+        if !batch_override > 0 then !batch_override
+        else
+          let envb = Lazy.force env_batch in
+          if envb > 0 then envb
+          else
+            auto_batch ~nstates:(Array.length e.out_row)
+  in
+  max 1 (min b npoints)
+
+let batch_width ?batch e ~npoints =
+  if npoints < 2 then 1 else resolve_batch ?batch e ~npoints
+
+(* Per-domain panel trajectories for the blocked path, most recent
+   first, keyed by shape (same lifecycle as [traj_scratch]); each is
+   overwritten wholesale by every block solve.  A few shapes are kept
+   because one sweep legitimately uses two widths — the tail tile is
+   narrower whenever the block width doesn't divide the point count —
+   and a single-shape cell would reallocate the whole trajectory on
+   every alternation. *)
+let block_traj_key : (int * int * Cvec.panel array) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let block_traj_max_cached = 4
+
+let block_traj_scratch bvp ~width =
+  let cell = Domain.DLS.get block_traj_key in
+  let npts = Periodic_bvp.n_points bvp in
+  let len = 2 * Periodic_bvp.n_states bvp * width in
+  let fits (w, l, tr) =
+    w = width && l = len && Array.length tr = npts
+    && (npts = 0 || Array.length tr.(0) = len)
+  in
+  match List.find_opt fits !cell with
+  | Some ((_, _, tr) as hit) ->
+      (* move-to-front so the cap evicts the least recent shape *)
+      cell := hit :: List.filter (fun e -> e != hit) !cell;
+      tr
+  | None ->
+      let tr = Periodic_bvp.alloc_block_traj bvp ~width in
+      cell :=
+        (width, len, tr)
+        :: List.filteri (fun i _ -> i < block_traj_max_cached - 1) !cell;
+      tr
+
+(* One blocked sweep tile: solve the BVP for all frequencies of the
+   block in lockstep, then reduce each panel column with the exact
+   per-point arithmetic of [psd_point] (the column contents are
+   bitwise the scalar envelopes, so the reduced values are too).
+   Blocks the blocked backend cannot take — reference gate, or some
+   frequency needing the complex-LU fallback — drop to the scalar
+   path wholesale, which keeps parity trivially. *)
+let psd_block e ~omegas ~freqs ~start len =
+  if len = 1 then [| psd e ~f:freqs.(start) |]
+  else if not (Periodic_bvp.can_batch e.bvp ~omegas) then begin
+    Obs.add c_unbatched_points len;
+    Array.init len (fun i -> psd e ~f:freqs.(start + i))
+  end
+  else begin
+    Obs.add c_points len;
+    let period = e.cov.Covariance.sys.Pwl.period in
+    let times = e.cov.Covariance.times in
+    let traj = block_traj_scratch e.bvp ~width:len in
+    Periodic_bvp.solve_block_into e.bvp ~omegas
+      ~forcing:(fun i -> e.forcing.(i))
+      traj;
+    let npts = Array.length traj in
+    let values = scratch npts in
+    let c = e.out_row in
+    let nst = Array.length c in
+    let out = Array.make len 0.0 in
+    for b = 0 to len - 1 do
+      for i = 0 to npts - 1 do
+        let d = traj.(i) in
+        let s = ref 0.0 in
+        for j = 0 to nst - 1 do
+          s := !s +. (c.(j) *. d.(2 * ((j * len) + b)))
+        done;
+        values.(i) <- 2.0 *. !s
+      done;
+      let acc = ref 0.0 in
+      for i = 0 to npts - 2 do
+        acc :=
+          !acc
+          +. (0.5 *. (values.(i) +. values.(i + 1))
+             *. (times.(i + 1) -. times.(i)))
+      done;
+      out.(b) <- !acc /. period
+    done;
+    out
+  end
+
+(* Each block of a sweep is an independent read-only BVP solve over the
+   prepared engine, so fanning blocks out across the pool is safe and —
+   because [Pool.map] places results by index — bit-identical to the
+   serial sweep at any job count.  Edge cases stay off the heavy
+   machinery: an empty sweep returns immediately without touching the
+   pool, and a single point runs the scalar path with no panel. *)
+let sweep ?pool ?batch e freqs =
+  let nf = Array.length freqs in
+  if nf = 0 then [||]
+  else if nf = 1 then
+    Obs.with_span "psd.sweep" (fun () -> [| psd e ~f:freqs.(0) |])
+  else begin
+    let pool = match pool with Some p -> p | None -> Pool.global () in
+    let width = resolve_batch ?batch e ~npoints:nf in
+    Obs.with_span "psd.sweep" (fun () ->
+        if width <= 1 then Pool.map pool (fun _ f -> psd e ~f) freqs
+        else begin
+          let nblocks = (nf + width - 1) / width in
+          let starts = Array.init nblocks (fun k -> k * width) in
+          let chunks =
+            Pool.map pool
+              (fun _ start ->
+                let len = min width (nf - start) in
+                let omegas =
+                  Array.init len (fun i ->
+                      2.0 *. Float.pi *. freqs.(start + i))
+                in
+                psd_block e ~omegas ~freqs ~start len)
+              starts
+          in
+          let out = Array.make nf 0.0 in
+          Array.iteri
+            (fun k vals ->
+              Array.blit vals 0 out starts.(k) (Array.length vals))
+            chunks;
+          out
+        end)
+  end
+
+let sweep_db ?pool ?batch e freqs =
+  Array.map Scnoise_util.Db.of_power (sweep ?pool ?batch e freqs)
 
 let average_variance e = Covariance.average_variance e.cov e.out_row
 
-let integrated_noise ?(points = 400) ?pool e ~fmin ~fmax =
+let integrated_noise ?(points = 400) ?pool ?batch e ~fmin ~fmax =
   if fmax <= fmin then invalid_arg "Psd.integrated_noise: fmax <= fmin";
   if points < 2 then invalid_arg "Psd.integrated_noise: points < 2";
   let freqs = Grid.linspace fmin fmax points in
-  let s = sweep ?pool e freqs in
+  let s = sweep ?pool ?batch e freqs in
   (* double-sided PSD: a [fmin, fmax] band with fmin >= 0 also collects
      the mirrored negative-frequency band *)
   2.0 *. Grid.trapezoid freqs s

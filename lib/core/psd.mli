@@ -46,13 +46,43 @@ val psd : engine -> f:float -> float
 val psd_db : engine -> f:float -> float
 (** [10 log10 (psd)] as plotted in the papers. *)
 
-val sweep : ?pool:Scnoise_par.Pool.t -> engine -> float array -> float array
-(** One independent periodic BVP solve per frequency point, fanned out
-    across [pool] (default: the shared pool).  Each solve is read-only
-    over the prepared engine and results are placed by index, so the
-    sweep is bit-identical to serial at any job count. *)
+val sweep :
+  ?pool:Scnoise_par.Pool.t -> ?batch:int -> engine -> float array ->
+  float array
+(** Frequency sweep, batched by default: frequencies are tiled into
+    width-[batch] blocks, each advanced in lockstep through the phase
+    grid by the blocked demodulated kernels
+    ({!Periodic_bvp.solve_block_into}), and the blocks are fanned out
+    across [pool] (default: the shared pool).  Every block column is
+    bitwise identical to the scalar per-frequency solve, solves are
+    read-only over the prepared engine, and results are placed by
+    index, so the sweep is bit-identical to serial and to [batch:1] at
+    any job count.  Blocks the blocked backend cannot take (reference
+    gate, complex-LU fallback frequencies) run the scalar path.
 
-val sweep_db : ?pool:Scnoise_par.Pool.t -> engine -> float array -> float array
+    [batch] resolves as: explicit argument, else {!set_default_batch},
+    else the [SCNOISE_BATCH] environment variable, else an auto width
+    from the state count; the result is clamped to the sweep length.
+    Raises [Invalid_argument] on [batch < 1].  An empty sweep returns
+    [[||]] without touching the pool; a single-point sweep never
+    allocates a panel. *)
+
+val sweep_db :
+  ?pool:Scnoise_par.Pool.t -> ?batch:int -> engine -> float array ->
+  float array
+
+val set_default_batch : int -> unit
+(** Process-wide default block width for {!sweep} (what [--batch]
+    sets).  Raises [Invalid_argument] on values below 1. *)
+
+val configured_batch : unit -> int option
+(** The pinned process-wide block width ({!set_default_batch} or
+    [SCNOISE_BATCH]), or [None] when sweeps auto-tune per engine. *)
+
+val batch_width : ?batch:int -> engine -> npoints:int -> int
+(** The block width {!sweep} would use for a sweep of [npoints] over
+    this engine, after resolution and clamping — exposed for status
+    reporting and benchmarks. *)
 
 val envelope : engine -> f:float -> Cvec.t array
 (** The periodic envelope [P(t_i)] on the covariance grid — exposed for
@@ -68,8 +98,8 @@ val average_variance : engine -> float
 (** Time-averaged output variance (from the covariance trace). *)
 
 val integrated_noise :
-  ?points:int -> ?pool:Scnoise_par.Pool.t -> engine -> fmin:float ->
-  fmax:float -> float
+  ?points:int -> ?pool:Scnoise_par.Pool.t -> ?batch:int -> engine ->
+  fmin:float -> fmax:float -> float
 (** Output noise power (V^2) in the band [[fmin, fmax]] (plus the
     mirrored negative band — the PSD is double-sided), by trapezoidal
     quadrature over [points] frequencies. *)

@@ -166,3 +166,75 @@ let data v = v
 let of_data d =
   if Array.length d land 1 <> 0 then invalid_arg "Cvec.of_data: odd length";
   d
+
+(* --- panels: blocked multi-RHS storage ---
+
+   A panel packs [width] complex vectors column-major over the block:
+   entry (state i, column b) lives at [2 * (i * width + b)] (re) and
+   the following slot (im).  All [width] columns of one state are
+   contiguous, so a kernel that walks states in its outer loop touches
+   each factor/matrix element once per [width] right-hand sides and
+   streams over [2 * width] adjacent floats in its inner loop. *)
+
+type panel = float array
+
+let panel_create ~dim ~width =
+  if dim < 0 then invalid_arg "Cvec.panel_create: negative dimension";
+  if width < 1 then invalid_arg "Cvec.panel_create: width < 1";
+  Array.make (2 * dim * width) 0.0
+
+let panel_dim p ~width =
+  if width < 1 then invalid_arg "Cvec.panel_dim: width < 1";
+  if Array.length p mod (2 * width) <> 0 then
+    invalid_arg "Cvec.panel_dim: length is not a multiple of the width";
+  Array.length p / (2 * width)
+
+let panel_check v p ~width ~col name =
+  if width < 1 then invalid_arg ("Cvec." ^ name ^ ": width < 1");
+  if col < 0 || col >= width then
+    invalid_arg ("Cvec." ^ name ^ ": column out of bounds");
+  if Array.length p <> Array.length v * width then
+    invalid_arg ("Cvec." ^ name ^ ": panel size mismatch")
+
+let panel_set_col v p ~width ~col =
+  panel_check v p ~width ~col "panel_set_col";
+  for i = 0 to dim v - 1 do
+    let k = 2 * ((i * width) + col) in
+    p.(k) <- v.(2 * i);
+    p.(k + 1) <- v.((2 * i) + 1)
+  done
+
+let panel_get_col p ~width ~col ~into =
+  panel_check into p ~width ~col "panel_get_col";
+  for i = 0 to dim into - 1 do
+    let k = 2 * ((i * width) + col) in
+    into.(2 * i) <- p.(k);
+    into.((2 * i) + 1) <- p.(k + 1)
+  done
+
+let panel_fill_zero p = Array.fill p 0 (Array.length p) 0.0
+
+(* Per-column complex axpy with one (sre, sim) scalar per column; the
+   arithmetic per column is exactly {!axpy_ri_into}'s, so a panel
+   column stays bitwise identical to the corresponding scalar call. *)
+let axpy_block_into ~width ~sre ~sim ~x ~into =
+  if width < 1 then invalid_arg "Cvec.axpy_block_into: width < 1";
+  if Array.length sre < width || Array.length sim < width then
+    invalid_arg "Cvec.axpy_block_into: scalar arrays shorter than width";
+  if Array.length x <> Array.length into then
+    invalid_arg "Cvec.axpy_block_into: panel size mismatch";
+  (* entry checks pin all indices below; unsafe accesses only drop the
+     bounds checks, the arithmetic and its order are unchanged *)
+  let n = Array.length x / (2 * width) in
+  for i = 0 to n - 1 do
+    let base = 2 * i * width in
+    for b = 0 to width - 1 do
+      let k = base + (2 * b) in
+      let re = Array.unsafe_get x k and im = Array.unsafe_get x (k + 1) in
+      let sr = Array.unsafe_get sre b and si = Array.unsafe_get sim b in
+      Array.unsafe_set into k
+        (((sr *. re) -. (si *. im)) +. Array.unsafe_get into k);
+      Array.unsafe_set into (k + 1)
+        (((sr *. im) +. (si *. re)) +. Array.unsafe_get into (k + 1))
+    done
+  done

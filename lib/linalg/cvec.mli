@@ -74,6 +74,43 @@ val axpy_into : s:Cx.t -> x:t -> into:t -> unit
 val axpy_ri_into : sre:float -> sim:float -> x:t -> into:t -> unit
 (** {!axpy_into} with the scalar passed as two floats (no box). *)
 
+(** {1 Panels — blocked multi-RHS storage}
+
+    A panel is [width] complex vectors of a common dimension packed
+    column-major over the block: entry (state [i], column [b]) lives at
+    [2 * (i * width + b)] (re) / [2 * (i * width + b) + 1] (im).  All
+    [width] columns of one state are adjacent, so blocked kernels
+    ({!Lu.solve_block_into}, {!Cmat.mul_block_into}, ...) load each
+    factor element once per [width] right-hand sides and stream over
+    contiguous memory in their inner loops.  Each column of a blocked
+    kernel's result is bitwise identical to the corresponding
+    single-RHS call. *)
+
+type panel = float array
+(** Raw interleaved storage, length [2 * dim * width]. *)
+
+val panel_create : dim:int -> width:int -> panel
+(** Zero panel of [width] columns of dimension [dim]. *)
+
+val panel_dim : panel -> width:int -> int
+(** Number of complex entries per column. *)
+
+val panel_set_col : t -> panel -> width:int -> col:int -> unit
+(** Scatter a vector into column [col] of the panel. *)
+
+val panel_get_col : panel -> width:int -> col:int -> into:t -> unit
+(** Gather column [col] of the panel into a vector. *)
+
+val panel_fill_zero : panel -> unit
+
+val axpy_block_into :
+  width:int -> sre:float array -> sim:float array -> x:panel -> into:panel ->
+  unit
+(** Per-column complex axpy: column [b] of [into] accumulates
+    [(sre.(b) + i sim.(b)) * x_b], with {!axpy_ri_into}'s arithmetic
+    per column.  [into] may alias [x] only if they are the same panel
+    elementwise (the update is elementwise). *)
+
 (** {1 Raw storage} *)
 
 val data : t -> float array

@@ -26,6 +26,17 @@ val solve_complex_into : t -> b:Cvec.t -> into:Cvec.t -> unit
     frequency-independent LHS is factored once and reused across the
     whole sweep. *)
 
+val solve_block_into :
+  t -> width:int -> b:Cvec.panel -> into:Cvec.panel -> unit
+(** Blocked multi-RHS {!solve_complex_into} over column-major panels
+    ({!Cvec.panel}): solves [A x_b = b_b] for all [width] complex
+    columns in one traversal of the real factors — each factor element
+    is loaded once per block and the inner loops stream over the
+    [2 * width] adjacent floats of one state, which is what makes a
+    batched frequency sweep cache- and SIMD-friendly.  Column [b] of
+    the result is bitwise identical to {!solve_complex_into} on that
+    column alone.  Allocation-free; [into] must not alias [b]. *)
+
 val solve_mat : t -> Mat.t -> Mat.t
 (** Solve [A X = B] column-wise. *)
 

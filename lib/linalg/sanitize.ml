@@ -59,6 +59,18 @@ let check_cvec op (v : Cvec.t) =
     done
   end
 
+(* Panels are raw buffers with no dimension of their own; report the
+   (state, column) coordinates for the given width. *)
+let check_panel op ~width (p : Cvec.panel) =
+  if !gate then
+    for k = 0 to Array.length p - 1 do
+      if not (Float.is_finite p.(k)) then
+        let e = k / 2 in
+        fail op
+          (Printf.sprintf "non-finite value %h at (state %d, column %d)" p.(k)
+             (e / width) (e mod width))
+    done
+
 let check_cmat op m =
   if !gate then begin
     let d = Cmat.data m in

@@ -33,3 +33,7 @@ val check_mat : string -> Mat.t -> unit
 val check_cvec : string -> Cvec.t -> unit
 
 val check_cmat : string -> Cmat.t -> unit
+
+val check_panel : string -> width:int -> Cvec.panel -> unit
+(** Scan a blocked multi-RHS panel ({!Cvec.panel}); the report names
+    the (state, column) coordinates under the given width. *)

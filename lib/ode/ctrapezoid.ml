@@ -255,18 +255,177 @@ let demod_max_iters = 12
    numeric-health telemetry, one atomic add per query. *)
 let h_demod_iters = Obs.histogram ~mode:Scnoise_obs.Hist.Counts "ode.demod_iters"
 
-let demod_iters st ~omega =
+let demod_iters_quiet st ~omega =
   let beta = 0.5 *. st.dh *. abs_float omega in
   let rho = beta *. st.dinv_norm1 in
-  let m =
-    if rho = 0.0 then 0
-    else if rho >= 0.25 then -1
-    else
-      let m = max 1 (int_of_float (ceil (log demod_tol /. log rho))) in
-      if m > demod_max_iters then -1 else m
-  in
+  if rho = 0.0 then 0
+  else if rho >= 0.25 then -1
+  else
+    let m = max 1 (int_of_float (ceil (log demod_tol /. log rho))) in
+    if m > demod_max_iters then -1 else m
+
+let demod_iters st ~omega =
+  let m = demod_iters_quiet st ~omega in
   Obs.hist_record_int h_demod_iters (if m < 0 then demod_max_iters + 1 else m);
   m
+
+let demod_refinable st ~omega = demod_iters_quiet st ~omega >= 0
+
+(* --- blocked demodulated stepper ---
+
+   One panel solve advances [width] frequencies' envelopes through the
+   same interval: the real factors of C are traversed once per block
+   instead of once per frequency, which is where the batched sweep's
+   memory-bandwidth win comes from.  Column [b] replicates
+   [step_demod_into]'s operation sequence exactly — same rhs
+   accumulation order, same anchor/refinement updates — so each column
+   is bitwise identical to the scalar step at its frequency.  Columns
+   whose deterministic iteration count is exhausted are masked out of
+   the refinement updates (their entries stay fixed while the panel
+   keeps solving), never recomputed. *)
+
+type block_work = {
+  bw_width : int;
+  bw_b : Cvec.panel; (* rhs panel *)
+  bw_y : Cvec.panel; (* anchor C^{-1} b *)
+  bw_z : Cvec.panel; (* refinement scratch *)
+  bw_beta : float array; (* per-column beta = h/2 omega_b *)
+}
+
+let block_work ~dim ~width =
+  if width < 1 then invalid_arg "Ctrapezoid.block_work: width < 1";
+  {
+    bw_width = width;
+    bw_b = Cvec.panel_create ~dim ~width;
+    bw_y = Cvec.panel_create ~dim ~width;
+    bw_z = Cvec.panel_create ~dim ~width;
+    bw_beta = Array.make width 0.0;
+  }
+
+let block_width w = w.bw_width
+
+let c_block_steps = Obs.counter "ode_block_steps"
+
+(* Panel solves issued by the blocked stepper (anchor + refinement
+   passes); together with [lu_block_solves] this exposes how much of a
+   sweep ran through the batched path. *)
+let c_block_solves = Obs.counter "ode.block_solves"
+
+(* Active columns per panel solve (exact integer buckets): the anchor
+   solve records the full block width, each refinement pass the number
+   of columns still refining — early-converged frequencies show up as
+   sub-width entries.  Shared with the Psd layer by name. *)
+let h_batch_width = Obs.histogram ~mode:Scnoise_obs.Hist.Counts "psd.batch_width"
+
+let step_block_into st ~work ~omegas ~iters ~p ~k0 ~k1 ~into =
+  let n = st.dn in
+  let width = work.bw_width in
+  if Array.length omegas <> width || Array.length iters <> width then
+    invalid_arg "Ctrapezoid.step_block_into: width mismatch";
+  if Array.length p <> 2 * n * width || Array.length into <> 2 * n * width
+  then invalid_arg "Ctrapezoid.step_block_into: panel dimension mismatch";
+  if Cvec.dim k0 <> n || Cvec.dim k1 <> n then
+    invalid_arg "Ctrapezoid.step_block_into: forcing dimension mismatch";
+  if p == into then
+    invalid_arg "Ctrapezoid.step_block_into: output must not alias p";
+  Obs.add c_steps width;
+  Obs.add c_demod_steps width;
+  Obs.incr c_block_steps;
+  let max_m = ref 0 in
+  let min_m = ref max_int in
+  let refines = ref 0 in
+  for b = 0 to width - 1 do
+    let m = iters.(b) in
+    if m < 0 then
+      invalid_arg "Ctrapezoid.step_block_into: unrefinable column";
+    if m > !max_m then max_m := m;
+    if m < !min_m then min_m := m;
+    refines := !refines + m;
+    work.bw_beta.(b) <- 0.5 *. st.dh *. omegas.(b)
+  done;
+  if !refines > 0 then Obs.add c_demod_refines !refines;
+  let w = 0.5 *. st.dh in
+  let betas = work.bw_beta in
+  let bb = work.bw_b
+  and k0d = Cvec.data k0
+  and k1d = Cvec.data k1 in
+  let w2 = 2 * width in
+  (* b = (D - j beta_b I) p + h/2 (k0 + k1) per column, with real D:
+     each column accumulates its row sum in registers over j and closes
+     with the same three-term sums as [step_demod_into], term for term
+     and in the same order.  (D is tiny and L1-resident, so reloading
+     it per column costs nothing; keeping the partial sums out of
+     memory is what matters.)  The entry checks pin every index, so the
+     inner loops use unsafe accesses (same values, same order — only
+     the bounds checks go). *)
+  let drhs = st.drhs in
+  for i = 0 to n - 1 do
+    let base = i * n in
+    let irow = i * w2 in
+    let fre = w *. (k0d.(2 * i) +. k1d.(2 * i)) in
+    let fim = w *. (k0d.((2 * i) + 1) +. k1d.((2 * i) + 1)) in
+    for b = 0 to width - 1 do
+      let k = irow + (2 * b) in
+      let b2 = 2 * b in
+      let re = ref 0.0 and im = ref 0.0 in
+      for j = 0 to n - 1 do
+        let a = Array.unsafe_get drhs (base + j) in
+        let pk = (j * w2) + b2 in
+        re := !re +. (a *. Array.unsafe_get p pk);
+        im := !im +. (a *. Array.unsafe_get p (pk + 1))
+      done;
+      let beta = Array.unsafe_get betas b in
+      Array.unsafe_set bb k
+        (!re +. (beta *. Array.unsafe_get p (k + 1)) +. fre);
+      Array.unsafe_set bb (k + 1)
+        (!im -. (beta *. Array.unsafe_get p k) +. fim)
+    done
+  done;
+  (* y = C^{-1} b: anchor and first iterate for every column *)
+  Obs.incr c_block_solves;
+  Obs.hist_record_int h_batch_width width;
+  Lu.solve_block_into st.dlhs ~width ~b:work.bw_b ~into:work.bw_y;
+  Array.blit work.bw_y 0 into 0 (2 * n * width);
+  let yd = work.bw_y and zd = work.bw_z in
+  for m = 1 to !max_m do
+    Obs.incr c_block_solves;
+    (let active = ref 0 in
+     for b = 0 to width - 1 do
+       if iters.(b) >= m then incr active
+     done;
+     Obs.hist_record_int h_batch_width !active);
+    Lu.solve_block_into st.dlhs ~width ~b:into ~into:work.bw_z;
+    if m <= !min_m then
+      (* every column is still refining: the mask below would pass
+         everywhere, so skip the per-column test (same updates, same
+         order) *)
+      for i = 0 to n - 1 do
+        let irow = i * w2 in
+        for b = 0 to width - 1 do
+          let k = irow + (2 * b) in
+          let beta = Array.unsafe_get betas b in
+          Array.unsafe_set into k
+            (Array.unsafe_get yd k +. (beta *. Array.unsafe_get zd (k + 1)));
+          Array.unsafe_set into (k + 1)
+            (Array.unsafe_get yd (k + 1) -. (beta *. Array.unsafe_get zd k))
+        done
+      done
+    else
+      for i = 0 to n - 1 do
+        let irow = i * w2 in
+        for b = 0 to width - 1 do
+          if Array.unsafe_get iters b >= m then begin
+            let k = irow + (2 * b) in
+            let beta = Array.unsafe_get betas b in
+            Array.unsafe_set into k
+              (Array.unsafe_get yd k +. (beta *. Array.unsafe_get zd (k + 1)));
+            Array.unsafe_set into (k + 1)
+              (Array.unsafe_get yd (k + 1) -. (beta *. Array.unsafe_get zd k))
+          end
+        done
+      done
+  done;
+  Scnoise_linalg.Sanitize.check_panel "Ctrapezoid.step_block" ~width into
 
 let step_demod_into st ~work ~omega ~iters ~p ~k0 ~k1 ~into =
   Obs.incr c_steps;

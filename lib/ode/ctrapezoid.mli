@@ -92,9 +92,45 @@ val demod_iters : demod -> omega:float -> int
     iteration budget, and [-1] when it cannot — the caller should use
     a classic shifted {!stepper} instead. *)
 
+val demod_refinable : demod -> omega:float -> bool
+(** Whether {!demod_iters} would be non-negative at this frequency,
+    without recording telemetry — the batching predicate of the sweep
+    layer, which probes every stepper before committing a block to the
+    blocked path. *)
+
 val step_demod_into :
   demod -> work:demod_work -> omega:float -> iters:int -> p:Cvec.t ->
   k0:Cvec.t -> k1:Cvec.t -> into:Cvec.t -> unit
 (** One exact shifted-trapezoid step at [omega] using [iters]
     refinement iterations (from {!demod_iters} at the same [omega]).
     [into] may alias [p] but not the scratch vectors. *)
+
+(** {1 Blocked demodulated stepper}
+
+    Advances [width] frequencies' envelopes through the same interval
+    with panel solves ({!Cvec.panel} layout): the real factors of [C]
+    are traversed once per block instead of once per frequency.  Each
+    column is bitwise identical to {!step_demod_into} at its
+    frequency; columns whose refinement count is exhausted are masked
+    out of later update passes, never recomputed. *)
+
+type block_work
+(** Panel scratch for {!step_block_into}, sized for a fixed
+    (dimension, width) pair.  Owned by the caller, one per domain. *)
+
+val block_work : dim:int -> width:int -> block_work
+(** Raises [Invalid_argument] when [width < 1]. *)
+
+val block_width : block_work -> int
+
+val step_block_into :
+  demod -> work:block_work -> omegas:float array -> iters:int array ->
+  p:Cvec.panel -> k0:Cvec.t -> k1:Cvec.t -> into:Cvec.panel -> unit
+(** One blocked step: column [b] advances the envelope at
+    [omegas.(b)] with [iters.(b)] refinement iterations (each from
+    {!demod_iters} at that frequency; all must be non-negative —
+    unbatchable frequencies belong on the scalar path).  [omegas] and
+    [iters] must have length [block_width work], and the panels must
+    be sized for (demod dimension, that width).  [into] must not alias
+    [p] or the scratch panels.  The forcing [k0]/[k1] is shared by all
+    columns (it is frequency-independent in the MFT formulation). *)

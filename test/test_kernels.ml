@@ -279,6 +279,226 @@ let test_gc_budget () =
        per_point (budget /. 1000.0))
     true (per_point < budget)
 
+(* --- blocked multi-RHS kernels ---
+
+   Every blocked kernel promises per-column bitwise identity with its
+   scalar counterpart; these properties check that promise on random
+   sizes, widths and seeds, including widths that don't divide
+   anything nicely. *)
+
+module Lu = Scnoise_linalg.Lu
+module Pool = Scnoise_par.Pool
+module Obs = Scnoise_obs.Obs
+module SI = Scnoise_circuits.Sc_integrator
+
+type bspec = { bn : int; bw : int; bseed : int }
+
+let bspec_arb =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "{n=%d; w=%d; seed=%d}" s.bn s.bw s.bseed)
+    QCheck.Gen.(
+      int_range 1 10 >>= fun n ->
+      int_range 1 17 >>= fun w ->
+      int_range 0 1_000_000 >|= fun seed -> { bn = n; bw = w; bseed = seed })
+
+let brng s = Random.State.make [| s.bseed; s.bn; s.bw; 0xb10c |]
+
+(* a random panel together with its columns as standalone vectors *)
+let random_panel rng ~dim ~width =
+  let cols = Array.init width (fun _ -> random_cvec rng dim) in
+  let p = Cvec.panel_create ~dim ~width in
+  Array.iteri (fun b v -> Cvec.panel_set_col v p ~width ~col:b) cols;
+  (p, cols)
+
+let random_dd_mat rng n =
+  Mat.init n n (fun i j ->
+      if i = j then float_of_int n +. 2.0 +. rnd rng else 0.3 *. rnd rng)
+
+let prop_lu_block =
+  QCheck.Test.make ~count:120
+    ~name:"Lu.solve_block_into == per-column solve_complex_into (bitwise)"
+    bspec_arb (fun s ->
+      let rng = brng s in
+      let lu = Lu.factor (random_dd_mat rng s.bn) in
+      let p, cols = random_panel rng ~dim:s.bn ~width:s.bw in
+      let out = Cvec.panel_create ~dim:s.bn ~width:s.bw in
+      Lu.solve_block_into lu ~width:s.bw ~b:p ~into:out;
+      let scalar = Cvec.create s.bn and got = Cvec.create s.bn in
+      let ok = ref true in
+      Array.iteri
+        (fun b v ->
+          Lu.solve_complex_into lu ~b:v ~into:scalar;
+          Cvec.panel_get_col out ~width:s.bw ~col:b ~into:got;
+          if not (cvec_equal_bits got scalar) then ok := false)
+        cols;
+      !ok)
+
+let prop_clu_block =
+  QCheck.Test.make ~count:120
+    ~name:"Clu.solve_block_into == per-column solve_into (bitwise)" bspec_arb
+    (fun s ->
+      let rng = brng s in
+      let lu = Clu.factor (random_dd_cmat rng s.bn) in
+      let p, cols = random_panel rng ~dim:s.bn ~width:s.bw in
+      let out = Cvec.panel_create ~dim:s.bn ~width:s.bw in
+      Clu.solve_block_into lu ~width:s.bw ~b:p ~into:out;
+      let work = Array.make (2 * s.bn) 0.0 in
+      let scalar = Cvec.create s.bn and got = Cvec.create s.bn in
+      let ok = ref true in
+      Array.iteri
+        (fun b v ->
+          Clu.solve_into lu ~work ~b:v ~into:scalar;
+          Cvec.panel_get_col out ~width:s.bw ~col:b ~into:got;
+          if not (cvec_equal_bits got scalar) then ok := false)
+        cols;
+      !ok)
+
+let prop_step_block =
+  QCheck.Test.make ~count:80
+    ~name:"step_block_into == per-column step_demod_into (bitwise)" bspec_arb
+    (fun s ->
+      let rng = brng s in
+      let a = random_stable_a rng s.bn in
+      let st = Ctrap.make_demod ~a ~h:1e-7 in
+      (* random per-column frequencies so the refinement counts genuinely
+         differ within the block (exercising the convergence mask); skip
+         draws where some column needs the complex-LU fallback *)
+      let omegas =
+        Array.init s.bw (fun _ ->
+            2.0 *. Float.pi *. (10.0 ** (1.0 +. Random.State.float rng 4.0)))
+      in
+      let iters = Array.map (fun omega -> Ctrap.demod_iters st ~omega) omegas in
+      QCheck.assume (Array.for_all (fun m -> m >= 0) iters);
+      let p, cols = random_panel rng ~dim:s.bn ~width:s.bw in
+      let k0 = random_cvec rng s.bn and k1 = random_cvec rng s.bn in
+      let work = Ctrap.block_work ~dim:s.bn ~width:s.bw in
+      let out = Cvec.panel_create ~dim:s.bn ~width:s.bw in
+      Ctrap.step_block_into st ~work ~omegas ~iters ~p ~k0 ~k1 ~into:out;
+      let dwork = Ctrap.demod_work s.bn in
+      let scalar = Cvec.create s.bn and got = Cvec.create s.bn in
+      let ok = ref true in
+      Array.iteri
+        (fun b v ->
+          Ctrap.step_demod_into st ~work:dwork ~omega:omegas.(b)
+            ~iters:iters.(b) ~p:v ~k0 ~k1 ~into:scalar;
+          Cvec.panel_get_col out ~width:s.bw ~col:b ~into:got;
+          if not (cvec_equal_bits got scalar) then ok := false)
+        cols;
+      !ok)
+
+(* the panel kernels must reject in-place operation: the gather /
+   zero-then-accumulate phases read their inputs after writing *)
+let test_block_aliasing () =
+  let n = 3 and width = 4 in
+  let rng = Random.State.make [| 0xa11a5 |] in
+  let rnd () = Random.State.float rng 2.0 -. 1.0 in
+  let rejects name f =
+    let raised =
+      try
+        f ();
+        false
+      with Invalid_argument _ -> true
+    in
+    Alcotest.(check bool) (name ^ " rejects aliasing") true raised
+  in
+  let p = Cvec.panel_create ~dim:n ~width in
+  Array.iteri (fun k _ -> p.(k) <- rnd ()) p;
+  let lu = Lu.factor (random_dd_mat rng n) in
+  rejects "Lu.solve_block_into" (fun () ->
+      Lu.solve_block_into lu ~width ~b:p ~into:p);
+  let clu = Clu.factor (random_dd_cmat rng n) in
+  rejects "Clu.solve_block_into" (fun () ->
+      Clu.solve_block_into clu ~width ~b:p ~into:p);
+  rejects "Cmat.mul_block_into" (fun () ->
+      Cmat.mul_block_into (random_cmat rng n) ~width ~x:p ~into:p);
+  let st = Ctrap.make_demod ~a:(random_stable_a rng n) ~h:1e-7 in
+  let omegas = Array.make width 1e3 in
+  let iters = Array.map (fun omega -> Ctrap.demod_iters st ~omega) omegas in
+  let work = Ctrap.block_work ~dim:n ~width in
+  let k0 = random_cvec rng n in
+  rejects "Ctrapezoid.step_block_into" (fun () ->
+      Ctrap.step_block_into st ~work ~omegas ~iters ~p ~k0 ~k1:k0 ~into:p)
+
+(* --- batched sweeps --- *)
+
+let counter = Obs.counter_value
+
+let test_sweep_edges () =
+  let b = LP.build LP.default in
+  let eng = Psd.prepare ~samples_per_phase:32 b.LP.sys ~output:b.LP.output in
+  let pool = Pool.create ~jobs:2 () in
+  let regions0 = counter "pool.regions" in
+  Alcotest.(check (array (float 0.0)))
+    "empty sweep returns [||]" [||]
+    (Psd.sweep ~pool eng [||]);
+  Alcotest.(check int) "empty sweep leaves the pool untouched" regions0
+    (counter "pool.regions");
+  let blocks0 = counter "bvp_block_solves" in
+  let single = Psd.sweep ~pool eng [| 1234.5 |] in
+  Alcotest.(check int) "single-point sweep allocates no panel" blocks0
+    (counter "bvp_block_solves");
+  Alcotest.(check bool) "single-point sweep matches psd" true
+    (Int64.bits_of_float single.(0)
+    = Int64.bits_of_float (Psd.psd eng ~f:1234.5));
+  let rejects f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "sweep rejects batch < 1" true
+    (rejects (fun () -> ignore (Psd.sweep ~pool ~batch:0 eng [| 1e3; 2e3 |])));
+  Alcotest.(check bool) "set_default_batch rejects 0" true
+    (rejects (fun () -> Psd.set_default_batch 0))
+
+let float_array_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let test_sweep_batch_parity () =
+  let b = LP.build LP.default in
+  let eng = Psd.prepare ~samples_per_phase:64 b.LP.sys ~output:b.LP.output in
+  (* crosses the refinable band's edge (~4 kHz at this deck), so both
+     batched tiles and scalar-fallback tiles are exercised *)
+  let freqs = Scnoise_util.Grid.linspace 100.0 16_000.0 41 in
+  let serial = Pool.create ~jobs:1 () in
+  let par = Pool.create ~jobs:4 () in
+  let reference = Psd.sweep ~pool:serial ~batch:1 eng freqs in
+  List.iter
+    (fun (name, pool, batch) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "batched sweep (%s) bit-identical to scalar" name)
+        true
+        (float_array_bits_equal (Psd.sweep ~pool ~batch eng freqs) reference))
+    [
+      ("b8 jobs1", serial, 8); ("b8 jobs4", par, 8); ("b3 jobs4", par, 3);
+      ("b16 jobs4", par, 16);
+    ]
+
+let batched_vs_reference name prep freqs () =
+  let eng = prep () in
+  let with_reference flag f =
+    let prev = Bvp.reference_enabled () in
+    Bvp.set_reference flag;
+    Fun.protect ~finally:(fun () -> Bvp.set_reference prev) f
+  in
+  let pool = Pool.create ~jobs:1 () in
+  let fast = with_reference false (fun () -> Psd.sweep ~pool ~batch:8 eng freqs) in
+  let slow = with_reference true (fun () -> Psd.sweep ~pool eng freqs) in
+  Array.iteri
+    (fun i f ->
+      let ddb = abs_float (Db.of_power fast.(i) -. Db.of_power slow.(i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s @ %g Hz within 1e-9 dB (got %.3e)" name f ddb)
+        true (ddb <= 1e-9))
+    freqs
+
+let prep_integrator () =
+  let b = SI.build SI.default in
+  Psd.prepare ~samples_per_phase:64 b.SI.sys ~output:b.SI.output
+
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
@@ -301,5 +521,22 @@ let () =
             (demod_parity "switched_rc" prep_switched_rc
                [ 10.0; 1e3; 2.5e4; 3e5 ]);
           Alcotest.test_case "hot loop allocation budget" `Slow test_gc_budget;
+        ] );
+      qsuite "blocked kernels" [ prop_lu_block; prop_clu_block; prop_step_block ];
+      ( "batched sweeps",
+        [
+          Alcotest.test_case "panel kernels reject aliasing" `Quick
+            test_block_aliasing;
+          Alcotest.test_case "sweep edge cases" `Quick test_sweep_edges;
+          Alcotest.test_case "batched == scalar at any width and jobs" `Quick
+            test_sweep_batch_parity;
+          Alcotest.test_case "batched vs reference backend (switched_rc)"
+            `Quick
+            (batched_vs_reference "switched_rc" prep_switched_rc
+               [| 10.0; 320.0; 1e3; 2.5e4 |]);
+          Alcotest.test_case "batched vs reference backend (sc_integrator)"
+            `Quick
+            (batched_vs_reference "sc_integrator" prep_integrator
+               [| 10.0; 1e3; 3.3e3 |]);
         ] );
     ]
