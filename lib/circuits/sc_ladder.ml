@@ -8,6 +8,8 @@ type params = {
   r : float;
   c : float;
   r_switch : float;
+  c_par : float;
+  r_par : float;
   clock_hz : float;
   duty : float;
   temperature : float;
@@ -19,12 +21,23 @@ let default =
     r = 1e3;
     c = 100e-12;
     r_switch = 1e3;
+    c_par = 0.0;
+    r_par = 0.0;
     clock_hz = 1e5;
     duty = 0.5;
     temperature = 300.0;
   }
 
 let with_stages stages = { default with stages }
+
+(* The parasitic defaults follow the main ladder: a tenth of the node
+   capacitance hanging off each node through ten times the series
+   resistance — small enough not to change the passband, large enough
+   that the extra states carry real (not numerically void) noise. *)
+let with_parasitics ?(c_par_ratio = 0.1) ?(r_par_ratio = 10.0) p =
+  if c_par_ratio <= 0.0 || r_par_ratio <= 0.0 then
+    invalid_arg "Sc_ladder.with_parasitics: ratios must be positive";
+  { p with c_par = c_par_ratio *. p.c; r_par = r_par_ratio *. p.r }
 
 type built = {
   sys : Pwl.t;
@@ -37,23 +50,40 @@ type built = {
 
 let output_name = "nlast"
 
+let nstates params =
+  if params.c_par > 0.0 then 2 * params.stages else params.stages
+
 let build params =
   if params.stages < 1 then invalid_arg "Sc_ladder.build: stages < 1";
+  if params.c_par > 0.0 && params.r_par <= 0.0 then
+    invalid_arg "Sc_ladder.build: c_par without a positive r_par";
   let nl = Netlist.create () in
   let node i =
     if i = params.stages then Netlist.node nl output_name
     else Netlist.node nl (Printf.sprintf "n%d" i)
   in
+  let parasitic i n =
+    (* one extra state per stage: c_par from a parasitic node to
+       ground, fed from the stage node through r_par *)
+    if params.c_par > 0.0 then begin
+      let p = Netlist.node nl (Printf.sprintf "p%d" i) in
+      Netlist.resistor ~name:(Printf.sprintf "RP%d" i) nl n p params.r_par;
+      Netlist.capacitor ~name:(Printf.sprintf "CP%d" i) nl p Netlist.ground
+        params.c_par
+    end
+  in
   let first = node 1 in
   Netlist.switch ~name:"S0" ~closed_in:[ 0 ] nl first Netlist.ground
     params.r_switch;
   Netlist.capacitor ~name:"C1" nl first Netlist.ground params.c;
+  parasitic 1 first;
   let prev = ref first in
   for i = 2 to params.stages do
     let n = node i in
     Netlist.resistor ~name:(Printf.sprintf "R%d" i) nl !prev n params.r;
     Netlist.capacitor ~name:(Printf.sprintf "C%d" i) nl n Netlist.ground
       params.c;
+    parasitic i n;
     prev := n
   done;
   let clock = Clock.duty ~period:(1.0 /. params.clock_hz) ~duty:params.duty in

@@ -7,29 +7,105 @@
     [(Phi, Q)] assembled exactly from per-substep Van Loan
     discretisations.  The periodic steady state is the fixed point of
     that map — a discrete Lyapunov equation solved directly, which is the
-    covariance half of the mixed-frequency-time method. *)
+    covariance half of the mixed-frequency-time method.
+
+    Two engines compute the same quantities:
+
+    - the {e dense} backend materialises every [K(t_i)] as an [n×n]
+      matrix (the historical path, exact reference);
+    - the {e low-rank} backend propagates a factored [K ≈ Z Zᵀ]
+      ({!Scnoise_linalg.Lowrank}), memoises one interval operator per
+      distinct (phase, step) pair of the stretched grid, uses
+      matrix-free Krylov propagators for phases with few noise columns,
+      and solves the steady state by a factored doubling iteration —
+      the same answers to truncation tolerance, at a fraction of the
+      dense cost for hundred-state circuits. *)
 
 module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
 module Pwl = Scnoise_circuit.Pwl
 
-type solver = [ `Kron | `Doubling | `Iterate of int ]
-(** [`Kron]: exact vectorised solve.  [`Doubling]: doubling iteration
-    (requires stability).  [`Iterate n]: propagate the affine map from
-    [K = 0] for [n] periods (the naive baseline, for ablation). *)
+type solver = [ `Auto | `Kron | `Doubling | `Iterate of int ]
+(** [`Auto]: Kron for small systems, doubling (with a Kron fallback on
+    marginal monodromies) above {!auto_solver_threshold} states.
+    [`Kron]: exact vectorised solve ([O(n^6)]).  [`Doubling]: doubling
+    iteration (requires stability, [O(n^3 log)]).  [`Iterate n]:
+    propagate the affine map from [K = 0] for [n] periods (the naive
+    baseline, for ablation). *)
 
 type grid_kind = [ `Stretched | `Uniform ]
+
+type backend = Dense | Lowrank
+
+type krep = Kdense of Mat.t | Kfact of Scnoise_linalg.Lowrank.t
+(** A covariance matrix in whichever representation the backend that
+    produced it uses.  Use the [k_*] accessors rather than matching
+    where possible. *)
 
 type sampled = {
   sys : Pwl.t;
   times : float array;  (** grid over one period, [0 .. T], length N+1 *)
   interval_phase : int array;  (** phase index of each of the N intervals *)
-  ks : Mat.t array;  (** K at each grid time *)
+  ks : krep array;  (** K at each grid time *)
   phis : Mat.t array;  (** state-transition Phi(t_i, 0) at each grid time *)
-  k0 : Mat.t;  (** periodic steady-state covariance at t = 0 *)
+  k0 : krep;  (** periodic steady-state covariance at t = 0 *)
   phi_period : Mat.t;  (** monodromy Phi(T, 0) *)
   q_period : Mat.t;  (** accumulated process noise over one period *)
+  backend : backend;  (** engine that produced this trace *)
+  peak_rank : int;  (** largest factor rank seen (dense: [n]) *)
 }
+
+(** {2 Covariance representation accessors} *)
+
+val k_mat : krep -> Mat.t
+(** Materialise as a dense matrix (identity for [Kdense]). *)
+
+val k_apply : krep -> Vec.t -> Vec.t
+(** [K v] without densifying a factored representation. *)
+
+val k_quad : krep -> Vec.t -> float
+(** [vᵀ K v]. *)
+
+val k_rank : krep -> int
+
+val k_bytes : krep -> int
+(** Payload bytes of the stored representation. *)
+
+val ks_bytes : sampled -> int
+(** Total bytes held by the [ks] trace (the dominant storage term). *)
+
+(** {2 Backend selection} *)
+
+val auto_state_threshold : int
+(** State count at and above which the auto policy picks [Lowrank]. *)
+
+val auto_solver_threshold : int
+(** State count above which [`Auto] switches from Kron to doubling. *)
+
+val set_default_backend : backend option -> unit
+(** Process-wide default (the [--cov-backend] flag); [None] restores
+    auto resolution. *)
+
+val configured_backend : unit -> backend option
+(** The configured default: [set_default_backend] if set, else the
+    [SCNOISE_COV_BACKEND] environment variable ([auto|dense|lowrank]),
+    else [None] (auto by state count). *)
+
+val resolve_backend : ?backend:backend -> nstates:int -> unit -> backend
+(** Full resolution: explicit argument, then {!configured_backend},
+    then auto by state count. *)
+
+val backend_name : backend -> string
+
+val backend_of_name : string -> backend option
+(** ["auto"] maps to [None]; raises [Invalid_argument] on anything
+    other than [auto|dense|lowrank]. *)
+
+val cache_tag : unit -> string
+(** Component for result-cache keys: [""] while the configured backend
+    cannot change results beyond numeric tolerance (so dense and
+    low-rank runs share cache entries), a discriminating tag once
+    [SCNOISE_LOWRANK_RTOL] is loosened past [1e-12]. *)
 
 type discretized_grid = {
   g_times : float array;  (** grid over one period, [0 .. T] *)
@@ -59,10 +135,14 @@ val periodic_initial :
 (** Steady-state covariance at the period boundary. *)
 
 val sample :
-  ?solver:solver -> ?samples_per_phase:int -> ?grid:grid_kind ->
+  ?solver:solver -> ?backend:backend -> ?rtol:float ->
+  ?samples_per_phase:int -> ?grid:grid_kind ->
   ?pool:Scnoise_par.Pool.t -> Pwl.t -> sampled
 (** Full sampled trace of the periodic covariance over one period,
-    together with the transition matrices needed by the PSD engine. *)
+    together with the transition matrices needed by the PSD engine.
+    [backend] overrides the resolution chain; [rtol] is the low-rank
+    truncation tolerance (default {!Scnoise_linalg.Lowrank.default_rtol},
+    ignored by the dense backend). *)
 
 val variance_trace : sampled -> Vec.t -> float array
 (** [variance_trace s c] is [cᵀ K(t_i) c] on the grid. *)

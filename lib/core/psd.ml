@@ -1,4 +1,3 @@
-module Mat = Scnoise_linalg.Mat
 module Vec = Scnoise_linalg.Vec
 module Cvec = Scnoise_linalg.Cvec
 module Pwl = Scnoise_circuit.Pwl
@@ -32,14 +31,17 @@ let of_sampled cov ~output =
     invalid_arg "Psd.of_sampled: output row has wrong length";
   let forcing =
     Array.map
-      (fun k -> Cvec.of_real (Mat.mul_vec k output))
+      (fun k -> Cvec.of_real (Covariance.k_apply k output))
       cov.Covariance.ks
   in
   { cov; bvp = Periodic_bvp.of_sampled cov; out_row = output; forcing }
 
-let prepare ?solver ?samples_per_phase ?grid ?pool sys ~output =
+let prepare ?solver ?cov_backend ?samples_per_phase ?grid ?pool sys ~output =
   Obs.with_span "psd.prepare" (fun () ->
-      let cov = Covariance.sample ?solver ?samples_per_phase ?grid ?pool sys in
+      let cov =
+        Covariance.sample ?solver ?backend:cov_backend ?samples_per_phase
+          ?grid ?pool sys
+      in
       of_sampled cov ~output)
 
 let output e = Vec.copy e.out_row

@@ -30,10 +30,12 @@ val of_sampled : Covariance.sampled -> output:Vec.t -> engine
     sharing the covariance across several outputs). *)
 
 val prepare :
-  ?solver:Covariance.solver -> ?samples_per_phase:int ->
-  ?grid:Covariance.grid_kind -> ?pool:Scnoise_par.Pool.t -> Pwl.t ->
-  output:Vec.t -> engine
-(** One-stop preparation: periodic covariance + grids + monodromy. *)
+  ?solver:Covariance.solver -> ?cov_backend:Covariance.backend ->
+  ?samples_per_phase:int -> ?grid:Covariance.grid_kind ->
+  ?pool:Scnoise_par.Pool.t -> Pwl.t -> output:Vec.t -> engine
+(** One-stop preparation: periodic covariance + grids + monodromy.
+    [cov_backend] overrides the covariance engine selection
+    ({!Covariance.resolve_backend}). *)
 
 val output : engine -> Vec.t
 

@@ -1,0 +1,265 @@
+(* Krylov approximation of the matrix-exponential action: w = e^{tau A} v
+   from an Arnoldi basis of K_m(A, v), without materialising e^{tau A}.
+
+   The classic projection: build an orthonormal basis V_m of the Krylov
+   space with Hessenberg coefficients H_m, then
+   w ≈ beta V_m e^{tau H_m} e_1 with beta = ||v||.  The subspace is
+   grown adaptively until the generalised-residual estimate
+   beta * h_{m+1,m} * |(e^{tau H_m} e_1)_m| drops under the tolerance;
+   when the cap is hit first, the time step is halved and the interval
+   is covered by sub-steps (each sub-step restarts the basis from the
+   current iterate), so stiff operators cost more steps instead of
+   failing.  The small e^{tau H_m} goes through the dense Padé
+   {!Expm} — H_m is at most [m_max]², far off the n³ scale this module
+   avoids.
+
+   Scratch (basis columns, Hessenberg, small-expm inputs) lives in a
+   caller-reusable {!workspace}, so sweeps over many vectors allocate
+   only on growth, in the style of the demod steppers. *)
+
+let c_applies = Scnoise_obs.Obs.counter "kexpm.applies"
+
+let c_restarts = Scnoise_obs.Obs.counter "kexpm.restarts"
+
+let h_dim =
+  Scnoise_obs.Obs.histogram ~mode:Scnoise_obs.Hist.Counts "kexpm.subspace_dim"
+
+let h_substeps =
+  Scnoise_obs.Obs.histogram ~mode:Scnoise_obs.Hist.Counts "kexpm.substeps"
+
+let env_tol =
+  lazy
+    (match Sys.getenv_opt "SCNOISE_KEXPM_TOL" with
+    | None | Some "" -> 1e-12
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t > 0.0 -> t
+        | _ -> invalid_arg "SCNOISE_KEXPM_TOL: expected a positive float"))
+
+let default_tol () = Lazy.force env_tol
+
+(* Hard cap on the Arnoldi dimension per sub-step; past this the basis
+   stops paying for itself and halving the step converges faster. *)
+let m_max_cap = 36
+
+type workspace = {
+  mutable n : int;
+  mutable vs : float array array; (* m_max+1 basis vectors, length n *)
+  mutable p : float array; (* candidate vector *)
+  mutable w : float array; (* running iterate *)
+  hess : float array; (* (m_max+1) x m_max, column-major in m_max+1 *)
+}
+
+let workspace () =
+  { n = -1; vs = [||]; p = [||]; w = [||]; hess = Array.make ((m_max_cap + 1) * m_max_cap) 0.0 }
+
+let ensure ws n =
+  if ws.n <> n then begin
+    ws.n <- n;
+    ws.vs <- Array.init (m_max_cap + 1) (fun _ -> Array.make n 0.0);
+    ws.p <- Array.make n 0.0;
+    ws.w <- Array.make n 0.0
+  end
+
+let norm2 v =
+  let s = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    s := !s +. (v.(i) *. v.(i))
+  done;
+  sqrt !s
+
+(* e^{tau H_m} e_1 for the leading m x m Hessenberg block. *)
+let small_expm_col ws ~tau ~m =
+  let hm =
+    Mat.init m m (fun i j -> tau *. ws.hess.((j * (m_max_cap + 1)) + i))
+  in
+  let f = Expm.expm hm in
+  Array.init m (fun i -> Mat.get f i 0)
+
+let expmv_into ?tol ?(ws = workspace ()) op ~tau v ~dst =
+  let n = Linop.rows op in
+  if Linop.cols op <> n then invalid_arg "Kexpm.expmv_into: not square";
+  if Array.length v <> n || Array.length dst <> n then
+    invalid_arg "Kexpm.expmv_into: length mismatch";
+  Sanitize.check_vec "Kexpm.expmv" v;
+  Scnoise_obs.Obs.incr c_applies;
+  let tol = match tol with Some t -> t | None -> default_tol () in
+  ensure ws n;
+  let beta0 = norm2 v in
+  if tau = 0.0 || beta0 = 0.0 then Array.blit v 0 dst 0 n
+  else begin
+    let norm = match Linop.norm_est op with Some x -> x | None -> 1.0 in
+    let m_max = min n m_max_cap in
+    Array.blit v 0 ws.w 0 n;
+    (* initial sub-step from the norm estimate; the error control below
+       halves further whenever the basis cap cannot reach the tolerance *)
+    let theta = 4.0 in
+    let t_total = abs_float tau in
+    let dir = if tau >= 0.0 then 1.0 else -1.0 in
+    let h0 =
+      if norm *. t_total <= theta then t_total
+      else t_total /. ceil (norm *. t_total /. theta)
+    in
+    let h = ref h0 in
+    let t_done = ref 0.0 in
+    let steps = ref 0 in
+    while !t_done < t_total *. (1.0 -. 1e-15) do
+      let hstep = Float.min !h (t_total -. !t_done) in
+      let beta = norm2 ws.w in
+      if beta = 0.0 then t_done := t_total
+      else begin
+        let v1 = ws.vs.(0) in
+        for i = 0 to n - 1 do
+          v1.(i) <- ws.w.(i) /. beta
+        done;
+        (* Arnoldi with modified Gram-Schmidt and one
+           re-orthogonalisation pass *)
+        let accepted = ref 0 in
+        let j = ref 0 in
+        while !accepted = 0 && !j < m_max do
+          let jj = !j in
+          Linop.apply_into op ~src:ws.vs.(jj) ~dst:ws.p;
+          let col = jj * (m_max_cap + 1) in
+          for i = 0 to jj do
+            ws.hess.(col + i) <- 0.0
+          done;
+          for pass = 0 to 1 do
+            ignore pass;
+            for i = 0 to jj do
+              let vi = ws.vs.(i) in
+              let d = ref 0.0 in
+              for k = 0 to n - 1 do
+                d := !d +. (vi.(k) *. ws.p.(k))
+              done;
+              let d = !d in
+              ws.hess.(col + i) <- ws.hess.(col + i) +. d;
+              for k = 0 to n - 1 do
+                ws.p.(k) <- ws.p.(k) -. (d *. vi.(k))
+              done
+            done
+          done;
+          let hnext = norm2 ws.p in
+          ws.hess.(col + jj + 1) <- hnext;
+          let m = jj + 1 in
+          if hnext <= 1e-14 *. Float.max 1.0 norm then
+            (* happy breakdown: the Krylov space is invariant and the
+               projected exponential is exact *)
+            accepted := m
+          else begin
+            let y = small_expm_col ws ~tau:(dir *. hstep) ~m in
+            let err = beta *. hnext *. abs_float y.(m - 1) in
+            if err <= tol *. Float.max beta0 beta then accepted := m
+            else begin
+              let vnext = ws.vs.(m) in
+              for k = 0 to n - 1 do
+                vnext.(k) <- ws.p.(k) /. hnext
+              done;
+              incr j
+            end
+          end
+        done;
+        if !accepted = 0 then begin
+          (* cap hit: halve the sub-step and rebuild the basis *)
+          Scnoise_obs.Obs.incr c_restarts;
+          h := hstep /. 2.0;
+          if !h < t_total *. 1e-12 then
+            failwith "Kexpm.expmv: step underflow (operator not finite?)"
+        end
+        else begin
+          let m = !accepted in
+          let y = small_expm_col ws ~tau:(dir *. hstep) ~m in
+          for k = 0 to n - 1 do
+            ws.p.(k) <- 0.0
+          done;
+          for i = 0 to m - 1 do
+            let c = beta *. y.(i) in
+            let vi = ws.vs.(i) in
+            for k = 0 to n - 1 do
+              ws.p.(k) <- ws.p.(k) +. (c *. vi.(k))
+            done
+          done;
+          Array.blit ws.p 0 ws.w 0 n;
+          t_done := !t_done +. hstep;
+          incr steps;
+          Scnoise_obs.Obs.hist_record_int h_dim m
+        end
+      end
+    done;
+    Scnoise_obs.Obs.hist_record_int h_substeps !steps;
+    Array.blit ws.w 0 dst 0 n
+  end;
+  Sanitize.check_vec "Kexpm.expmv (result)" dst
+
+let expmv ?tol ?ws op ~tau v =
+  let dst = Array.make (Linop.rows op) 0.0 in
+  expmv_into ?tol ?ws op ~tau v ~dst;
+  dst
+
+let expm_block ?tol ?ws op ~tau z =
+  let n = Linop.rows op in
+  if Mat.rows z <> n then invalid_arg "Kexpm.expm_block: row mismatch";
+  let ws = match ws with Some w -> w | None -> workspace () in
+  let k = Mat.cols z in
+  let out = Mat.create n k in
+  let src = Array.make n 0.0 and dst = Array.make n 0.0 in
+  for j = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      src.(i) <- Mat.get z i j
+    done;
+    expmv_into ?tol ~ws op ~tau src ~dst;
+    for i = 0 to n - 1 do
+      Mat.set out i j dst.(i)
+    done
+  done;
+  out
+
+(* --- Krylov process-noise quadrature ---
+
+   A factor F with F Fᵀ ≈ ∫₀^tau e^{As} B Bᵀ e^{Aᵀs} ds, built from
+   Gauss-Legendre nodes: F's columns are sqrt(w_k) e^{A s_k} b_j.  The
+   integrand is entire, so the quadrature converges super-algebraically;
+   with 10 nodes the error is below double rounding as long as
+   norm(A) tau stays moderate (the covariance engine sub-steps to keep
+   it ≤ ~2).  Nodes come from the Golub-Welsch eigenproblem of the
+   Jacobi matrix, via {!Symeig} — no hard-coded tables. *)
+
+let gauss_points = 10
+
+let gauss_rule =
+  lazy
+    (let q = gauss_points in
+     let j =
+       Mat.init q q (fun i k ->
+           if abs (i - k) <> 1 then 0.0
+           else
+             let m = float_of_int (min i k + 1) in
+             m /. sqrt ((4.0 *. m *. m) -. 1.0))
+     in
+     let d, v = Symeig.decompose j in
+     Array.init q (fun k -> (d.(k), 2.0 *. Mat.get v 0 k *. Mat.get v 0 k)))
+
+let gramian_factor ?tol ?ws op ~b ~tau =
+  let n = Linop.rows op in
+  if Mat.rows b <> n then invalid_arg "Kexpm.gramian_factor: row mismatch";
+  if tau < 0.0 then invalid_arg "Kexpm.gramian_factor: tau < 0";
+  let ws = match ws with Some w -> w | None -> workspace () in
+  let m = Mat.cols b in
+  let rule = Lazy.force gauss_rule in
+  let q = Array.length rule in
+  let out = Mat.create n (q * m) in
+  let src = Array.make n 0.0 and dst = Array.make n 0.0 in
+  for k = 0 to q - 1 do
+    let x, w = rule.(k) in
+    let s = tau *. (x +. 1.0) /. 2.0 in
+    let coeff = sqrt (w *. tau /. 2.0) in
+    for j = 0 to m - 1 do
+      for i = 0 to n - 1 do
+        src.(i) <- Mat.get b i j
+      done;
+      expmv_into ?tol ~ws op ~tau:s src ~dst;
+      for i = 0 to n - 1 do
+        Mat.set out i ((k * m) + j) (coeff *. dst.(i))
+      done
+    done
+  done;
+  out

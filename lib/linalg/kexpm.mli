@@ -1,0 +1,45 @@
+(** Krylov (Arnoldi) approximation of the matrix-exponential action.
+
+    Computes [w = e^{tau A} v] by projecting onto a Krylov subspace of
+    the operator — never materialising [e^{tau A}] — with the subspace
+    dimension grown adaptively until a generalised-residual estimate
+    meets the tolerance, and the interval covered by sub-steps (basis
+    restarts) when the dimension cap is hit first.  The per-call
+    tolerance defaults to the [SCNOISE_KEXPM_TOL] environment variable
+    (then [1e-12]).
+
+    Telemetry: [kexpm.applies] / [kexpm.restarts] counters and
+    [kexpm.subspace_dim] / [kexpm.substeps] count histograms. *)
+
+type workspace
+(** Reusable scratch (basis columns, Hessenberg block, iterate
+    buffers).  Not thread-safe: use one workspace per domain. *)
+
+val workspace : unit -> workspace
+
+val default_tol : unit -> float
+(** [SCNOISE_KEXPM_TOL] when set, [1e-12] otherwise. *)
+
+val expmv : ?tol:float -> ?ws:workspace -> Linop.t -> tau:float -> Vec.t -> Vec.t
+(** [expmv op ~tau v] is [e^{tau A} v].  The operator must be square;
+    raises [Invalid_argument] otherwise. *)
+
+val expmv_into :
+  ?tol:float -> ?ws:workspace -> Linop.t -> tau:float -> Vec.t ->
+  dst:float array -> unit
+(** Allocation-light {!expmv} writing into a caller buffer ([dst] must
+    not alias [v]). *)
+
+val expm_block : ?tol:float -> ?ws:workspace -> Linop.t -> tau:float -> Mat.t -> Mat.t
+(** [expm_block op ~tau z] applies [e^{tau A}] to every column of [z]
+    (the low-rank propagation primitive), reusing one workspace across
+    columns. *)
+
+val gramian_factor :
+  ?tol:float -> ?ws:workspace -> Linop.t -> b:Mat.t -> tau:float -> Mat.t
+(** [gramian_factor op ~b ~tau] returns a factor [f] with
+    [f fᵀ ≈ ∫₀^tau e^{As} b bᵀ e^{Aᵀs} ds] — the discrete process-noise
+    covariance of one step, in factored form.  Columns are
+    [sqrt(w_k) e^{A s_k} b_j] over a 10-point Gauss-Legendre rule; the
+    rule is spectrally accurate for moderate [norm(A) * tau] (callers
+    sub-step to keep it ≤ ~2 for full precision). *)

@@ -1,0 +1,192 @@
+(* Abstract linear operators: what the Krylov propagators and the
+   low-rank covariance engine consume instead of a materialised
+   [Mat.t].  An operator is its action [y <- A x] (written into a
+   caller-owned buffer so hot loops stay allocation-free), plus enough
+   metadata — dimensions, an optional transpose action, an optional
+   norm estimate — for the propagators to pick step sizes. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  apply_into : src:float array -> dst:float array -> unit;
+  applyt_into : (src:float array -> dst:float array -> unit) option;
+  norm_est : float option;
+}
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let norm_est t = t.norm_est
+
+let check_dims name t ~src ~dst =
+  if Array.length src <> t.cols then
+    invalid_arg (name ^ ": source length mismatch");
+  if Array.length dst <> t.rows then
+    invalid_arg (name ^ ": destination length mismatch")
+
+let apply_into t ~src ~dst =
+  check_dims "Linop.apply_into" t ~src ~dst;
+  t.apply_into ~src ~dst
+
+let apply t v =
+  let dst = Array.make t.rows 0.0 in
+  apply_into t ~src:v ~dst;
+  dst
+
+let has_transpose t = t.applyt_into <> None
+
+let applyt_into t ~src ~dst =
+  match t.applyt_into with
+  | None -> invalid_arg "Linop.applyt_into: operator has no transpose"
+  | Some f ->
+      if Array.length src <> t.rows then
+        invalid_arg "Linop.applyt_into: source length mismatch";
+      if Array.length dst <> t.cols then
+        invalid_arg "Linop.applyt_into: destination length mismatch";
+      f ~src ~dst
+
+let applyt t v =
+  let dst = Array.make t.cols 0.0 in
+  applyt_into t ~src:v ~dst;
+  dst
+
+let of_fun ?applyt ?norm_est ~rows ~cols apply =
+  if rows < 0 || cols < 0 then invalid_arg "Linop.of_fun: negative size";
+  {
+    rows;
+    cols;
+    apply_into = apply;
+    applyt_into = applyt;
+    norm_est;
+  }
+
+(* Dense adapter: straight row-major matvec over [Mat.data]. *)
+let of_mat m =
+  let nr = Mat.rows m and nc = Mat.cols m in
+  let d = Mat.data m in
+  let apply ~src ~dst =
+    for i = 0 to nr - 1 do
+      let base = i * nc in
+      let s = ref 0.0 in
+      for j = 0 to nc - 1 do
+        s := !s +. (d.(base + j) *. src.(j))
+      done;
+      dst.(i) <- !s
+    done
+  in
+  let applyt ~src ~dst =
+    Array.fill dst 0 nc 0.0;
+    for i = 0 to nr - 1 do
+      let base = i * nc in
+      let si = src.(i) in
+      if si <> 0.0 then
+        for j = 0 to nc - 1 do
+          dst.(j) <- dst.(j) +. (d.(base + j) *. si)
+        done
+    done
+  in
+  {
+    rows = nr;
+    cols = nc;
+    apply_into = apply;
+    applyt_into = Some applyt;
+    norm_est = Some (Mat.norm_inf m);
+  }
+
+(* Sparse adapter: compressed-sparse-row built from a dense matrix by
+   dropping entries at or below [drop_tol] in magnitude (default 0.0 —
+   only structural zeros go, so the action is bitwise that of the dense
+   matvec on the kept pattern).  Circuit state matrices are stamped and
+   stay mostly zeros off the element graph, so this is the natural
+   operator form for ladder-style systems. *)
+type csr = {
+  row_ptr : int array;
+  col_idx : int array;
+  vals : float array;
+}
+
+let csr_of_mat ~drop_tol m =
+  let nr = Mat.rows m and nc = Mat.cols m in
+  let d = Mat.data m in
+  let nnz = ref 0 in
+  for i = 0 to (nr * nc) - 1 do
+    if abs_float d.(i) > drop_tol then incr nnz
+  done;
+  let row_ptr = Array.make (nr + 1) 0 in
+  let col_idx = Array.make !nnz 0 in
+  let vals = Array.make !nnz 0.0 in
+  let k = ref 0 in
+  for i = 0 to nr - 1 do
+    row_ptr.(i) <- !k;
+    for j = 0 to nc - 1 do
+      let v = d.((i * nc) + j) in
+      if abs_float v > drop_tol then begin
+        col_idx.(!k) <- j;
+        vals.(!k) <- v;
+        incr k
+      end
+    done
+  done;
+  row_ptr.(nr) <- !k;
+  { row_ptr; col_idx; vals }
+
+let of_sparse ?(drop_tol = 0.0) m =
+  let nr = Mat.rows m and nc = Mat.cols m in
+  let { row_ptr; col_idx; vals } = csr_of_mat ~drop_tol m in
+  let apply ~src ~dst =
+    for i = 0 to nr - 1 do
+      let s = ref 0.0 in
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        s := !s +. (vals.(k) *. src.(col_idx.(k)))
+      done;
+      dst.(i) <- !s
+    done
+  in
+  let applyt ~src ~dst =
+    Array.fill dst 0 nc 0.0;
+    for i = 0 to nr - 1 do
+      let si = src.(i) in
+      if si <> 0.0 then
+        for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+          dst.(col_idx.(k)) <- dst.(col_idx.(k)) +. (vals.(k) *. si)
+        done
+    done
+  in
+  (* infinity norm of the kept pattern, computed once from CSR *)
+  let norm =
+    let best = ref 0.0 in
+    for i = 0 to nr - 1 do
+      let s = ref 0.0 in
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        s := !s +. abs_float vals.(k)
+      done;
+      if !s > !best then best := !s
+    done;
+    !best
+  in
+  {
+    rows = nr;
+    cols = nc;
+    apply_into = apply;
+    applyt_into = Some applyt;
+    norm_est = Some norm;
+  }
+
+(* Pick the adapter by fill: stamped circuit matrices are sparse in the
+   element graph, dense blocks (compression cores, monodromies) are
+   not.  The threshold is conservative — CSR only wins once most of
+   the row is zeros and indices stop fitting alongside the values. *)
+let auto m =
+  let nr = Mat.rows m and nc = Mat.cols m in
+  if nr * nc = 0 then of_mat m
+  else begin
+    let d = Mat.data m in
+    let nnz = ref 0 in
+    for i = 0 to (nr * nc) - 1 do
+      if d.(i) <> 0.0 then incr nnz
+    done;
+    if nr >= 32 && float_of_int !nnz <= 0.25 *. float_of_int (nr * nc) then
+      of_sparse m
+    else of_mat m
+  end

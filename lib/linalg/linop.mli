@@ -1,0 +1,54 @@
+(** Abstract linear operators for matrix-free kernels.
+
+    The Krylov propagators ({!Kexpm}) and the low-rank covariance
+    engine consume an operator's action rather than a materialised
+    {!Mat.t}: a [rows × cols] map with an allocation-free
+    [apply_into], an optional transpose action, and an optional
+    infinity-norm estimate used for step-size selection. *)
+
+type t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val norm_est : t -> float option
+(** An (upper) estimate of the operator's infinity norm when one is
+    known; adapters built from matrices always carry it. *)
+
+val of_fun :
+  ?applyt:(src:float array -> dst:float array -> unit) ->
+  ?norm_est:float ->
+  rows:int ->
+  cols:int ->
+  (src:float array -> dst:float array -> unit) ->
+  t
+(** Wrap a bare action.  [applyt] is the transpose action when the
+    caller has one. *)
+
+val of_mat : Mat.t -> t
+(** Dense adapter over the matrix's row-major buffer; carries the
+    exact [Mat.norm_inf] and a transpose action. *)
+
+val of_sparse : ?drop_tol:float -> Mat.t -> t
+(** Compressed-sparse-row adapter.  Entries with magnitude at or below
+    [drop_tol] (default [0.0], i.e. only structural zeros) are dropped
+    at construction; on the kept pattern the action is bitwise the
+    dense matvec. *)
+
+val auto : Mat.t -> t
+(** {!of_sparse} when the matrix is large and mostly zeros (fill
+    ≤ 25% at n ≥ 32), {!of_mat} otherwise. *)
+
+val apply_into : t -> src:float array -> dst:float array -> unit
+(** [dst <- A src]; [dst] must not alias [src]. *)
+
+val apply : t -> Vec.t -> Vec.t
+
+val has_transpose : t -> bool
+
+val applyt_into : t -> src:float array -> dst:float array -> unit
+(** [dst <- Aᵀ src]; raises [Invalid_argument] when the operator
+    carries no transpose. *)
+
+val applyt : t -> Vec.t -> Vec.t

@@ -1,0 +1,297 @@
+(* Factored symmetric PSD matrices K ≈ Z Zᵀ, the representation the
+   low-rank covariance backend propagates instead of dense K.
+
+   Everything expensive reduces to operations on the n×r factor: the
+   Van Loan phase-step update becomes "propagate the columns of Z
+   through e^{A h}, append a factor of the discrete process noise,
+   re-compress".  Compression ends in a diagonally-pivoted Cholesky
+   factorisation — rank-revealing for PSD matrices, and O(n² r)
+   against the O(n³)-with-a-large-constant eigendecomposition, which
+   matters because compression runs once per grid interval.  A wide
+   factor (k ≳ n/2, the usual state once the covariance has warmed to
+   full numerical rank) goes through its n×n Gram matrix directly; a
+   thin one through a thin QR and the small k×k core, so the cost
+   never exceeds O(n k · min(n, k)).
+
+   Truncation drops directions whose remaining pivot falls below
+   [rtol] times the largest diagonal entry of K.  The dropped mass in
+   K is bounded by n * rtol * max_diag, so the default rtol = 1e-14
+   keeps the factored pipeline within dense-backend parity while still
+   shedding the numerically void directions that would otherwise
+   accumulate every step. *)
+
+type t = { n : int; z : Mat.t }
+
+let env_rtol =
+  lazy
+    (match Sys.getenv_opt "SCNOISE_LOWRANK_RTOL" with
+    | None | Some "" -> 1e-14
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t > 0.0 && t < 1.0 -> t
+        | _ ->
+            invalid_arg "SCNOISE_LOWRANK_RTOL: expected a float in (0, 1)"))
+
+let default_rtol () = Lazy.force env_rtol
+
+let zero n =
+  if n < 0 then invalid_arg "Lowrank.zero: negative size";
+  { n; z = Mat.create n 0 }
+
+let of_factor z = { n = Mat.rows z; z }
+
+let factor t = t.z
+
+let nstates t = t.n
+
+let rank t = Mat.cols t.z
+
+let bytes t = 8 * t.n * Mat.cols t.z
+
+let to_dense t =
+  let r = Mat.cols t.z in
+  let d = Mat.data t.z in
+  Mat.init t.n t.n (fun i j ->
+      let s = ref 0.0 in
+      for l = 0 to r - 1 do
+        s := !s +. (d.((i * r) + l) *. d.((j * r) + l))
+      done;
+      !s)
+
+let of_dense ?(rtol = 1e-15) m =
+  if not (Mat.is_square m) then invalid_arg "Lowrank.of_dense: not square";
+  { n = Mat.rows m; z = Symeig.psd_factor ~rtol m }
+
+let apply t v =
+  if Array.length v <> t.n then invalid_arg "Lowrank.apply: length mismatch";
+  let r = Mat.cols t.z in
+  let d = Mat.data t.z in
+  let w = Array.make r 0.0 in
+  for i = 0 to t.n - 1 do
+    let vi = v.(i) in
+    if vi <> 0.0 then
+      for l = 0 to r - 1 do
+        w.(l) <- w.(l) +. (d.((i * r) + l) *. vi)
+      done
+  done;
+  let out = Array.make t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    let s = ref 0.0 in
+    for l = 0 to r - 1 do
+      s := !s +. (d.((i * r) + l) *. w.(l))
+    done;
+    out.(i) <- !s
+  done;
+  out
+
+let quad t v =
+  if Array.length v <> t.n then invalid_arg "Lowrank.quad: length mismatch";
+  let r = Mat.cols t.z in
+  let d = Mat.data t.z in
+  let s = ref 0.0 in
+  for l = 0 to r - 1 do
+    let w = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      w := !w +. (d.((i * r) + l) *. v.(i))
+    done;
+    s := !s +. (!w *. !w)
+  done;
+  !s
+
+let max_diag t =
+  let r = Mat.cols t.z in
+  let d = Mat.data t.z in
+  let best = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let s = ref 0.0 in
+    for l = 0 to r - 1 do
+      s := !s +. (d.((i * r) + l) *. d.((i * r) + l))
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let append t f =
+  if Mat.rows f <> t.n then invalid_arg "Lowrank.append: row mismatch";
+  if Mat.cols f = 0 then t
+  else if Mat.cols t.z = 0 then { t with z = f }
+  else { t with z = Mat.hcat t.z f }
+
+let propagate_mat p t =
+  if Mat.rows p <> t.n || Mat.cols p <> t.n then
+    invalid_arg "Lowrank.propagate_mat: dimension mismatch";
+  { t with z = Mat.mul p t.z }
+
+let propagate op t =
+  if Linop.rows op <> Linop.cols op || Linop.rows op <> t.n then
+    invalid_arg "Lowrank.propagate: dimension mismatch";
+  let r = Mat.cols t.z in
+  let out = Mat.create t.n r in
+  let src = Array.make t.n 0.0 and dst = Array.make t.n 0.0 in
+  for j = 0 to r - 1 do
+    for i = 0 to t.n - 1 do
+      src.(i) <- Mat.get t.z i j
+    done;
+    Linop.apply_into op ~src ~dst;
+    for i = 0 to t.n - 1 do
+      Mat.set out i j dst.(i)
+    done
+  done;
+  { t with z = out }
+
+(* Thin Householder QR of a tall n×k factor (n >= k): returns the
+   explicit orthonormal q (n×k) and upper-triangular r (k×k). *)
+let qr_thin a =
+  let n = Mat.rows a and k = Mat.cols a in
+  assert (n >= k);
+  let w = Array.make (n * k) 0.0 in
+  Array.blit (Mat.data a) 0 w 0 (n * k);
+  let vs = Array.init k (fun _ -> Array.make n 0.0) in
+  let betas = Array.make k 0.0 in
+  for j = 0 to k - 1 do
+    let alpha2 = ref 0.0 in
+    for i = j to n - 1 do
+      alpha2 := !alpha2 +. (w.((i * k) + j) *. w.((i * k) + j))
+    done;
+    let alpha = sqrt !alpha2 in
+    if alpha > 0.0 then begin
+      let ajj = w.((j * k) + j) in
+      let alpha = if ajj > 0.0 then -.alpha else alpha in
+      let v = vs.(j) in
+      v.(j) <- ajj -. alpha;
+      for i = j + 1 to n - 1 do
+        v.(i) <- w.((i * k) + j)
+      done;
+      let vn2 = ref 0.0 in
+      for i = j to n - 1 do
+        vn2 := !vn2 +. (v.(i) *. v.(i))
+      done;
+      if !vn2 > 0.0 then begin
+        let beta = 2.0 /. !vn2 in
+        betas.(j) <- beta;
+        for c = j to k - 1 do
+          let s = ref 0.0 in
+          for i = j to n - 1 do
+            s := !s +. (v.(i) *. w.((i * k) + c))
+          done;
+          let s = beta *. !s in
+          for i = j to n - 1 do
+            w.((i * k) + c) <- w.((i * k) + c) -. (s *. v.(i))
+          done
+        done
+      end
+    end
+  done;
+  let r = Mat.init k k (fun i j -> if j >= i then w.((i * k) + j) else 0.0) in
+  (* q = H_0 ... H_{k-1} [I_k; 0] *)
+  let q = Array.make (n * k) 0.0 in
+  for j = 0 to k - 1 do
+    q.((j * k) + j) <- 1.0
+  done;
+  for j = k - 1 downto 0 do
+    if betas.(j) > 0.0 then begin
+      let v = vs.(j) and beta = betas.(j) in
+      for c = 0 to k - 1 do
+        let s = ref 0.0 in
+        for i = j to n - 1 do
+          s := !s +. (v.(i) *. q.((i * k) + c))
+        done;
+        let s = beta *. !s in
+        for i = j to n - 1 do
+          q.((i * k) + c) <- q.((i * k) + c) -. (s *. v.(i))
+        done
+      done
+    end
+  done;
+  (Mat.init n k (fun i j -> q.((i * k) + j)), r)
+
+(* Diagonally-pivoted Cholesky of a symmetric PSD matrix given as a
+   flat m×m array: returns the m×r factor L (row order unpermuted)
+   with L Lᵀ ≈ G, stopping once the largest remaining pivot drops to
+   [tol] (absolute, on the diagonal of G). *)
+let pchol gd m tol =
+  let piv = Array.init m (fun i -> i) in
+  let ld = Array.make (m * m) 0.0 in
+  let d = Array.init m (fun i -> gd.((i * m) + i)) in
+  let rank = ref 0 in
+  (try
+     for k = 0 to m - 1 do
+       let q = ref k in
+       for i = k + 1 to m - 1 do
+         if d.(piv.(i)) > d.(piv.(!q)) then q := i
+       done;
+       if d.(piv.(!q)) <= tol then raise Exit;
+       let tmp = piv.(k) in
+       piv.(k) <- piv.(!q);
+       piv.(!q) <- tmp;
+       let pk = piv.(k) in
+       let akk = sqrt d.(pk) in
+       ld.((pk * m) + k) <- akk;
+       for i = k + 1 to m - 1 do
+         let pi = piv.(i) in
+         let s = ref gd.((pi * m) + pk) in
+         for j = 0 to k - 1 do
+           s := !s -. (ld.((pi * m) + j) *. ld.((pk * m) + j))
+         done;
+         let v = !s /. akk in
+         ld.((pi * m) + k) <- v;
+         d.(pi) <- d.(pi) -. (v *. v)
+       done;
+       incr rank
+     done
+   with Exit -> ());
+  let rank = !rank in
+  Mat.init m rank (fun i j -> ld.((i * m) + j))
+
+let compress ?rtol t =
+  let rtol = match rtol with Some r -> r | None -> default_rtol () in
+  let k = Mat.cols t.z in
+  if k = 0 then t
+  else if 2 * k >= t.n then begin
+    (* wide factor: pivoted Cholesky of the n×n Gram matrix Z Zᵀ *)
+    let n = t.n in
+    let zd = Mat.data t.z in
+    let g = Array.make (n * n) 0.0 in
+    let maxd = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let s = ref 0.0 in
+        for l = 0 to k - 1 do
+          s := !s +. (zd.((i * k) + l) *. zd.((j * k) + l))
+        done;
+        g.((i * n) + j) <- !s;
+        g.((j * n) + i) <- !s
+      done;
+      if g.((i * n) + i) > !maxd then maxd := g.((i * n) + i)
+    done;
+    if !maxd <= 0.0 then { t with z = Mat.create n 0 }
+    else { t with z = pchol g n (rtol *. !maxd) }
+  end
+  else begin
+    (* thin factor: QR, then pivoted Cholesky of the k×k core R Rᵀ *)
+    let q, r = qr_thin t.z in
+    let rd = Mat.data r in
+    let core = Array.make (k * k) 0.0 in
+    let maxd = ref 0.0 in
+    for i = 0 to k - 1 do
+      for j = i to k - 1 do
+        let s = ref 0.0 in
+        for l = max i j to k - 1 do
+          s := !s +. (rd.((i * k) + l) *. rd.((j * k) + l))
+        done;
+        core.((i * k) + j) <- !s;
+        core.((j * k) + i) <- !s
+      done;
+      if core.((i * k) + i) > !maxd then maxd := core.((i * k) + i)
+    done;
+    if !maxd <= 0.0 then { t with z = Mat.create t.n 0 }
+    else
+      let lc = pchol core k (rtol *. !maxd) in
+      { t with z = Mat.mul q lc }
+  end
+
+let vanloan_step ?rtol ~phi ~lq t =
+  compress ?rtol (append (propagate phi t) lq)
+
+let vanloan_step_mat ?rtol ~phi ~lq t =
+  compress ?rtol (append (propagate_mat phi t) lq)

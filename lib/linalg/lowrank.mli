@@ -1,0 +1,72 @@
+(** Factored symmetric PSD matrices [K ≈ Z Zᵀ].
+
+    The low-rank covariance backend stores and propagates the [n×r]
+    factor [Z] instead of the dense [n×n] covariance.  Rank is
+    controlled by {!compress}: a thin QR of the factor plus an
+    rank-revealing pivoted Cholesky of the small core (of the [n×n]
+    Gram matrix directly when the factor is wide), truncating
+    directions whose pivot falls below [rtol] times the largest
+    diagonal entry of [K].  [rtol] defaults to the [SCNOISE_LOWRANK_RTOL]
+    environment variable (then [1e-14], which preserves dense-backend
+    parity; loosen towards [1e-8] for engineering-accuracy runs on
+    large circuits). *)
+
+type t
+
+val default_rtol : unit -> float
+
+val zero : int -> t
+(** The zero matrix on [n] states (an empty factor). *)
+
+val of_factor : Mat.t -> t
+(** Wrap an explicit [n×r] factor. *)
+
+val of_dense : ?rtol:float -> Mat.t -> t
+(** Factor a dense symmetric PSD matrix ([rtol] defaults to [1e-15] —
+    a pure noise-floor clip, not the propagation tolerance). *)
+
+val factor : t -> Mat.t
+
+val nstates : t -> int
+
+val rank : t -> int
+
+val bytes : t -> int
+(** Payload size of the factor in bytes. *)
+
+val to_dense : t -> Mat.t
+(** Materialise [Z Zᵀ] (exactly symmetric by construction). *)
+
+val apply : t -> Vec.t -> Vec.t
+(** [apply t v] is [K v = Z (Zᵀ v)] — [O(n r)]. *)
+
+val quad : t -> Vec.t -> float
+(** [quad t v] is [vᵀ K v = ‖Zᵀ v‖²] (non-negative by construction). *)
+
+val max_diag : t -> float
+(** Largest diagonal entry of [K] — also its largest-magnitude entry,
+    [K] being PSD. *)
+
+val append : t -> Mat.t -> t
+(** Column-concatenate a factor: [K + F Fᵀ] without compression. *)
+
+val propagate : Linop.t -> t -> t
+(** Apply an operator to every factor column: [Z ← P Z], representing
+    [P K Pᵀ].  The operator may be a dense transition matrix or a
+    matrix-free Krylov propagator. *)
+
+val propagate_mat : Mat.t -> t -> t
+(** {!propagate} specialised to a dense transition matrix — a single
+    matrix product, much faster than the column-at-a-time operator
+    path. *)
+
+val compress : ?rtol:float -> t -> t
+
+val vanloan_step : ?rtol:float -> phi:Linop.t -> lq:Mat.t -> t -> t
+(** One factored Van Loan covariance step
+    [K ← Phi K Phiᵀ + Lq Lqᵀ]: propagate the factor through [phi],
+    append the process-noise factor [lq], re-compress. *)
+
+val vanloan_step_mat : ?rtol:float -> phi:Mat.t -> lq:Mat.t -> t -> t
+(** {!vanloan_step} with a dense transition matrix
+    ({!propagate_mat}). *)

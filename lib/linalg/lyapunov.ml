@@ -1,5 +1,7 @@
 exception Not_stable of string
 
+let c_doubling_steps = Scnoise_obs.Obs.counter "lyapunov.doubling_steps"
+
 let solve_continuous a q =
   if not (Mat.is_square a && Mat.is_square q) then
     invalid_arg "Lyapunov.solve_continuous: not square";
@@ -30,19 +32,23 @@ let solve_discrete_doubling ?(tol = 1e-14) ?(max_iter = 200) phi q =
   if Mat.rows phi <> Mat.rows q then
     invalid_arg "Lyapunov.solve_discrete_doubling: size mismatch";
   let x = ref q and p = ref phi in
-  let scale = max 1.0 (Mat.max_abs q) in
+  let guard = max 1.0 (Mat.max_abs q) in
   let rec loop k =
     if k > max_iter then
       raise (Not_stable "doubling iteration did not converge")
     else begin
+      Scnoise_obs.Obs.incr c_doubling_steps;
       let incr = Mat.mul !p (Mat.mul !x (Mat.transpose !p)) in
       let delta = Mat.max_abs incr in
       x := Mat.add !x incr;
       if Mat.max_abs !p > 1e154 then
         raise (Not_stable "monodromy powers diverge: spectral radius >= 1");
-      if delta > scale *. 1e8 then
+      if delta > guard *. 1e8 then
         raise (Not_stable "doubling iteration diverges: spectral radius >= 1");
-      if delta <= tol *. scale then Mat.symmetrize !x
+      (* convergence is relative to the running solution: covariances
+         live at the kT/C scale, so an absolute floor would stop orders
+         of magnitude early *)
+      if delta <= tol *. Mat.max_abs !x then Mat.symmetrize !x
       else begin
         p := Mat.mul !p !p;
         loop (k + 1)

@@ -1,0 +1,212 @@
+(* Full symmetric eigendecomposition: Householder tridiagonalisation
+   (tred2) followed by implicit-shift QL with eigenvector accumulation
+   (tql2), the classic EISPACK pair.  [Eig] only reports eigenvalues of
+   general matrices; the low-rank covariance engine additionally needs
+   eigenvectors of small symmetric Gram blocks to truncate factors, so
+   the symmetric pair lives here.
+
+   Cost is O(n³) with a small constant; the matrices that reach this
+   module are either r×r compression cores (r = current covariance
+   rank) or n×n process-noise blocks. *)
+
+exception No_convergence of int
+
+(* Householder reduction of the symmetric matrix held row-major in [z]
+   (n×n) to tridiagonal form; diagonal to [d], sub-diagonal to
+   [e.(1..n-1)], accumulated orthogonal transform left in [z]. *)
+let tred2 n (z : float array) (d : float array) (e : float array) =
+  for i = n - 1 downto 1 do
+    let l = i - 1 in
+    let h = ref 0.0 in
+    if l > 0 then begin
+      let scale = ref 0.0 in
+      for k = 0 to l do
+        scale := !scale +. abs_float z.((i * n) + k)
+      done;
+      if !scale = 0.0 then e.(i) <- z.((i * n) + l)
+      else begin
+        for k = 0 to l do
+          z.((i * n) + k) <- z.((i * n) + k) /. !scale;
+          h := !h +. (z.((i * n) + k) *. z.((i * n) + k))
+        done;
+        let f = z.((i * n) + l) in
+        let g = if f >= 0.0 then -.sqrt !h else sqrt !h in
+        e.(i) <- !scale *. g;
+        h := !h -. (f *. g);
+        z.((i * n) + l) <- f -. g;
+        let fsum = ref 0.0 in
+        for j = 0 to l do
+          z.((j * n) + i) <- z.((i * n) + j) /. !h;
+          let g = ref 0.0 in
+          for k = 0 to j do
+            g := !g +. (z.((j * n) + k) *. z.((i * n) + k))
+          done;
+          for k = j + 1 to l do
+            g := !g +. (z.((k * n) + j) *. z.((i * n) + k))
+          done;
+          e.(j) <- !g /. !h;
+          fsum := !fsum +. (e.(j) *. z.((i * n) + j))
+        done;
+        let hh = !fsum /. (!h +. !h) in
+        for j = 0 to l do
+          let f = z.((i * n) + j) in
+          let g = e.(j) -. (hh *. f) in
+          e.(j) <- g;
+          for k = 0 to j do
+            z.((j * n) + k) <-
+              z.((j * n) + k) -. ((f *. e.(k)) +. (g *. z.((i * n) + k)))
+          done
+        done
+      end
+    end
+    else e.(i) <- z.((i * n) + l);
+    d.(i) <- !h
+  done;
+  d.(0) <- 0.0;
+  e.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    let l = i - 1 in
+    if d.(i) <> 0.0 then
+      for j = 0 to l do
+        let g = ref 0.0 in
+        for k = 0 to l do
+          g := !g +. (z.((i * n) + k) *. z.((k * n) + j))
+        done;
+        for k = 0 to l do
+          z.((k * n) + j) <- z.((k * n) + j) -. (!g *. z.((k * n) + i))
+        done
+      done;
+    d.(i) <- z.((i * n) + i);
+    z.((i * n) + i) <- 1.0;
+    for j = 0 to l do
+      z.((j * n) + i) <- 0.0;
+      z.((i * n) + j) <- 0.0
+    done
+  done
+
+(* Implicit-shift QL on the tridiagonal (d, e), rotating the columns of
+   [z] along so they end up as eigenvectors of the original matrix. *)
+let tql2 n (z : float array) (d : float array) (e : float array) =
+  for i = 1 to n - 1 do
+    e.(i - 1) <- e.(i)
+  done;
+  e.(n - 1) <- 0.0;
+  for l = 0 to n - 1 do
+    let iter = ref 0 in
+    let continue_l = ref true in
+    while !continue_l do
+      (* find the first negligible sub-diagonal at or after [l] *)
+      let m = ref l in
+      let found = ref false in
+      while (not !found) && !m < n - 1 do
+        let dd = abs_float d.(!m) +. abs_float d.(!m + 1) in
+        if abs_float e.(!m) <= epsilon_float *. dd then found := true
+        else incr m
+      done;
+      if !m = l then continue_l := false
+      else begin
+        incr iter;
+        if !iter > 50 then raise (No_convergence l);
+        let m = !m in
+        let g0 = (d.(l + 1) -. d.(l)) /. (2.0 *. e.(l)) in
+        let r0 = Float.hypot g0 1.0 in
+        let g =
+          ref
+            (d.(m) -. d.(l)
+            +. (e.(l) /. (g0 +. if g0 >= 0.0 then r0 else -.r0)))
+        in
+        let s = ref 1.0 and c = ref 1.0 and p = ref 0.0 in
+        (try
+           for i = m - 1 downto l do
+             let f = !s *. e.(i) in
+             let b = !c *. e.(i) in
+             let r = Float.hypot f !g in
+             e.(i + 1) <- r;
+             if r = 0.0 then begin
+               d.(i + 1) <- d.(i + 1) -. !p;
+               e.(m) <- 0.0;
+               raise Exit
+             end;
+             s := f /. r;
+             c := !g /. r;
+             let gg = d.(i + 1) -. !p in
+             let rr = ((d.(i) -. gg) *. !s) +. (2.0 *. !c *. b) in
+             p := !s *. rr;
+             d.(i + 1) <- gg +. !p;
+             g := (!c *. rr) -. b;
+             for k = 0 to n - 1 do
+               let f = z.((k * n) + i + 1) in
+               z.((k * n) + i + 1) <- (!s *. z.((k * n) + i)) +. (!c *. f);
+               z.((k * n) + i) <- (!c *. z.((k * n) + i)) -. (!s *. f)
+             done
+           done;
+           d.(l) <- d.(l) -. !p;
+           e.(l) <- !g;
+           e.(m) <- 0.0
+         with Exit -> ())
+      end
+    done
+  done
+
+(* Deterministic descending sort by eigenvalue, swapping eigenvector
+   columns along (selection sort: n is small here and stability of the
+   order matters more than asymptotics). *)
+let sort_desc n (z : float array) (d : float array) =
+  for i = 0 to n - 2 do
+    let kmax = ref i in
+    for j = i + 1 to n - 1 do
+      if d.(j) > d.(!kmax) then kmax := j
+    done;
+    if !kmax <> i then begin
+      let t = d.(i) in
+      d.(i) <- d.(!kmax);
+      d.(!kmax) <- t;
+      for k = 0 to n - 1 do
+        let t = z.((k * n) + i) in
+        z.((k * n) + i) <- z.((k * n) + !kmax);
+        z.((k * n) + !kmax) <- t
+      done
+    end
+  done
+
+let decompose m =
+  if not (Mat.is_square m) then invalid_arg "Symeig.decompose: not square";
+  Sanitize.check_mat "Symeig.decompose" m;
+  let n = Mat.rows m in
+  if n = 0 then ([||], Mat.create 0 0)
+  else begin
+    (* symmetrise defensively: callers pass Gram/covariance blocks that
+       are symmetric up to rounding *)
+    let z = Array.make (n * n) 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        z.((i * n) + j) <- 0.5 *. (Mat.get m i j +. Mat.get m j i)
+      done
+    done;
+    let d = Array.make n 0.0 and e = Array.make n 0.0 in
+    if n = 1 then d.(0) <- z.(0)
+    else begin
+      tred2 n z d e;
+      tql2 n z d e
+    end;
+    if n = 1 then z.(0) <- 1.0;
+    sort_desc n z d;
+    let v = Mat.init n n (fun i j -> z.((i * n) + j)) in
+    Sanitize.check_mat "Symeig.decompose (result)" v;
+    (d, v)
+  end
+
+let psd_factor ?(rtol = 1e-15) m =
+  let d, v = decompose m in
+  let n = Mat.rows m in
+  let cutoff =
+    match Array.length d with
+    | 0 -> 0.0
+    | _ -> rtol *. Float.max 0.0 d.(0)
+  in
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    if d.(i) > cutoff && d.(i) > 0.0 then incr r
+  done;
+  let r = !r in
+  Mat.init n r (fun i j -> Mat.get v i j *. sqrt d.(j))

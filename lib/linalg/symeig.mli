@@ -1,0 +1,23 @@
+(** Symmetric eigendecomposition (tred2 + tql2) with eigenvectors.
+
+    {!Eig} reports eigenvalues only; the low-rank covariance engine
+    needs eigenvectors of symmetric Gram blocks to truncate factored
+    covariances, and the Krylov quadrature needs Gauss nodes from a
+    Jacobi matrix. *)
+
+exception No_convergence of int
+(** Raised with the stuck eigenvalue index when the QL iteration fails
+    to deflate within 50 sweeps (does not happen for finite input). *)
+
+val decompose : Mat.t -> float array * Mat.t
+(** [decompose m] returns [(lambda, v)] with eigenvalues in descending
+    order and the matching orthonormal eigenvectors as the columns of
+    [v], so [m = v diag(lambda) vᵀ].  The input is symmetrised
+    ([(m + mᵀ)/2]) before reduction. *)
+
+val psd_factor : ?rtol:float -> Mat.t -> Mat.t
+(** [psd_factor m] is an [n×r] factor [f] with [f fᵀ ≈ m] for a
+    positive semi-definite [m]: eigenpairs with [lambda <= rtol *
+    lambda_max] (and any negative rounding residue) are dropped,
+    [rtol] defaulting to [1e-15].  Columns are ordered by descending
+    eigenvalue, making the factor deterministic. *)

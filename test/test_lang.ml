@@ -13,6 +13,9 @@ module Psd = Scnoise_core.Psd
 module Grid = Scnoise_util.Grid
 module SRC = Scnoise_circuits.Switched_rc
 module INT = Scnoise_circuits.Sc_integrator
+module LAD = Scnoise_circuits.Sc_ladder
+module Check = Scnoise_check.Check
+module Finding = Scnoise_check.Finding
 
 let deck_dir = Filename.concat ".." "examples/decks"
 
@@ -338,6 +341,26 @@ let test_parity_sc_integrator () =
     (b.INT.sys, b.INT.output)
     (Grid.linspace 100.0 16e3 7)
 
+let test_parity_sc_ladder () =
+  let b = LAD.build (LAD.with_parasitics LAD.default) in
+  check_parity "sc_ladder"
+    (compile_deck (Filename.concat deck_dir "sc_ladder.scn"))
+    (b.LAD.sys, b.LAD.output)
+    (Grid.logspace 100.0 40e3 9)
+
+(* the shipped ladder deck must come through the strict ERC gate clean:
+   no errors and no warnings *)
+let test_erc_sc_ladder () =
+  match Deck.load_file (Filename.concat deck_dir "sc_ladder.scn") with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Deck.elab = e; _ } ->
+      let fs = Check.check_elab e in
+      List.iter
+        (fun f -> Printf.printf "finding: %s\n" (Finding.to_string f))
+        fs;
+      Alcotest.(check int) "errors" 0 (Finding.errors fs);
+      Alcotest.(check int) "warnings" 0 (Finding.warnings fs)
+
 (* --- deck directives reach the elaborated form --- *)
 
 let test_elab_directives () =
@@ -486,6 +509,8 @@ let () =
         [
           Alcotest.test_case "switched-rc" `Quick test_parity_switched_rc;
           Alcotest.test_case "sc integrator" `Quick test_parity_sc_integrator;
+          Alcotest.test_case "sc ladder" `Quick test_parity_sc_ladder;
+          Alcotest.test_case "sc ladder erc" `Quick test_erc_sc_ladder;
         ] );
       ( "elaborator",
         [

@@ -1,0 +1,391 @@
+(* Tests for the low-rank covariance machinery: the Krylov expm·v
+   propagator against the dense exponential, the factored Van Loan step
+   against the dense covariance update, rank-truncation behaviour of
+   the compressed representation, and Dense/Lowrank backend parity
+   through the covariance sampler and the PSD pipeline. *)
+
+module Mat = Scnoise_linalg.Mat
+module Vec = Scnoise_linalg.Vec
+module Expm = Scnoise_linalg.Expm
+module Linop = Scnoise_linalg.Linop
+module Kexpm = Scnoise_linalg.Kexpm
+module Lowrank = Scnoise_linalg.Lowrank
+module Vanloan = Scnoise_linalg.Vanloan
+module Pwl = Scnoise_circuit.Pwl
+module Covariance = Scnoise_core.Covariance
+module Psd = Scnoise_core.Psd
+module Pool = Scnoise_par.Pool
+module RC = Scnoise_circuits.Switched_rc
+module SCI = Scnoise_circuits.Sc_integrator
+module LAD = Scnoise_circuits.Sc_ladder
+
+(* --- seeded random stable systems --- *)
+
+let rng_of seed n = Random.State.make [| seed; n; 0x10a4 |]
+
+let rnd rng = Random.State.float rng 2.0 -. 1.0
+
+(* Diagonally dominant with a negative shift: strictly stable, and
+   norm(A) stays O(n) so the Krylov propagator needs no sub-stepping
+   heroics. *)
+let random_stable rng n =
+  Mat.init n n (fun i j ->
+      if i = j then -.(float_of_int n +. 2.0 +. Random.State.float rng 1.0)
+      else 0.5 *. rnd rng)
+
+let random_vec rng n = Array.init n (fun _ -> rnd rng)
+
+let random_factor rng n r = Mat.init n r (fun _ _ -> rnd rng)
+
+let max_abs_vec_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i ai -> m := Float.max !m (Float.abs (ai -. b.(i)))) a;
+  !m
+
+(* --- Krylov expm·v vs dense Expm --- *)
+
+let test_kexpm_matches_dense () =
+  List.iter
+    (fun (seed, n, tau) ->
+      let rng = rng_of seed n in
+      let a = random_stable rng n in
+      let v = random_vec rng n in
+      let dense = Mat.mul_vec (Expm.expm_scaled a tau) v in
+      let krylov = Kexpm.expmv (Linop.of_mat a) ~tau v in
+      let scale = Float.max 1.0 (Vec.norm_inf dense) in
+      Alcotest.(check bool)
+        (Printf.sprintf "expmv seed=%d n=%d" seed n)
+        true
+        (max_abs_vec_diff dense krylov /. scale < 1e-9))
+    [ (1, 4, 0.3); (2, 12, 0.1); (3, 24, 0.05); (4, 33, 0.02) ]
+
+let test_kexpm_block_matches_dense () =
+  let rng = rng_of 7 16 in
+  let n = 16 and r = 3 and tau = 0.08 in
+  let a = random_stable rng n in
+  let z = random_factor rng n r in
+  let dense = Mat.mul (Expm.expm_scaled a tau) z in
+  let krylov = Kexpm.expm_block (Linop.auto a) ~tau z in
+  Alcotest.(check bool)
+    "expm_block" true
+    (Mat.max_abs_diff dense krylov /. Float.max 1.0 (Mat.max_abs dense)
+    < 1e-9)
+
+let test_gramian_factor_matches_vanloan () =
+  let rng = rng_of 11 10 in
+  let n = 10 and m = 2 in
+  let a = random_stable rng n in
+  let b = random_factor rng n m in
+  let q = Mat.mul b (Mat.transpose b) in
+  let tau = 0.02 (* norm(A) tau well under the quadrature's comfort zone *) in
+  let d = Vanloan.discretize ~a ~q ~tau in
+  let f = Kexpm.gramian_factor (Linop.of_mat a) ~b ~tau in
+  let qd = Lowrank.to_dense (Lowrank.of_factor f) in
+  Alcotest.(check bool)
+    "gramian factor" true
+    (Mat.max_abs_diff qd d.Vanloan.qd /. Float.max 1e-30 (Mat.max_abs d.Vanloan.qd)
+    < 1e-8)
+
+(* --- factored Van Loan step vs dense update --- *)
+
+let test_factored_step_matches_dense () =
+  let rng = rng_of 23 12 in
+  let n = 12 in
+  let a = random_stable rng n in
+  let b = random_factor rng n 3 in
+  let q = Mat.mul b (Mat.transpose b) in
+  let d = Vanloan.discretize ~a ~q ~tau:0.05 in
+  let lq = Scnoise_linalg.Symeig.psd_factor ~rtol:1e-15 d.Vanloan.qd in
+  let z0 = random_factor rng n 4 in
+  let k0 = Lowrank.to_dense (Lowrank.of_factor z0) in
+  (* dense reference: K' = Phi K Phiᵀ + Qd *)
+  let kref = Vanloan.propagate d k0 in
+  let z1 =
+    Lowrank.vanloan_step_mat ~rtol:1e-15 ~phi:d.Vanloan.phi ~lq
+      (Lowrank.of_factor z0)
+  in
+  let k1 = Lowrank.to_dense z1 in
+  Alcotest.(check bool)
+    "factored step" true
+    (Mat.max_abs_diff kref k1 /. Float.max 1e-30 (Mat.max_abs kref) < 1e-11);
+  (* matrix-free flavour of the same step *)
+  let z1mf =
+    Lowrank.vanloan_step ~rtol:1e-15 ~phi:(Linop.of_mat d.Vanloan.phi) ~lq
+      (Lowrank.of_factor z0)
+  in
+  Alcotest.(check bool)
+    "factored step (operator)" true
+    (Mat.max_abs_diff kref (Lowrank.to_dense z1mf)
+     /. Float.max 1e-30 (Mat.max_abs kref)
+    < 1e-11)
+
+(* --- rank truncation --- *)
+
+let test_compress_rank_monotone () =
+  let rng = rng_of 31 20 in
+  let n = 20 in
+  (* strongly graded column scales so truncation has thresholds to bite *)
+  let z =
+    Mat.init n n (fun i j -> rnd rng *. (10.0 ** float_of_int (-j)) *. (if i >= 0 then 1.0 else 1.0))
+  in
+  let t = Lowrank.of_factor z in
+  let rtols = [ 1e-15; 1e-10; 1e-6; 1e-2 ] in
+  let ranks = List.map (fun r -> Lowrank.rank (Lowrank.compress ~rtol:r t)) rtols in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ranks %s non-increasing"
+       (String.concat "," (List.map string_of_int ranks)))
+    true (monotone ranks);
+  (* truncation error bounded by the tolerance times the scale *)
+  let dense = Lowrank.to_dense t in
+  List.iter
+    (fun rtol ->
+      let c = Lowrank.compress ~rtol t in
+      let err = Mat.max_abs_diff dense (Lowrank.to_dense c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "error at rtol=%g" rtol)
+        true
+        (err <= float_of_int n *. rtol *. Lowrank.max_diag t +. 1e-30))
+    rtols
+
+let test_compress_exact_low_rank () =
+  let rng = rng_of 37 15 in
+  let n = 15 and r = 3 in
+  let z = random_factor rng n r in
+  (* duplicate columns: true rank stays r *)
+  let t = Lowrank.of_factor (Mat.hcat z z) in
+  let c = Lowrank.compress ~rtol:1e-13 t in
+  Alcotest.(check bool) "rank collapses" true (Lowrank.rank c <= r);
+  Alcotest.(check bool)
+    "values preserved" true
+    (Mat.max_abs_diff (Lowrank.to_dense t) (Lowrank.to_dense c)
+     /. Float.max 1e-30 (Lowrank.max_diag t)
+    < 1e-11)
+
+(* --- backend parity through the covariance sampler --- *)
+
+let check_sample_parity name ?(tol = 1e-9) sys output =
+  let sd = Covariance.sample ~backend:Covariance.Dense sys in
+  let sl = Covariance.sample ~backend:Covariance.Lowrank sys in
+  let vd = Covariance.variance_trace sd output in
+  let vl = Covariance.variance_trace sl output in
+  let scale = Array.fold_left Float.max 1e-30 (Array.map Float.abs vd) in
+  Alcotest.(check bool)
+    (name ^ " variance trace") true
+    (max_abs_vec_diff vd vl /. scale < tol);
+  Alcotest.(check bool)
+    (name ^ " k0") true
+    (Mat.max_abs_diff
+       (Covariance.k_mat sd.Covariance.k0)
+       (Covariance.k_mat sl.Covariance.k0)
+     /. Float.max 1e-30 (Mat.max_abs (Covariance.k_mat sd.Covariance.k0))
+    < tol)
+
+let test_backend_parity_covariance () =
+  let rc = RC.build RC.default in
+  check_sample_parity "switched_rc" rc.RC.sys rc.RC.output;
+  let sci = SCI.build SCI.default in
+  check_sample_parity "sc_integrator" sci.SCI.sys sci.SCI.output
+
+(* Dense vs low-rank PSD on the bundled circuits and a 40-state
+   parasitic ladder: the ISSUE-level acceptance is agreement to
+   1e-9 dB. *)
+let check_psd_parity name ?(samples_per_phase = 48) sys output freqs =
+  let ed =
+    Psd.prepare ~cov_backend:Covariance.Dense ~samples_per_phase sys ~output
+  in
+  let el =
+    Psd.prepare ~cov_backend:Covariance.Lowrank ~samples_per_phase sys ~output
+  in
+  let dd = Psd.sweep_db ed freqs and dl = Psd.sweep_db el freqs in
+  Alcotest.(check bool)
+    (name ^ " psd parity (dB)")
+    true
+    (max_abs_vec_diff dd dl < 1e-9)
+
+let test_backend_parity_psd () =
+  let rc = RC.build RC.default in
+  check_psd_parity "switched_rc" rc.RC.sys rc.RC.output
+    [| 1e3; 1e4; 1e5 |];
+  let sci = SCI.build SCI.default in
+  check_psd_parity "sc_integrator" sci.SCI.sys sci.SCI.output
+    [| 1e3; 1e4; 4e4 |]
+
+let test_backend_parity_ladder40 () =
+  let p = LAD.with_parasitics (LAD.with_stages 20) in
+  Alcotest.(check int) "ladder states" 40 (LAD.nstates p);
+  let b = LAD.build p in
+  check_psd_parity "ladder40" ~samples_per_phase:24 b.LAD.sys b.LAD.output
+    [| 1e3; 1e4; 3e4 |]
+
+(* --- the genuinely low-rank regime: many states, one noise source ---
+
+   A long RC line with a single noisy resistor keeps the covariance
+   rank far below n, which drives the sampler down the factored (and,
+   with few noise columns, matrix-free Krylov) path rather than the
+   saturated dense one. *)
+
+let chain_system n =
+  let a =
+    Mat.init n n (fun i j ->
+        if i = j then -2.2 -. (0.01 *. float_of_int i)
+        else if abs (i - j) = 1 then 1.0
+        else 0.0)
+  in
+  let b = Mat.init n 1 (fun i _ -> if i = 0 then 1.0 else 0.0) in
+  let q = Mat.mul b (Mat.transpose b) in
+  let phase tau : Pwl.phase =
+    { tau; a; b; q;
+      e = Mat.create n 0;
+      e_dot = Mat.create n 0;
+      noise_labels = [| "R1" |] }
+  in
+  {
+    Pwl.period = 2.0;
+    phases = [| phase 1.0; phase 1.0 |];
+    nstates = n;
+    state_names = Array.init n (Printf.sprintf "v%d");
+    inputs = [||];
+    observables = [];
+  }
+
+let test_low_rank_regime () =
+  let n = 40 in
+  let sys = chain_system n in
+  let output = Array.init n (fun i -> if i = n - 1 then 1.0 else 0.0) in
+  let sd = Covariance.sample ~backend:Covariance.Dense ~samples_per_phase:12 sys in
+  let sl =
+    Covariance.sample ~backend:Covariance.Lowrank ~samples_per_phase:12 sys
+  in
+  Alcotest.(check bool)
+    "rank stays low" true
+    (sl.Covariance.peak_rank < n);
+  let vd = Covariance.variance_trace sd output in
+  let vl = Covariance.variance_trace sl output in
+  (* the factored representation truncates relative to the covariance's
+     largest entry, so parity is judged on that scale — the far end of
+     the chain carries essentially zero variance *)
+  let scale =
+    Float.max 1e-30 (Mat.max_abs (Covariance.k_mat sd.Covariance.k0))
+  in
+  Alcotest.(check bool)
+    "trace parity" true
+    (max_abs_vec_diff vd vl /. scale < 1e-9);
+  Alcotest.(check bool)
+    "k0 parity" true
+    (Mat.max_abs_diff
+       (Covariance.k_mat sd.Covariance.k0)
+       (Covariance.k_mat sl.Covariance.k0)
+     /. scale
+    < 1e-9)
+
+(* --- determinism: jobs 1 vs 4, per backend --- *)
+
+let mats_equal_bits a b =
+  Mat.rows a = Mat.rows b
+  && Mat.cols a = Mat.cols b
+  &&
+  let da = Mat.data a and db = Mat.data b in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then ok := false)
+    da;
+  !ok
+
+let test_jobs_determinism () =
+  let p = LAD.with_parasitics (LAD.with_stages 8) in
+  let b = LAD.build p in
+  List.iter
+    (fun backend ->
+      let run jobs =
+        let pool = Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            Covariance.sample ~backend ~samples_per_phase:16 ~pool b.LAD.sys)
+      in
+      let s1 = run 1 and s4 = run 4 in
+      Alcotest.(check bool)
+        (Covariance.backend_name backend ^ " k0 bitwise")
+        true
+        (mats_equal_bits
+           (Covariance.k_mat s1.Covariance.k0)
+           (Covariance.k_mat s4.Covariance.k0));
+      let ok = ref true in
+      Array.iteri
+        (fun i k ->
+          if
+            not
+              (mats_equal_bits (Covariance.k_mat k)
+                 (Covariance.k_mat s4.Covariance.ks.(i)))
+          then ok := false)
+        s1.Covariance.ks;
+      Alcotest.(check bool)
+        (Covariance.backend_name backend ^ " ks bitwise")
+        true !ok)
+    [ Covariance.Dense; Covariance.Lowrank ]
+
+(* --- backend resolution plumbing --- *)
+
+let test_backend_resolution () =
+  Alcotest.(check bool)
+    "small auto is dense" true
+    (Covariance.resolve_backend ~nstates:4 () = Covariance.Dense);
+  Alcotest.(check bool)
+    "large auto is lowrank" true
+    (Covariance.resolve_backend ~nstates:Covariance.auto_state_threshold ()
+    = Covariance.Lowrank);
+  Alcotest.(check bool)
+    "explicit wins" true
+    (Covariance.resolve_backend ~backend:Covariance.Dense ~nstates:200 ()
+    = Covariance.Dense);
+  Covariance.set_default_backend (Some Covariance.Lowrank);
+  Fun.protect
+    ~finally:(fun () -> Covariance.set_default_backend None)
+    (fun () ->
+      Alcotest.(check bool)
+        "configured default wins over auto" true
+        (Covariance.resolve_backend ~nstates:4 () = Covariance.Lowrank));
+  Alcotest.(check bool)
+    "name round-trip" true
+    (Covariance.backend_of_name "lowrank" = Some Covariance.Lowrank
+    && Covariance.backend_of_name "dense" = Some Covariance.Dense
+    && Covariance.backend_of_name "auto" = None)
+
+let () =
+  Alcotest.run "lowrank"
+    [
+      ( "kexpm",
+        [
+          Alcotest.test_case "expmv vs dense" `Quick test_kexpm_matches_dense;
+          Alcotest.test_case "expm_block vs dense" `Quick
+            test_kexpm_block_matches_dense;
+          Alcotest.test_case "gramian factor vs Van Loan" `Quick
+            test_gramian_factor_matches_vanloan;
+        ] );
+      ( "factored",
+        [
+          Alcotest.test_case "Van Loan step" `Quick
+            test_factored_step_matches_dense;
+          Alcotest.test_case "rank monotone in rtol" `Quick
+            test_compress_rank_monotone;
+          Alcotest.test_case "exact on low rank" `Quick
+            test_compress_exact_low_rank;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "covariance parity" `Quick
+            test_backend_parity_covariance;
+          Alcotest.test_case "psd parity" `Quick test_backend_parity_psd;
+          Alcotest.test_case "psd parity ladder n=40" `Slow
+            test_backend_parity_ladder40;
+          Alcotest.test_case "low-rank regime" `Quick test_low_rank_regime;
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "resolution order" `Quick
+            test_backend_resolution;
+        ] );
+    ]
